@@ -1,0 +1,96 @@
+package camsim
+
+import (
+	"os"
+	"testing"
+
+	"camsim/internal/harness"
+)
+
+// benchCfg picks quick workloads unless CAMSIM_FULL=1 requests paper scale.
+func benchCfg() harness.RunConfig {
+	return harness.RunConfig{Quick: os.Getenv("CAMSIM_FULL") != "1"}
+}
+
+// runExperiment executes one registered reproduction per benchmark
+// iteration and logs its rendered output once, so `go test -bench` both
+// times the experiment and emits the paper's rows/series.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := harness.Get(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = e.Run(benchCfg()).String()
+	}
+	if out != "" {
+		b.Log("\n" + out)
+	}
+}
+
+// Figure 1: GNN training time breakdown of the BaM-based GIDS baseline.
+func BenchmarkFig1_GIDSBreakdown(b *testing.B) { runExperiment(b, "fig1") }
+
+// Figure 2: 4 KB random read/write throughput of the kernel I/O stacks.
+func BenchmarkFig2_KernelStacks(b *testing.B) { runExperiment(b, "fig2") }
+
+// Figure 3: per-layer I/O time breakdown (User / fs / io_map / Block I/O).
+func BenchmarkFig3_LayerBreakdown(b *testing.B) { runExperiment(b, "fig3") }
+
+// Figure 4: GPU SM utilization BaM needs to saturate N SSDs.
+func BenchmarkFig4_BaMSMUtil(b *testing.B) { runExperiment(b, "fig4") }
+
+// Figure 8: I/O throughput of CAM vs BaM, SPDK, POSIX across SSD counts
+// and access granularities (four sub-figures).
+func BenchmarkFig8_Throughput(b *testing.B) { runExperiment(b, "fig8") }
+
+// Figure 9: GNN training epoch time, CAM vs GIDS, three models × two
+// datasets.
+func BenchmarkFig9_GNNEpoch(b *testing.B) { runExperiment(b, "fig9") }
+
+// Figure 10a: out-of-core mergesort time, CAM vs SPDK vs POSIX.
+func BenchmarkFig10a_Sort(b *testing.B) { runExperiment(b, "fig10a") }
+
+// Figure 10b,c: out-of-core GEMM throughput and execution time, CAM vs
+// BaM vs GDS vs SPDK.
+func BenchmarkFig10bc_GEMM(b *testing.B) { runExperiment(b, "fig10bc") }
+
+// Figure 11: the synchronous-feeling CAM API vs raw asynchronous APIs.
+func BenchmarkFig11_SyncVsAsync(b *testing.B) { runExperiment(b, "fig11") }
+
+// Figure 12: throughput with one CPU thread controlling multiple SSDs.
+func BenchmarkFig12_ThreadScaling(b *testing.B) { runExperiment(b, "fig12") }
+
+// Figure 13: CPU instructions and cycles per request, CAM vs SPDK vs
+// libaio.
+func BenchmarkFig13_CPUCost(b *testing.B) { runExperiment(b, "fig13") }
+
+// Figure 14: CPU memory bandwidth consumed per byte of SSD bandwidth.
+func BenchmarkFig14_MemBandwidth(b *testing.B) { runExperiment(b, "fig14") }
+
+// Figure 15: throughput under 2 vs 16 DRAM channels.
+func BenchmarkFig15_MemChannels(b *testing.B) { runExperiment(b, "fig15") }
+
+// Figure 16: access-granularity sweep with a non-contiguous destination.
+func BenchmarkFig16_Granularity(b *testing.B) { runExperiment(b, "fig16") }
+
+// Table I: architectural design comparison.
+func BenchmarkTableI_Architecture(b *testing.B) { runExperiment(b, "tab1") }
+
+// Table II: the CAM software API surface.
+func BenchmarkTableII_API(b *testing.B) { runExperiment(b, "tab2") }
+
+// Table III: the (simulated) experimental platform.
+func BenchmarkTableIII_Platform(b *testing.B) { runExperiment(b, "tab3") }
+
+// Table IV: evaluation datasets.
+func BenchmarkTableIV_Datasets(b *testing.B) { runExperiment(b, "tab4") }
+
+// Table V: GNN experiment configuration.
+func BenchmarkTableV_GNNConfig(b *testing.B) { runExperiment(b, "tab5") }
+
+// Table VI: lines of application code per SSD-management scheme, counted
+// from this repository's sources with go/parser.
+func BenchmarkTableVI_LinesOfCode(b *testing.B) { runExperiment(b, "tab6") }

@@ -1,0 +1,70 @@
+// Command cambench runs the paper-reproduction experiments: one per table
+// and figure of the CAM paper's evaluation section.
+//
+// Usage:
+//
+//	cambench -list
+//	cambench -exp fig8            # one experiment at paper scale
+//	cambench -exp all -quick      # everything, scaled down
+//	cambench -exp fig9 -csv       # emit tables as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"camsim/internal/harness"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (fig1..fig16, tab1..tab6) or 'all'")
+		list  = flag.Bool("list", false, "list available experiments")
+		quick = flag.Bool("quick", false, "run scaled-down workloads")
+		csv   = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range harness.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nselect one with -exp <id> or run everything with -exp all")
+		}
+		return
+	}
+
+	cfg := harness.RunConfig{Quick: *quick}
+	var toRun []harness.Experiment
+	if *exp == "all" {
+		toRun = harness.All()
+	} else {
+		e, ok := harness.Get(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cambench: unknown experiment %q; use -list\n", *exp)
+			os.Exit(1)
+		}
+		toRun = []harness.Experiment{e}
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		r := e.Run(cfg)
+		if *csv {
+			fmt.Printf("# %s — %s\n", r.ID, r.Title)
+			for _, t := range r.Tables {
+				fmt.Print(t.CSV())
+			}
+			for _, f := range r.Figs {
+				fmt.Println(f.String())
+			}
+		} else {
+			fmt.Print(r.String())
+		}
+		fmt.Printf("(%s completed in %.1fs wall)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,106 @@
+// Command camgnn runs out-of-core GNN training iterations on the simulated
+// platform, comparing the CAM pipeline against the BaM-based GIDS baseline.
+//
+//	camgnn -dataset paper100m -model gat -iters 3
+//	camgnn -dataset igb -model gcn -system cam
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"camsim/internal/bam"
+	"camsim/internal/cam"
+	"camsim/internal/gnn"
+	"camsim/internal/platform"
+	"camsim/internal/sim"
+	"camsim/internal/trace"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "paper100m", "paper100m | igb")
+		model    = flag.String("model", "gcn", "gcn | gat | graphsage")
+		system   = flag.String("system", "both", "cam | gids | both")
+		iters    = flag.Int("iters", 3, "training iterations to simulate")
+		nodes    = flag.Uint64("nodes", 4_000_000, "scaled node count for the synthetic graph")
+		batch    = flag.Int("batch", 512, "seed minibatch size")
+		ssds     = flag.Int("ssds", 12, "number of simulated SSDs")
+		useTrace = flag.Bool("trace", false, "print the CAM run's I/O-compute overlap report")
+	)
+	flag.Parse()
+
+	var d gnn.Dataset
+	switch strings.ToLower(*dataset) {
+	case "paper100m":
+		d = gnn.Paper100M()
+	case "igb", "igb-full":
+		d = gnn.IGBFull()
+	default:
+		fmt.Fprintf(os.Stderr, "camgnn: unknown dataset %q\n", *dataset)
+		os.Exit(1)
+	}
+	d = d.Scaled(*nodes)
+
+	var m gnn.Model
+	switch strings.ToLower(*model) {
+	case "gcn":
+		m = gnn.GCN
+	case "gat":
+		m = gnn.GAT
+	case "graphsage", "sage":
+		m = gnn.GraphSAGE
+	default:
+		fmt.Fprintf(os.Stderr, "camgnn: unknown model %q\n", *model)
+		os.Exit(1)
+	}
+
+	tcfg := gnn.DefaultTrainConfig()
+	tcfg.Batch = *batch
+
+	show := func(name string, b gnn.Breakdown) {
+		s, e, t := b.Fractions()
+		perIter := b.Total.Seconds() * 1000 / float64(b.Iters)
+		fmt.Printf("%-5s %-10s on %-10s: %.3f ms/iter  (sample %.0f%%, extract %.0f%%, train %.0f%%, %d nodes/iter)\n",
+			name, m.Name, d.Name, perIter, 100*s, 100*e, 100*t, b.Nodes/uint64(b.Iters))
+	}
+
+	var gids, camB gnn.Breakdown
+	if *system == "gids" || *system == "both" {
+		env := platform.New(platform.Options{SSDs: *ssds})
+		sys := bam.New(env.E, bam.DefaultConfig(), env.GPU, env.Devs)
+		tr := gnn.NewGIDSTrainer(env, d, m, tcfg, sys)
+		env.E.Go("train", func(p *sim.Proc) { gids = tr.RunIterations(p, *iters) })
+		env.Run()
+		show("GIDS", gids)
+	}
+	if *system == "cam" || *system == "both" {
+		env := platform.New(platform.Options{SSDs: *ssds})
+		ccfg := cam.DefaultConfig(*ssds)
+		ccfg.BlockBytes = d.FeatBytes()
+		ccfg.MaxBatch = 1 << 17
+		mgr := cam.New(env.E, ccfg, env.GPU, env.HM, env.Space, env.Fab, env.Devs)
+		var tracer *trace.Tracer
+		if *useTrace {
+			tracer = trace.New(env.E, 1<<16)
+			mgr.SetTracer(tracer)
+			env.GPU.SetTracer(tracer)
+		}
+		tr := gnn.NewCAMTrainer(env, d, m, tcfg, mgr)
+		env.E.Go("train", func(p *sim.Proc) { camB = tr.RunIterations(p, *iters) })
+		env.Run()
+		show("CAM", camB)
+		if *useTrace {
+			io, comp, overlap, span := tracer.OverlapReport()
+			fmt.Printf("trace: span=%v io-busy=%v compute-busy=%v overlapped=%v (%.0f%% of compute hidden under I/O)\n",
+				span, io, comp, overlap, 100*float64(overlap)/float64(comp))
+		}
+	}
+	if *system == "both" && camB.Iters > 0 && gids.Iters > 0 {
+		g := gids.Total.Seconds() / float64(gids.Iters)
+		c := camB.Total.Seconds() / float64(camB.Iters)
+		fmt.Printf("CAM speedup over GIDS: %.2fx\n", g/c)
+	}
+}

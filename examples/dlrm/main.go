@@ -1,0 +1,57 @@
+// Recommendation-model embedding training through CAM — the workload the
+// paper's motivation cites (TorchRec spends ~75 % of iteration time on
+// embedding access). Each batch gathers sparse embedding rows from the SSD
+// array, runs the dense interaction compute, applies optimizer updates to
+// the real bytes, and writes the rows back; prefetch of the next batch
+// overlaps everything except genuine read-after-write dependencies, which
+// the trainer detects and reports as pipeline bubbles.
+//
+//	go run ./examples/dlrm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"camsim/internal/cam"
+	"camsim/internal/dlrm"
+	"camsim/internal/platform"
+	"camsim/internal/sim"
+)
+
+func main() {
+	env := platform.New(platform.Options{SSDs: 12})
+
+	cfg := dlrm.Config{
+		Rows:            1 << 18, // demo-sized table (prepopulated for verification)
+		Dim:             128,     // 512 B rows, the paper's fine-grained case
+		LookupsPerBatch: 256,
+		ComputePerBatch: 300 * sim.Microsecond,
+		Seed:            7,
+	}
+	ccfg := cam.DefaultConfig(len(env.Devs))
+	ccfg.BlockBytes = cfg.RowBytes()
+	ccfg.MaxBatch = cfg.LookupsPerBatch
+	mgr := cam.New(env.E, ccfg, env.GPU, env.HM, env.Space, env.Fab, env.Devs)
+
+	tr := dlrm.New(env, cfg, mgr)
+	tr.Verify = true
+	tr.Prepopulate()
+
+	const batches = 12
+	var st dlrm.Stats
+	env.E.Go("train", func(p *sim.Proc) {
+		st = tr.Run(p, batches)
+	})
+	env.Run()
+
+	if err := tr.VerifyTable(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d batches over a %d-row embedding table (12 SSDs)\n", st.Batches, cfg.Rows)
+	fmt.Printf("  rows gathered+updated: %d (512 B each, read-modify-write)\n", st.RowsGathered)
+	fmt.Printf("  elapsed: %v (%.3f ms/batch)\n", st.Elapsed,
+		st.Elapsed.Seconds()*1000/float64(st.Batches))
+	fmt.Printf("  dependency stalls: %d (prefetches that waited for a write_back)\n", st.HazardStalls)
+	fmt.Println("  verification: every updated row equals initial value + its touch count")
+}

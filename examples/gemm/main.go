@@ -1,0 +1,46 @@
+// Out-of-core GEMM through the CAM API (the paper's §IV-E workload): three
+// matrices live on the SSD array, tiles stream to the GPU with one-step
+// prefetch-ahead, and the result is verified against a dense reference
+// multiply — demonstrating that CAM's asynchronous batches carry real data.
+//
+//	go run ./examples/gemm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"camsim/internal/gemmx"
+	"camsim/internal/metrics"
+	"camsim/internal/platform"
+	"camsim/internal/sim"
+	"camsim/internal/xfer"
+)
+
+func main() {
+	env := platform.New(platform.Options{SSDs: 12})
+	backend := xfer.NewCAM(env, 4096, nil)
+
+	// Small enough to verify with real float32 arithmetic.
+	cfg := gemmx.Config{
+		N: 128, K: 128, M: 128,
+		Tile:        32,
+		ComputeRate: 100e12,
+		RealMath:    true,
+	}
+	m := gemmx.New(env, backend, cfg)
+
+	env.E.Go("app", func(p *sim.Proc) {
+		m.FillInputs(p, 7)
+		st := m.Run(p)
+		if err := m.Verify(p, 7); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("C[%dx%d] = A x B in %dx%d tiles over %d SSDs\n",
+			cfg.N, cfg.M, cfg.Tile, cfg.Tile, len(env.Devs))
+		fmt.Printf("  %d tile-pair loads, %s read at %s\n",
+			st.Tiles, metrics.Bytes(float64(st.BytesRead)), metrics.GBps(st.Throughput))
+		fmt.Printf("  elapsed %v; result matches the dense reference bit-for-bit\n", st.Elapsed)
+	})
+	env.Run()
+}

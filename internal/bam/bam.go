@@ -1,0 +1,271 @@
+// Package bam models BaM (Big Accelerator Memory, ASPLOS 2023), the
+// state-of-the-art GPU-initiated, GPU-managed SSD baseline the paper
+// compares against.
+//
+// In BaM the NVMe queue pairs live in GPU memory and GPU thread blocks
+// submit SQEs and spin-poll CQs through a synchronous array interface.
+// Saturating an SSD's latency-bandwidth product this way requires a large
+// population of resident GPU threads that are idle-waiting most of the
+// time; this package reproduces that cost by pinning the calibrated thread
+// count on the gpu.GPU thread-slot resource for the duration of every I/O
+// batch. With the paper's twelve SSDs, the pin covers every SM on the
+// device, so compute kernels queue behind I/O — the serial execution of
+// the paper's Issue 3 falls out of the model rather than being scripted.
+package bam
+
+import (
+	"fmt"
+
+	"camsim/internal/gpu"
+	"camsim/internal/gpucache"
+	"camsim/internal/mem"
+	"camsim/internal/nvme"
+	"camsim/internal/sim"
+	"camsim/internal/ssd"
+)
+
+// Config calibrates the BaM baseline.
+type Config struct {
+	// ThreadsPerSSD is the number of resident GPU threads BaM must keep
+	// submitting/polling to saturate one SSD. The paper's evaluation uses
+	// 262144 CUDA threads for twelve SSDs and reports that five or more
+	// SSDs need every SM of an A100 (Fig 4): 44 K threads per SSD lands
+	// both observations.
+	ThreadsPerSSD int64
+	// QueueDepth bounds in-flight commands per queue pair.
+	QueueDepth uint32
+	// QueuesPerSSD is the number of queue pairs per device (the paper
+	// evaluates BaM with 128; one pair per device is enough to saturate
+	// the simulated frontend, so this only sizes GPU memory).
+	QueuesPerSSD int
+	// SubmitLatency is the GPU-side cost to build and publish one SQE
+	// from a thread (warp-serialized doorbell write).
+	SubmitLatency sim.Time
+}
+
+// DefaultConfig matches the paper's BaM evaluation settings.
+func DefaultConfig() Config {
+	return Config{
+		ThreadsPerSSD: 44_000,
+		QueueDepth:    1024,
+		QueuesPerSSD:  1,
+		SubmitLatency: 400 * sim.Nanosecond,
+	}
+}
+
+// System is a BaM instance: GPU-resident queue pairs over a set of SSDs.
+type System struct {
+	e    *sim.Engine
+	cfg  Config
+	g    *gpu.GPU
+	devs []*ssd.Device
+	qps  []*nvme.QueuePair // one per device (first queue of each set)
+
+	slots  []*sim.Resource
+	flight []map[uint16]*request
+	next   []uint16
+}
+
+type request struct {
+	done *sim.Signal
+}
+
+// New builds the system; queue rings are allocated in GPU memory, which is
+// BaM's defining data-plane property.
+func New(e *sim.Engine, cfg Config, g *gpu.GPU, devs []*ssd.Device) *System {
+	if len(devs) == 0 {
+		panic("bam: no devices")
+	}
+	s := &System{e: e, cfg: cfg, g: g, devs: devs}
+	for i, d := range devs {
+		sqMem := g.Alloc(fmt.Sprintf("bam.sq%d", i), int64(cfg.QueueDepth)*nvme.SQESize)
+		cqMem := g.Alloc(fmt.Sprintf("bam.cq%d", i), int64(cfg.QueueDepth)*nvme.CQESize)
+		qp := d.CreateQueuePair("bam", sqMem.Data, cqMem.Data, cfg.QueueDepth)
+		s.qps = append(s.qps, qp)
+		s.slots = append(s.slots, e.NewResource(fmt.Sprintf("bam.slots%d", i), int64(cfg.QueueDepth)-1))
+		s.flight = append(s.flight, make(map[uint16]*request))
+		s.next = append(s.next, 0)
+		// One completion-delivery process per device (stands in for the
+		// per-warp pollers whose thread cost is modeled by PinThreads).
+		i := i
+		e.Go(fmt.Sprintf("bam.cq%d", i), func(p *sim.Proc) { s.completionLoop(p, i) })
+	}
+	return s
+}
+
+// ThreadsNeeded reports the resident GPU threads BaM pins to saturate n
+// SSDs (clamped to the device).
+func (s *System) ThreadsNeeded(n int) int64 {
+	t := s.cfg.ThreadsPerSSD * int64(n)
+	if t > s.g.TotalThreads() {
+		t = s.g.TotalThreads()
+	}
+	return t
+}
+
+// SMUtilizationFor reports the fraction of the GPU BaM occupies to saturate
+// n SSDs — the paper's Figure 4.
+func (s *System) SMUtilizationFor(n int) float64 {
+	return float64(s.ThreadsNeeded(n)) / float64(s.g.TotalThreads())
+}
+
+// Access is one element of a batched array access.
+type Access struct {
+	Op    nvme.Opcode
+	Block uint64 // global block id, striped across SSDs
+}
+
+// Array is the bam::array-style synchronous view: fixed-size blocks striped
+// round-robin across all SSDs, optionally fronted by BaM's GPU-memory
+// software cache.
+type Array struct {
+	s          *System
+	BlockBytes int64
+	cache      *gpucache.Cache
+	// CacheHitCost is the GPU time to serve one block from the cache.
+	CacheHitCost sim.Time
+}
+
+// AttachCache fronts the array with a GPU-memory cache (line size must
+// match the block size). Gathers serve hits from GPU memory without
+// touching the SSDs; scatters invalidate.
+func (a *Array) AttachCache(c *gpucache.Cache) {
+	if c.LineBytes() != a.BlockBytes {
+		panic("bam: cache line size must equal array block size")
+	}
+	a.cache = c
+	if a.CacheHitCost == 0 {
+		a.CacheHitCost = 250 * sim.Nanosecond
+	}
+}
+
+// Cache returns the attached cache (nil if none).
+func (a *Array) Cache() *gpucache.Cache { return a.cache }
+
+// NewArray creates an array view with the given block size (the paper's
+// access granularity, 512 B–64 KiB).
+func (s *System) NewArray(blockBytes int64) *Array {
+	if blockBytes%nvme.LBASize != 0 || blockBytes <= 0 {
+		panic("bam: block size must be a positive multiple of 512")
+	}
+	return &Array{s: s, BlockBytes: blockBytes}
+}
+
+// locate maps a block id to its device and device LBA.
+func (a *Array) locate(block uint64) (dev int, lba uint64) {
+	n := uint64(len(a.s.devs))
+	dev = int(block % n)
+	lba = (block / n) * uint64(a.BlockBytes/nvme.LBASize)
+	return
+}
+
+// Gather synchronously reads the given blocks into dst (block i of the
+// batch lands at offset i*BlockBytes). The calling kernel's I/O warps pin
+// ThreadsNeeded(len(devs)) thread slots for the whole batch — if the GPU is
+// busy, the batch waits; while the batch runs, compute kernels starve.
+func (a *Array) Gather(p *sim.Proc, blocks []uint64, dst *gpu.Buffer, dstOff int64) {
+	a.batch(p, nvme.OpRead, blocks, dst, dstOff)
+}
+
+// Scatter synchronously writes the given blocks from src.
+func (a *Array) Scatter(p *sim.Proc, blocks []uint64, src *gpu.Buffer, srcOff int64) {
+	a.batch(p, nvme.OpWrite, blocks, src, srcOff)
+}
+
+func (a *Array) batch(p *sim.Proc, op nvme.Opcode, blocks []uint64, buf *gpu.Buffer, off int64) {
+	if len(blocks) == 0 {
+		return
+	}
+	s := a.s
+	need := s.ThreadsNeeded(len(s.devs))
+	held, release := s.g.PinThreads(p, need)
+	_ = held
+	defer release()
+
+	sigs := make([]*sim.Signal, 0, len(blocks))
+	var missIdx []int
+	var hitTime sim.Time
+	for i, b := range blocks {
+		dst := buf.Data[off+int64(i)*a.BlockBytes:]
+		if a.cache != nil && op == nvme.OpRead {
+			if data, hit := a.cache.Lookup(b); hit {
+				copy(dst[:a.BlockBytes], data)
+				hitTime += a.CacheHitCost
+				continue
+			}
+			missIdx = append(missIdx, i)
+		}
+		if a.cache != nil && op == nvme.OpWrite {
+			a.cache.Invalidate(b)
+		}
+		dev, lba := a.locate(b)
+		addr := buf.Addr + mem.Addr(off) + mem.Addr(int64(i)*a.BlockBytes)
+		sigs = append(sigs, s.submit(p, op, dev, lba, uint32(a.BlockBytes/nvme.LBASize), addr))
+	}
+	if hitTime > 0 {
+		p.Sleep(hitTime)
+	}
+	for _, sig := range sigs {
+		p.Wait(sig)
+	}
+	// Fill the cache with the freshly fetched blocks.
+	if a.cache != nil && op == nvme.OpRead {
+		for _, i := range missIdx {
+			src := buf.Data[off+int64(i)*a.BlockBytes:]
+			line := a.cache.Insert(blocks[i])
+			copy(line, src[:a.BlockBytes])
+		}
+	}
+}
+
+// submit pushes one SQE from the GPU side; the submitting warp is
+// serialized on the doorbell for SubmitLatency.
+func (s *System) submit(p *sim.Proc, op nvme.Opcode, dev int, lba uint64, nlb uint32, addr mem.Addr) *sim.Signal {
+	s.slots[dev].Acquire(p, 1)
+	cid := s.allocCID(dev)
+	req := &request{done: s.e.NewSignal("bamreq")}
+	s.flight[dev][cid] = req
+	sqe := nvme.SQE{Opcode: op, CID: cid, NSID: 1, PRP1: uint64(addr), SLBA: lba, NLB: nlb}
+	if err := s.qps[dev].SQ.Push(sqe); err != nil {
+		panic("bam: SQ overflow despite slot limiter: " + err.Error())
+	}
+	s.devs[dev].Ring(s.qps[dev])
+	// Warp-serialized submission cost; amortized across the batch by
+	// submitting from many warps in reality — charge a fraction.
+	p.Sleep(s.cfg.SubmitLatency / 8)
+	return req.done
+}
+
+func (s *System) allocCID(dev int) uint16 {
+	depth := uint16(s.cfg.QueueDepth)
+	for i := uint16(0); i < depth; i++ {
+		cid := (s.next[dev] + i) % depth
+		if _, busy := s.flight[dev][cid]; !busy {
+			s.next[dev] = cid + 1
+			return cid
+		}
+	}
+	panic("bam: no free CID despite slot limiter")
+}
+
+// completionLoop fires request signals as CQEs arrive.
+func (s *System) completionLoop(p *sim.Proc, dev int) {
+	qp := s.qps[dev]
+	for {
+		cqe, ok := qp.CQ.Poll()
+		if !ok {
+			if !qp.CQ.OnPost.Fired() {
+				p.Wait(qp.CQ.OnPost)
+			}
+			qp.CQ.OnPost.Reset()
+			continue
+		}
+		req := s.flight[dev][cqe.CID]
+		if req == nil {
+			panic("bam: completion for unknown CID")
+		}
+		delete(s.flight[dev], cqe.CID)
+		s.slots[dev].Release(1)
+		req.done.Fire()
+	}
+}

@@ -1,0 +1,550 @@
+// Package cam implements the paper's contribution: CAM, asynchronous
+// GPU-initiated, CPU-managed SSD management for batching storage access.
+//
+// Control plane: GPU kernels publish batches of logical block addresses
+// into CPU-visible memory and ring a flag; a CPU polling thread discovers
+// them, fans the blocks out to SPDK-style per-SSD reactor threads, and
+// signals completion back through GPU memory. The GPU spends no streaming
+// multiprocessor on I/O — its kernels keep every SM for compute while
+// batches are in flight.
+//
+// Data plane: NVMe commands carry pinned GPU memory physical addresses
+// (the GDRCopy / nvidia_p2p_get_pages path), so payloads move SSD⇄GPU
+// directly over PCIe without crossing host DRAM.
+//
+// The GPU⇄CPU handshake uses the paper's four memory regions, §III-B:
+//
+//	region 1 — array of logical blocks to process     (unified, GPU writes)
+//	region 2 — batch arguments                        (unified, GPU writes)
+//	region 3 — doorbell: GPU finished publishing      (unified, GPU writes)
+//	region 4 — completion: CPU processed all requests (GPU memory, CPU writes)
+//
+// The regions hold real encoded bytes and the CPU side decodes them, so the
+// handshake is exercised end to end, not just signaled.
+package cam
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"camsim/internal/cpustat"
+	"camsim/internal/gpu"
+	"camsim/internal/hostmem"
+	"camsim/internal/mem"
+	"camsim/internal/nvme"
+	"camsim/internal/pcie"
+	"camsim/internal/sim"
+	"camsim/internal/spdk"
+	"camsim/internal/ssd"
+	"camsim/internal/trace"
+)
+
+// Config tunes a CAM instance.
+type Config struct {
+	// BlockBytes is the access granularity: every logical block in a
+	// batch moves this many bytes (512 B – 128 KiB).
+	BlockBytes int64
+	// MaxBatch is the largest number of blocks per prefetch/write_back.
+	MaxBatch int
+	// MaxOutstanding is how many published batches may be in flight at
+	// once (the descriptor ring size).
+	MaxOutstanding int
+
+	// PollPickup is the CPU polling thread's mean latency to notice a
+	// newly written doorbell.
+	PollPickup sim.Time
+	// GPUPickup is the GPU-side latency to notice the region-4 write.
+	GPUPickup sim.Time
+
+	// Backend is the per-request CPU cost model for the reactor threads.
+	Backend spdk.Config
+
+	// DynamicCores enables the paper's dynamic core adjustment: the
+	// reactor count floats between MinCores and MaxCores based on the
+	// measured compute/I-O overlap. When false, Cores reactors are used.
+	DynamicCores bool
+	// Cores is the fixed reactor count when DynamicCores is false
+	// (default: one per two SSDs, the paper's lossless ratio).
+	Cores int
+	// MinCores/MaxCores bound the dynamic range (defaults N/4 and N/2,
+	// rounded up).
+	MinCores, MaxCores int
+	// AdjustPeriod is the number of completed batches between dynamic
+	// adjustment decisions.
+	AdjustPeriod int
+}
+
+// DefaultConfig returns the paper's settings for n SSDs.
+func DefaultConfig(n int) Config {
+	return Config{
+		BlockBytes:     4096,
+		MaxBatch:       16384,
+		MaxOutstanding: 8,
+		PollPickup:     300 * sim.Nanosecond,
+		GPUPickup:      500 * sim.Nanosecond,
+		Backend:        spdk.DefaultConfig(),
+		DynamicCores:   false,
+		Cores:          (n + 1) / 2,
+		MinCores:       (n + 3) / 4,
+		MaxCores:       (n + 1) / 2,
+		AdjustPeriod:   4,
+	}
+}
+
+// Op selects the batch direction.
+type Op uint8
+
+// Batch directions.
+const (
+	OpPrefetch  Op = 1 // SSD → GPU
+	OpWriteBack Op = 2 // GPU → SSD
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpPrefetch:
+		return "prefetch"
+	case OpWriteBack:
+		return "write_back"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Batch is one published prefetch/write_back: the CAM-Async handle.
+type Batch struct {
+	Seq   uint64
+	Op    Op
+	Count int
+
+	done *sim.Signal
+	slot int
+
+	published sim.Time
+	completed sim.Time
+	errors    int
+}
+
+// Errors reports how many of the batch's block requests completed with a
+// non-success NVMe status (valid once the batch is done).
+func (b *Batch) Errors() int { return b.errors }
+
+// OK reports whether every request in the batch succeeded.
+func (b *Batch) OK() bool { return b.errors == 0 }
+
+// Done reports the completion signal (CAM-Async API).
+func (b *Batch) Done() *sim.Signal { return b.done }
+
+// Latency reports publish-to-completion time (valid after completion).
+func (b *Batch) Latency() sim.Time { return b.completed - b.published }
+
+// Stats aggregates manager-level counters.
+type Stats struct {
+	Batches        uint64
+	Requests       uint64
+	FailedRequests uint64
+	BytesRead      int64
+	BytesWritten   int64
+	CoreAdjustUp   uint64
+	CoreAdjustDown uint64
+}
+
+// Manager is one CAM instance (the CAM_init result).
+type Manager struct {
+	e     *sim.Engine
+	cfg   Config
+	g     *gpu.GPU
+	hm    *hostmem.Memory
+	space *mem.Space
+	fab   *pcie.Fabric
+	devs  []*ssd.Device
+	drv   *spdk.Driver
+
+	// The four sync regions (see package comment).
+	region1 *hostmem.Buffer // LBA arrays, MaxOutstanding slots
+	region2 *hostmem.Buffer // args, 32 B per slot
+	region3 *hostmem.Buffer // doorbell sequence number
+	region4 *gpu.Buffer     // completion sequence number (GPU memory)
+
+	doorbell  *sim.Signal // polling thread wake (models region-3 poll)
+	batchQ    *sim.Store[*Batch]
+	slotRes   *sim.Resource // outstanding-batch limiter
+	freeSlots []int         // region-1/2 slot free list
+
+	seq       uint64
+	lastRead  *Batch
+	lastWrite *Batch
+
+	activeCores int
+	wantCores   int
+	inFlight    int
+	tracer      *trace.Tracer
+
+	// busy/idle integration for dynamic adjustment
+	busySince  sim.Time
+	busyAccum  sim.Time
+	idleAccum  sim.Time
+	lastChange sim.Time
+	sinceAdj   int
+
+	stats Stats
+}
+
+// argsSlotBytes is the region-2 encoding size per slot: op(1) pad(7)
+// count(8) destAddr(8) blockBytes(8).
+const argsSlotBytes = 32
+
+// New initializes CAM (the CAM_init analogue): allocates the four sync
+// regions, builds the SPDK-style backend with one queue pair per SSD, and
+// launches the polling thread and reactors.
+func New(e *sim.Engine, cfg Config, g *gpu.GPU, hm *hostmem.Memory, space *mem.Space,
+	fab *pcie.Fabric, devs []*ssd.Device) *Manager {
+	if len(devs) == 0 {
+		panic("cam: no devices")
+	}
+	if cfg.BlockBytes <= 0 || cfg.BlockBytes%nvme.LBASize != 0 || cfg.BlockBytes > spdk.MaxTransfer() {
+		panic("cam: BlockBytes must be a multiple of 512 up to MDTS")
+	}
+	if cfg.MaxBatch <= 0 || cfg.MaxOutstanding <= 0 {
+		panic("cam: MaxBatch and MaxOutstanding must be positive")
+	}
+	if cfg.MinCores <= 0 {
+		cfg.MinCores = (len(devs) + 3) / 4
+	}
+	if cfg.MaxCores <= 0 {
+		cfg.MaxCores = (len(devs) + 1) / 2
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = cfg.MaxCores
+	}
+	reactors := cfg.Cores
+	if cfg.DynamicCores && cfg.MaxCores > reactors {
+		reactors = cfg.MaxCores
+	}
+	if reactors > len(devs) {
+		reactors = len(devs)
+	}
+	m := &Manager{
+		e:     e,
+		cfg:   cfg,
+		g:     g,
+		hm:    hm,
+		space: space,
+		fab:   fab,
+		devs:  devs,
+		drv:   spdk.New(e, cfg.Backend, hm, space, devs, reactors),
+
+		region1: hm.Alloc("cam.region1", int64(cfg.MaxOutstanding)*int64(cfg.MaxBatch)*8),
+		region2: hm.Alloc("cam.region2", int64(cfg.MaxOutstanding)*argsSlotBytes),
+		region3: hm.Alloc("cam.region3", 8),
+		region4: g.AllocPinned("cam.region4", 8),
+
+		doorbell: e.NewSignal("cam.doorbell"),
+		batchQ:   sim.NewStore[*Batch](e, "cam.batches"),
+		slotRes:  e.NewResource("cam.slots", int64(cfg.MaxOutstanding)),
+	}
+	for i := 0; i < cfg.MaxOutstanding; i++ {
+		m.freeSlots = append(m.freeSlots, i)
+	}
+	m.activeCores = reactors
+	m.wantCores = reactors
+	start := cfg.Cores
+	if cfg.DynamicCores {
+		start = cfg.MaxCores
+	}
+	if start > len(devs) {
+		start = len(devs)
+	}
+	if start != reactors {
+		m.drv.SetActiveReactors(start)
+		m.activeCores = start
+		m.wantCores = start
+	}
+	m.drv.Start()
+	e.Go("cam.poller", m.pollingThread)
+	return m
+}
+
+// Devices reports the SSD count.
+func (m *Manager) Devices() int { return len(m.devs) }
+
+// BlockBytes reports the configured access granularity.
+func (m *Manager) BlockBytes() int64 { return m.cfg.BlockBytes }
+
+// SetTracer attaches an event tracer (nil disables tracing).
+func (m *Manager) SetTracer(t *trace.Tracer) { m.tracer = t }
+
+// ActiveCores reports the reactor threads currently managing SSDs (the
+// polling thread is additional and not counted, matching §IV-H).
+func (m *Manager) ActiveCores() int { return m.activeCores }
+
+// Stats returns a snapshot of manager counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// BackendStats returns the merged reactor CPU counters (Fig 13).
+func (m *Manager) BackendStats() cpustat.Counters { return m.drv.Stats() }
+
+// Driver exposes the backend for instrumentation.
+func (m *Manager) Driver() *spdk.Driver { return m.drv }
+
+// Alloc reserves pinned GPU memory reachable by SSD DMA (CAM_alloc).
+func (m *Manager) Alloc(name string, n int64) *gpu.Buffer {
+	return m.g.AllocPinned(name, n)
+}
+
+// Free releases a CAM_alloc'd buffer (CAM_free).
+func (m *Manager) Free(b *gpu.Buffer) { b.Free() }
+
+// locate maps a global block id to its device and device LBA: blocks are
+// striped round-robin across SSDs.
+func (m *Manager) locate(block uint64) (dev int, lba uint64) {
+	n := uint64(len(m.devs))
+	dev = int(block % n)
+	lba = (block / n) * uint64(m.cfg.BlockBytes/nvme.LBASize)
+	return
+}
+
+// CapacityBlocks reports how many striped blocks the array holds.
+func (m *Manager) CapacityBlocks() uint64 {
+	perDev := uint64(m.devs[0].Config().CapacityBytes / m.cfg.BlockBytes)
+	return perDev * uint64(len(m.devs))
+}
+
+// Prefetch publishes an asynchronous SSD→GPU batch: block i of blocks
+// lands at dst.Data[dstOff + i*BlockBytes]. It returns immediately with
+// the batch handle (CAM-Async); PrefetchSynchronize provides the paper's
+// synchronous-feeling wrapper. dst must come from Alloc (pinned).
+//
+// Only the leading GPU thread does work here: it writes the LBA array and
+// arguments into CPU-visible memory and raises the doorbell — no SQE
+// construction, no polling, no SM occupancy.
+func (m *Manager) Prefetch(p *sim.Proc, blocks []uint64, dst *gpu.Buffer, dstOff int64) *Batch {
+	b := m.publish(p, OpPrefetch, blocks, dst, dstOff)
+	m.lastRead = b
+	return b
+}
+
+// WriteBack publishes an asynchronous GPU→SSD batch: block i is taken from
+// src.Data[srcOff + i*BlockBytes].
+func (m *Manager) WriteBack(p *sim.Proc, blocks []uint64, src *gpu.Buffer, srcOff int64) *Batch {
+	b := m.publish(p, OpWriteBack, blocks, src, srcOff)
+	m.lastWrite = b
+	return b
+}
+
+// PrefetchSynchronize blocks until the most recent Prefetch completes
+// (no-op if none is outstanding). This is the paper's
+// prefetch_synchronize: all kernel threads block on the leading thread's
+// poll of region 4.
+func (m *Manager) PrefetchSynchronize(p *sim.Proc) {
+	m.synchronize(p, m.lastRead)
+}
+
+// WriteBackSynchronize blocks until the most recent WriteBack completes.
+func (m *Manager) WriteBackSynchronize(p *sim.Proc) {
+	m.synchronize(p, m.lastWrite)
+}
+
+// Synchronize blocks until a specific batch completes (CAM-Async API).
+func (m *Manager) Synchronize(p *sim.Proc, b *Batch) { m.synchronize(p, b) }
+
+func (m *Manager) synchronize(p *sim.Proc, b *Batch) {
+	if b == nil {
+		return
+	}
+	if !b.done.Fired() {
+		p.Wait(b.done)
+	}
+	// Leading thread notices the region-4 write on its next poll.
+	p.Sleep(m.cfg.GPUPickup)
+	if got := binary.LittleEndian.Uint64(m.region4.Data); got < b.Seq {
+		panic("cam: region-4 sequence behind completed batch")
+	}
+}
+
+// publish is the GPU-side half of the handshake.
+func (m *Manager) publish(p *sim.Proc, op Op, blocks []uint64, buf *gpu.Buffer, off int64) *Batch {
+	if len(blocks) == 0 {
+		panic("cam: empty batch")
+	}
+	if len(blocks) > m.cfg.MaxBatch {
+		panic(fmt.Sprintf("cam: batch of %d exceeds MaxBatch %d", len(blocks), m.cfg.MaxBatch))
+	}
+	if !buf.Pinned {
+		panic("cam: buffer must come from CAM Alloc (pinned for P2P DMA)")
+	}
+	need := int64(len(blocks)) * m.cfg.BlockBytes
+	if off < 0 || off+need > buf.Size() {
+		panic("cam: batch does not fit in buffer")
+	}
+
+	// Flow control: at most MaxOutstanding published batches.
+	m.slotRes.Acquire(p, 1)
+
+	m.seq++
+	slot := m.freeSlots[0]
+	m.freeSlots = m.freeSlots[1:]
+	b := &Batch{Seq: m.seq, Op: op, Count: len(blocks), done: m.e.NewSignal("cam.batch"), slot: slot}
+
+	// Region 1: the LBA array (real bytes, GPU→CPU over PCIe).
+	slotBase := int64(b.slot) * int64(m.cfg.MaxBatch) * 8
+	for i, blk := range blocks {
+		binary.LittleEndian.PutUint64(m.region1.Data[slotBase+int64(i)*8:], blk)
+	}
+	// Region 2: the batch arguments.
+	abase := int64(b.slot) * argsSlotBytes
+	m.region2.Data[abase] = byte(op)
+	binary.LittleEndian.PutUint64(m.region2.Data[abase+8:], uint64(len(blocks)))
+	binary.LittleEndian.PutUint64(m.region2.Data[abase+16:], uint64(buf.Addr)+uint64(off))
+	binary.LittleEndian.PutUint64(m.region2.Data[abase+24:], uint64(m.cfg.BlockBytes))
+	// Region 3: the doorbell.
+	binary.LittleEndian.PutUint64(m.region3.Data, b.Seq)
+
+	// Publishing cost: the LBA array crosses PCIe (8 B per block) plus
+	// the posted doorbell write.
+	m.fab.DMA(p, int64(len(blocks))*8)
+	p.Sleep(m.fab.MMIODelay())
+	b.published = m.e.Now()
+
+	m.batchQ.Put(b)
+	m.tracer.Emit(trace.BatchPublish, "cam", op.String(), int64(b.Seq))
+	// The CPU polling thread notices after its pickup latency.
+	m.e.Schedule(m.cfg.PollPickup, m.doorbell.Fire)
+	return b
+}
+
+// pollingThread is the persistent CPU thread of §III-B: it discovers
+// published batches, decodes the regions, fans requests out to the
+// reactors, and reports completions through region 4.
+func (m *Manager) pollingThread(p *sim.Proc) {
+	m.lastChange = p.Now()
+	for {
+		b, ok := m.batchQ.TryGet()
+		if !ok {
+			if !m.doorbell.Fired() {
+				p.Wait(m.doorbell)
+			}
+			m.doorbell.Reset()
+			continue
+		}
+		m.markBusy(p.Now())
+
+		// Decode regions (the data path of the handshake).
+		abase := int64(b.slot) * argsSlotBytes
+		op := Op(m.region2.Data[abase])
+		count := int(binary.LittleEndian.Uint64(m.region2.Data[abase+8:]))
+		dest := mem.Addr(binary.LittleEndian.Uint64(m.region2.Data[abase+16:]))
+		blockBytes := int64(binary.LittleEndian.Uint64(m.region2.Data[abase+24:]))
+		if op != b.Op || count != b.Count || blockBytes != m.cfg.BlockBytes {
+			panic("cam: region-2 decode mismatch")
+		}
+
+		nvop := nvme.OpRead
+		if op == OpWriteBack {
+			nvop = nvme.OpWrite
+		}
+		slotBase := int64(b.slot) * int64(m.cfg.MaxBatch) * 8
+		remaining := count
+		for i := 0; i < count; i++ {
+			blk := binary.LittleEndian.Uint64(m.region1.Data[slotBase+int64(i)*8:])
+			dev, lba := m.locate(blk)
+			req := &spdk.Request{
+				Op:   nvop,
+				Dev:  dev,
+				SLBA: lba,
+				NLB:  uint32(blockBytes / nvme.LBASize),
+				Addr: dest + mem.Addr(int64(i)*blockBytes),
+			}
+			req.OnDone = func() {
+				if req.Status != nvme.StatusSuccess {
+					b.errors++
+					m.stats.FailedRequests++
+				}
+				remaining--
+				if remaining == 0 {
+					m.finishBatch(b)
+				}
+			}
+			m.drv.Submit(req)
+		}
+		m.inFlight++
+		m.tracer.Emit(trace.BatchDispatch, "cam", op.String(), int64(b.Seq))
+		m.stats.Batches++
+		m.stats.Requests += uint64(count)
+		if nvop == nvme.OpRead {
+			m.stats.BytesRead += int64(count) * blockBytes
+		} else {
+			m.stats.BytesWritten += int64(count) * blockBytes
+		}
+	}
+}
+
+// finishBatch runs (in reactor context) when the last request of a batch
+// completes: write region 4 through PCIe and release the slot.
+func (m *Manager) finishBatch(b *Batch) {
+	m.inFlight--
+	if m.inFlight == 0 {
+		m.markIdle(m.e.Now())
+	}
+	b.completed = m.e.Now() + m.fab.MMIODelay()
+	// Region 4 carries the highest completed sequence; batches can finish
+	// out of order when their device mixes differ.
+	if cur := binary.LittleEndian.Uint64(m.region4.Data); b.Seq > cur {
+		binary.LittleEndian.PutUint64(m.region4.Data, b.Seq)
+	}
+	m.tracer.Emit(trace.BatchComplete, "cam", b.Op.String(), int64(b.Seq))
+	m.e.Schedule(m.fab.MMIODelay(), func() {
+		b.done.Fire()
+	})
+	m.freeSlots = append(m.freeSlots, b.slot)
+	m.slotRes.Release(1)
+	m.sinceAdj++
+	if m.cfg.DynamicCores && m.sinceAdj >= m.cfg.AdjustPeriod && m.inFlight == 0 {
+		m.adjustCores()
+		m.sinceAdj = 0
+	}
+}
+
+// markBusy/markIdle integrate I/O-busy versus idle (compute-only) time.
+func (m *Manager) markBusy(now sim.Time) {
+	if m.inFlight == 0 && m.batchQ.Len() == 0 {
+		m.idleAccum += now - m.lastChange
+		m.lastChange = now
+	}
+}
+
+func (m *Manager) markIdle(now sim.Time) {
+	m.busyAccum += now - m.lastChange
+	m.lastChange = now
+}
+
+// adjustCores applies the paper's dynamic core adjustment: if I/O time
+// dominated the last window (batches were waiting, nothing overlapped),
+// grow toward MaxCores; if computation dominated (long idle gaps), shrink
+// toward MinCores — the I/O will still hide under compute at lower core
+// count. Runs only at quiescent points (no in-flight requests).
+func (m *Manager) adjustCores() {
+	total := m.busyAccum + m.idleAccum
+	if total == 0 {
+		return
+	}
+	ioFrac := float64(m.busyAccum) / float64(total)
+	m.busyAccum, m.idleAccum = 0, 0
+	want := m.activeCores
+	switch {
+	case ioFrac > 0.85 && m.activeCores < m.cfg.MaxCores:
+		want = m.activeCores + 1
+	case ioFrac < 0.55 && m.activeCores > m.cfg.MinCores:
+		want = m.activeCores - 1
+	}
+	if want != m.activeCores {
+		m.drv.SetActiveReactors(want)
+		if want > m.activeCores {
+			m.stats.CoreAdjustUp++
+		} else {
+			m.stats.CoreAdjustDown++
+		}
+		m.activeCores = want
+		m.tracer.Emit(trace.CoreAdjust, "cam", "reactors", int64(want))
+	}
+}

@@ -1,0 +1,109 @@
+package cam
+
+import (
+	"fmt"
+	"testing"
+
+	"camsim/internal/gpu"
+	"camsim/internal/hostmem"
+	"camsim/internal/mem"
+	"camsim/internal/pcie"
+	"camsim/internal/sim"
+	"camsim/internal/ssd"
+)
+
+// tinyRig builds a CAM instance over deliberately small SSDs so
+// out-of-range blocks are easy to produce.
+func tinyRig(t *testing.T) (*sim.Engine, *Manager, *gpu.GPU) {
+	t.Helper()
+	e := sim.New()
+	space := mem.NewSpace()
+	fab := pcie.New(e, pcie.DefaultConfig())
+	hm := hostmem.New(e, space, hostmem.DefaultConfig())
+	g := gpu.New(e, "gpu0", gpu.DefaultConfig(), space)
+	var devs []*ssd.Device
+	for i := 0; i < 2; i++ {
+		c := ssd.DefaultConfig()
+		c.CapacityBytes = 1 << 20 // 256 blocks of 4 KiB per device
+		c.Seed = uint64(i + 1)
+		devs = append(devs, ssd.New(e, fmt.Sprintf("nvme%d", i), c, fab, space))
+	}
+	m := New(e, DefaultConfig(2), g, hm, space, fab, devs)
+	for _, d := range devs {
+		d.Start()
+	}
+	return e, m, g
+}
+
+// TestErrorsPropagateToBatch injects out-of-range block reads and checks
+// the failure surfaces on the batch handle instead of vanishing.
+func TestErrorsPropagateToBatch(t *testing.T) {
+	e, m, _ := tinyRig(t)
+	dst := m.Alloc("dst", 8*4096)
+	var b *Batch
+	e.Go("kernel", func(p *sim.Proc) {
+		// Blocks 4 and 6 are fine; 1<<30 is far beyond either namespace.
+		b = m.Prefetch(p, []uint64{4, 1 << 30, 6, (1 << 30) + 1}, dst, 0)
+		m.PrefetchSynchronize(p)
+	})
+	e.Run()
+	if b.OK() {
+		t.Fatal("batch with out-of-range blocks reported OK")
+	}
+	if b.Errors() != 2 {
+		t.Fatalf("errors = %d, want 2", b.Errors())
+	}
+	if m.Stats().FailedRequests != 2 {
+		t.Fatalf("FailedRequests = %d, want 2", m.Stats().FailedRequests)
+	}
+}
+
+func TestCleanBatchReportsOK(t *testing.T) {
+	e, m, _ := tinyRig(t)
+	dst := m.Alloc("dst", 4*4096)
+	var b *Batch
+	e.Go("kernel", func(p *sim.Proc) {
+		b = m.Prefetch(p, []uint64{0, 1, 2, 3}, dst, 0)
+		m.PrefetchSynchronize(p)
+	})
+	e.Run()
+	if !b.OK() || b.Errors() != 0 {
+		t.Fatalf("clean batch: OK=%v errors=%d", b.OK(), b.Errors())
+	}
+}
+
+// TestDeterministicEndToEnd runs an identical mixed workload twice and
+// demands byte-identical stats and identical virtual end times.
+func TestDeterministicEndToEnd(t *testing.T) {
+	runOnce := func() (sim.Time, Stats) {
+		cfg := DefaultConfig(4)
+		cfg.DynamicCores = true
+		r := newRig(4, cfg)
+		dst := r.m.Alloc("dst", 512*4096)
+		rng := sim.NewRNG(42)
+		r.e.Go("kernel", func(p *sim.Proc) {
+			for i := 0; i < 8; i++ {
+				blocks := make([]uint64, 512)
+				for j := range blocks {
+					blocks[j] = uint64(rng.Int63n(1 << 18))
+				}
+				r.m.Prefetch(p, blocks, dst, 0)
+				r.g.RunKernel(p, gpu.KernelSpec{
+					Name: "c", Threads: 4096,
+					FullOccupancyTime: sim.Time(rng.Int63n(int64(sim.Millisecond))),
+				})
+				r.m.PrefetchSynchronize(p)
+			}
+		})
+		end := r.e.Run()
+		return end, r.m.Stats()
+	}
+	e1, s1 := runOnce()
+	e2, s2 := runOnce()
+	if e1 != e2 {
+		t.Fatalf("virtual end times differ: %v vs %v", e1, e2)
+	}
+	if s1 != s2 {
+		t.Fatalf("stats differ:\n%+v\n%+v", s1, s2)
+	}
+}

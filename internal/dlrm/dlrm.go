@@ -1,0 +1,319 @@
+// Package dlrm implements the recommendation-model workload the paper's
+// motivation cites (TorchRec spends ~75 % of iteration time on embedding
+// access, §II): an embedding table too large for GPU memory lives on the
+// SSD array; every training batch gathers a sparse set of rows, runs the
+// dense interaction compute, and writes the optimizer-updated rows back.
+//
+// Unlike the read-only GNN pipeline, this is a read-modify-write workload:
+// batch k+1's prefetch may only overlap batch k's write_back when their
+// row sets are disjoint, so the trainer tracks the hazard explicitly —
+// the paper's "pipeline bubbles caused by data dependencies" (§III-B) in
+// executable form.
+package dlrm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"camsim/internal/cam"
+	"camsim/internal/gpu"
+	"camsim/internal/platform"
+	"camsim/internal/sim"
+)
+
+// Config sizes the workload.
+type Config struct {
+	// Rows is the embedding-table row count.
+	Rows uint64
+	// Dim is the embedding dimension; row bytes = Dim*4 rounded to 512.
+	Dim int
+	// LookupsPerBatch is the sparse feature count per training batch
+	// (deduplicated before I/O, as real systems do).
+	LookupsPerBatch int
+	// ComputePerBatch is the dense-interaction GPU time per batch.
+	ComputePerBatch sim.Time
+	// Seed drives lookup sampling.
+	Seed uint64
+	// Hot is the Zipf-like skew: a fraction of lookups concentrates on
+	// the first Hot rows (0 disables skew).
+	Hot uint64
+}
+
+// DefaultConfig returns a benchmark-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		Rows:            1 << 22,
+		Dim:             128,
+		LookupsPerBatch: 2048,
+		ComputePerBatch: 400 * sim.Microsecond,
+		Seed:            1,
+	}
+}
+
+// RowBytes reports the on-SSD bytes per embedding row.
+func (c Config) RowBytes() int64 {
+	raw := int64(c.Dim) * 4
+	if rem := raw % 512; rem != 0 {
+		raw += 512 - rem
+	}
+	return raw
+}
+
+// Stats describes one training run.
+type Stats struct {
+	Batches      int
+	RowsGathered uint64
+	HazardStalls int // times a prefetch had to wait for a pending write
+	Elapsed      sim.Time
+}
+
+// Trainer runs the CAM-pipelined embedding workload with a three-buffer
+// rotation: one buffer holds the batch being computed on (and then written
+// back), one receives the next batch's prefetch, and one drains the
+// previous batch's write_back.
+type Trainer struct {
+	env *platform.Env
+	cfg Config
+	m   *cam.Manager
+
+	bufs [3]*gpu.Buffer
+	// writePending[i] is the in-flight write_back sourcing bufs[i].
+	writePending [3]*cam.Batch
+	// Verify applies +1.0 updates to every gathered element and checks
+	// values against an expected-touch count in VerifyTable.
+	Verify  bool
+	touches map[uint64]uint32
+}
+
+// New wires a trainer; the manager's BlockBytes must equal RowBytes.
+func New(env *platform.Env, cfg Config, m *cam.Manager) *Trainer {
+	if m.BlockBytes() != cfg.RowBytes() {
+		panic("dlrm: manager BlockBytes must equal the embedding row size")
+	}
+	n := int64(cfg.LookupsPerBatch) * cfg.RowBytes()
+	t := &Trainer{
+		env:     env,
+		cfg:     cfg,
+		m:       m,
+		touches: make(map[uint64]uint32),
+	}
+	for i := range t.bufs {
+		t.bufs[i] = m.Alloc(fmt.Sprintf("dlrm.buf%d", i), n)
+	}
+	return t
+}
+
+// Prepopulate writes every row's initial value (rowInit pattern) straight
+// into the SSD stores (untimed dataset load). Only sensible at test scale.
+func (t *Trainer) Prepopulate() {
+	rb := t.cfg.RowBytes()
+	row := make([]byte, rb)
+	devs := t.env.Devs
+	n := uint64(len(devs))
+	for r := uint64(0); r < t.cfg.Rows; r++ {
+		rowInit(r, t.cfg.Dim, row)
+		dev := r % n
+		lba := (r / n) * uint64(rb/512)
+		if err := devs[dev].Store().WriteLBA(lba, uint32(rb/512), row); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// rowInit fills buf with row r's initial float32 pattern.
+func rowInit(r uint64, dim int, buf []byte) {
+	for i := 0; i < dim; i++ {
+		v := float32(r%997) + float32(i%13)
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	for i := dim * 4; i < len(buf); i++ {
+		buf[i] = 0
+	}
+}
+
+// sampleBatch draws the deduplicated row set for one batch.
+func (t *Trainer) sampleBatch(iter int) []uint64 {
+	rng := sim.NewRNG(t.cfg.Seed + uint64(iter)*0x9e3779b97f4a7c15)
+	seen := make(map[uint64]struct{}, t.cfg.LookupsPerBatch)
+	rows := make([]uint64, 0, t.cfg.LookupsPerBatch)
+	for len(rows) < t.cfg.LookupsPerBatch {
+		var r uint64
+		if t.cfg.Hot > 0 && rng.Float64() < 0.8 {
+			r = uint64(rng.Int63n(int64(t.cfg.Hot)))
+		} else {
+			r = uint64(rng.Int63n(int64(t.cfg.Rows)))
+		}
+		if _, dup := seen[r]; dup {
+			continue
+		}
+		seen[r] = struct{}{}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// Run executes batches training iterations with the CAM pipeline:
+// prefetch(k+1) overlaps compute(k) and write_back(k), except when k+1
+// touches rows still being written (the tracked read-after-write hazard)
+// or needs a buffer whose write_back has not drained.
+func (t *Trainer) Run(p *sim.Proc, batches int) Stats {
+	var st Stats
+	st.Batches = batches
+	start := p.Now()
+
+	cur := t.sampleBatch(0)
+	curBuf := 0
+	t.m.Prefetch(p, cur, t.bufs[curBuf], 0)
+	t.m.PrefetchSynchronize(p)
+
+	var lastWrite *cam.Batch
+	var lastWriteRows map[uint64]struct{}
+
+	for it := 0; it < batches; it++ {
+		st.RowsGathered += uint64(len(cur))
+		curSet := toSet(cur)
+
+		// Kick off the next gather into the rotation's next buffer —
+		// unless it would read rows this iteration is about to update,
+		// in which case the prefetch waits behind the write_back (the
+		// data-dependency pipeline bubble of §III-B).
+		var next []uint64
+		var nextBatch *cam.Batch
+		nextBuf := (curBuf + 1) % 3
+		prefetchNow := false
+		if it+1 < batches {
+			next = t.sampleBatch(it + 1)
+			prefetchNow = !intersects(next, curSet)
+		}
+		issuePrefetch := func() {
+			// RAW hazard against the previous iteration's write.
+			if lastWrite != nil && !lastWrite.Done().Fired() && intersects(next, lastWriteRows) {
+				t.m.Synchronize(p, lastWrite)
+				st.HazardStalls++
+			}
+			// Buffer hazard: the destination must have drained its own
+			// old write_back.
+			if w := t.writePending[nextBuf]; w != nil {
+				t.m.Synchronize(p, w)
+				t.writePending[nextBuf] = nil
+			}
+			nextBatch = t.m.Prefetch(p, next, t.bufs[nextBuf], 0)
+		}
+		if prefetchNow {
+			issuePrefetch()
+		}
+
+		// Dense interaction compute on the gathered rows.
+		t.env.GPU.RunKernel(p, gpu.KernelSpec{
+			Name: "interact", Threads: t.env.GPU.TotalThreads(),
+			FullOccupancyTime: t.cfg.ComputePerBatch,
+		})
+
+		// Optimizer update: +1.0 to every element of every gathered row
+		// (real math on the gathered bytes), then write the rows back.
+		t.applyUpdate(cur, t.bufs[curBuf])
+		lastWrite = t.m.WriteBack(p, cur, t.bufs[curBuf], 0)
+		lastWriteRows = curSet
+		t.writePending[curBuf] = lastWrite
+
+		if next != nil && !prefetchNow {
+			// Dependent read: the update must be durable first.
+			t.m.Synchronize(p, lastWrite)
+			st.HazardStalls++
+			issuePrefetch()
+		}
+		if nextBatch != nil {
+			t.m.Synchronize(p, nextBatch)
+		}
+		cur = next
+		curBuf = nextBuf
+	}
+	for i, w := range t.writePending {
+		if w != nil {
+			t.m.Synchronize(p, w)
+			t.writePending[i] = nil
+		}
+	}
+	st.Elapsed = p.Now() - start
+	return st
+}
+
+// applyUpdate adds 1.0 to every float element of the gathered rows and
+// records the touches for verification.
+func (t *Trainer) applyUpdate(rows []uint64, buf *gpu.Buffer) {
+	rb := int(t.cfg.RowBytes())
+	for i, r := range rows {
+		base := i * rb
+		for j := 0; j < t.cfg.Dim; j++ {
+			off := base + j*4
+			v := math.Float32frombits(binary.LittleEndian.Uint32(buf.Data[off:]))
+			binary.LittleEndian.PutUint32(buf.Data[off:], math.Float32bits(v+1))
+		}
+		if t.Verify {
+			t.touches[r]++
+		}
+	}
+}
+
+// VerifyTable reads the final table straight from the stores and checks
+// every touched row equals init + touches (and a sample of untouched rows
+// is pristine). Call after Run with Verify set.
+func (t *Trainer) VerifyTable() error {
+	if !t.Verify {
+		return fmt.Errorf("dlrm: VerifyTable requires Verify mode")
+	}
+	rb := t.cfg.RowBytes()
+	buf := make([]byte, rb)
+	want := make([]byte, rb)
+	devs := t.env.Devs
+	n := uint64(len(devs))
+	check := func(r uint64, touches uint32) error {
+		dev := r % n
+		lba := (r / n) * uint64(rb/512)
+		if err := devs[dev].Store().ReadLBA(lba, uint32(rb/512), buf); err != nil {
+			return err
+		}
+		rowInit(r, t.cfg.Dim, want)
+		for j := 0; j < t.cfg.Dim; j++ {
+			w := math.Float32frombits(binary.LittleEndian.Uint32(want[j*4:])) + float32(touches)
+			g := math.Float32frombits(binary.LittleEndian.Uint32(buf[j*4:]))
+			if g != w {
+				return fmt.Errorf("dlrm: row %d elem %d = %g, want %g (touches=%d)", r, j, g, w, touches)
+			}
+		}
+		return nil
+	}
+	for r, c := range t.touches {
+		if err := check(r, c); err != nil {
+			return err
+		}
+	}
+	// Sample untouched rows.
+	for r := uint64(0); r < t.cfg.Rows && r < 64; r++ {
+		if _, touched := t.touches[r]; touched {
+			continue
+		}
+		if err := check(r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func intersects(rows []uint64, set map[uint64]struct{}) bool {
+	for _, r := range rows {
+		if _, ok := set[r]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func toSet(rows []uint64) map[uint64]struct{} {
+	s := make(map[uint64]struct{}, len(rows))
+	for _, r := range rows {
+		s[r] = struct{}{}
+	}
+	return s
+}

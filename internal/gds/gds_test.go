@@ -1,0 +1,108 @@
+package gds
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"camsim/internal/gpu"
+	"camsim/internal/hostmem"
+	"camsim/internal/mem"
+	"camsim/internal/pcie"
+	"camsim/internal/sim"
+	"camsim/internal/ssd"
+)
+
+type rig struct {
+	e    *sim.Engine
+	g    *gpu.GPU
+	hm   *hostmem.Memory
+	devs []*ssd.Device
+	d    *Driver
+}
+
+func newRig(nDevs int) *rig {
+	e := sim.New()
+	space := mem.NewSpace()
+	fab := pcie.New(e, pcie.DefaultConfig())
+	hm := hostmem.New(e, space, hostmem.DefaultConfig())
+	g := gpu.New(e, "gpu0", gpu.DefaultConfig(), space)
+	var devs []*ssd.Device
+	for i := 0; i < nDevs; i++ {
+		c := ssd.DefaultConfig()
+		c.Seed = uint64(i + 1)
+		devs = append(devs, ssd.New(e, fmt.Sprintf("nvme%d", i), c, fab, space))
+	}
+	d := New(e, DefaultConfig(), hm, space, devs)
+	for _, dev := range devs {
+		dev.Start()
+	}
+	d.Start()
+	return &rig{e: e, g: g, hm: hm, devs: devs, d: d}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	r := newRig(3)
+	n := int64(640 << 10) // several stripes
+	src := r.g.Alloc("src", n)
+	dst := r.g.Alloc("dst", n)
+	rng := sim.NewRNG(4)
+	for i := range src.Data {
+		src.Data[i] = byte(rng.Uint64())
+	}
+	r.e.Go("app", func(p *sim.Proc) {
+		r.d.Write(p, 0, n, src.Addr)
+		r.d.Read(p, 0, n, dst.Addr)
+	})
+	r.e.Run()
+	if !bytes.Equal(src.Data, dst.Data) {
+		t.Fatal("GDS round trip mismatch")
+	}
+}
+
+func TestThroughputCeilingNearPaper(t *testing.T) {
+	// GDS should deliver ~0.8 GB/s regardless of SSD count (paper §IV-E).
+	r := newRig(12)
+	total := int64(64 << 20)
+	dst := r.g.Alloc("dst", 16<<20)
+	var dur sim.Time
+	r.e.Go("app", func(p *sim.Proc) {
+		t0 := p.Now()
+		var off int64
+		for off < total {
+			r.d.Read(p, off, 16<<20, dst.Addr)
+			off += 16 << 20
+		}
+		dur = p.Now() - t0
+	})
+	r.e.Run()
+	gbps := float64(total) / dur.Seconds() / 1e9
+	if gbps < 0.6 || gbps > 1.1 {
+		t.Fatalf("GDS throughput = %.2f GB/s, want ~0.8 (paper)", gbps)
+	}
+}
+
+func TestDirectPathNoDRAMTraffic(t *testing.T) {
+	r := newRig(2)
+	dst := r.g.Alloc("dst", 1<<20)
+	r.e.Go("app", func(p *sim.Proc) {
+		r.d.Read(p, 0, 1<<20, dst.Addr)
+	})
+	r.e.Run()
+	if got := r.hm.TotalTraffic(); got != 0 {
+		t.Fatalf("GDS read moved %d bytes through DRAM, want 0 (direct path)", got)
+	}
+}
+
+func TestUnalignedPanics(t *testing.T) {
+	r := newRig(1)
+	panicked := false
+	r.e.Go("app", func(p *sim.Proc) {
+		defer func() { panicked = recover() != nil }()
+		r.d.Read(p, 100, 512, 0)
+	})
+	r.e.Run()
+	if !panicked {
+		t.Fatal("unaligned GDS read did not panic")
+	}
+}

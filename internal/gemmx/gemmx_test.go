@@ -1,0 +1,96 @@
+package gemmx
+
+import (
+	"testing"
+
+	"camsim/internal/bam"
+	"camsim/internal/platform"
+	"camsim/internal/sim"
+	"camsim/internal/xfer"
+)
+
+// smallCfg: 64×64×64 in 32² tiles (4 KiB tiles), real math.
+func smallCfg() Config {
+	return Config{N: 64, K: 64, M: 64, Tile: 32, ComputeRate: 100e12, RealMath: true}
+}
+
+func runGEMM(t *testing.T, mk func(env *platform.Env) xfer.Backend, cfg Config, verify bool) Stats {
+	t.Helper()
+	env := platform.New(platform.Options{SSDs: 3})
+	b := mk(env)
+	m := New(env, b, cfg)
+	var st Stats
+	var verr error
+	env.E.Go("gemm", func(p *sim.Proc) {
+		m.FillInputs(p, 42)
+		st = m.Run(p)
+		if verify {
+			verr = m.Verify(p, 42)
+		}
+	})
+	env.Run()
+	if verr != nil {
+		t.Fatal(verr)
+	}
+	return st
+}
+
+func TestGEMMCAMVerified(t *testing.T) {
+	st := runGEMM(t, func(env *platform.Env) xfer.Backend {
+		return xfer.NewCAM(env, 4096, nil)
+	}, smallCfg(), true)
+	if st.Tiles != 8 { // 2x2 C tiles × 2 k-steps
+		t.Fatalf("tiles = %d, want 8", st.Tiles)
+	}
+	if st.Throughput <= 0 {
+		t.Fatal("no throughput recorded")
+	}
+}
+
+func TestGEMMBaMVerified(t *testing.T) {
+	runGEMM(t, func(env *platform.Env) xfer.Backend {
+		return xfer.NewBaM(env, bam.New(env.E, bam.DefaultConfig(), env.GPU, env.Devs), 4096)
+	}, smallCfg(), true)
+}
+
+func TestGEMMGDSVerified(t *testing.T) {
+	runGEMM(t, func(env *platform.Env) xfer.Backend {
+		return xfer.NewGDS(env, 4096)
+	}, smallCfg(), true)
+}
+
+func TestGEMMSPDKVerified(t *testing.T) {
+	runGEMM(t, func(env *platform.Env) xfer.Backend {
+		return xfer.NewSPDK(env, 4096, 4)
+	}, smallCfg(), true)
+}
+
+// perfCfg is a timing-only instance: 1024³ in 256² tiles (256 KiB tiles).
+func perfCfg() Config {
+	return Config{N: 1024, K: 1024, M: 1024, Tile: 256, ComputeRate: 100e12}
+}
+
+func TestGEMMOrderingMatchesPaper(t *testing.T) {
+	// Fig 10b/c: CAM fastest, then BaM (serialized by SM pinning), GDS
+	// far behind its software path.
+	cfg := perfCfg()
+	cam := runGEMM(t, func(env *platform.Env) xfer.Backend {
+		return xfer.NewCAM(env, 65536, nil)
+	}, cfg, false)
+	bamSt := runGEMM(t, func(env *platform.Env) xfer.Backend {
+		return xfer.NewBaM(env, bam.New(env.E, bam.DefaultConfig(), env.GPU, env.Devs), 65536)
+	}, cfg, false)
+	gdsSt := runGEMM(t, func(env *platform.Env) xfer.Backend {
+		return xfer.NewGDS(env, 65536)
+	}, cfg, false)
+	if !(cam.Elapsed < bamSt.Elapsed && bamSt.Elapsed < gdsSt.Elapsed) {
+		t.Fatalf("ordering wrong: cam=%v bam=%v gds=%v", cam.Elapsed, bamSt.Elapsed, gdsSt.Elapsed)
+	}
+	speedup := float64(bamSt.Elapsed) / float64(cam.Elapsed)
+	if speedup < 1.1 || speedup > 2.1 {
+		t.Fatalf("CAM over BaM = %.2fx, expected overlap-bounded gain (paper: up to 1.84x)", speedup)
+	}
+	if gdsSt.Throughput > 2e9 {
+		t.Fatalf("GDS throughput %.2g B/s, paper reports ~0.8 GB/s", gdsSt.Throughput)
+	}
+}

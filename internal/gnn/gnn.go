@@ -1,0 +1,219 @@
+// Package gnn reproduces the paper's flagship application: out-of-core GNN
+// training where node features live on the SSD array and the graph
+// structure lives in CPU memory. It implements both trainers the paper
+// compares:
+//
+//   - GIDSTrainer — the BaM-based GIDS baseline: sampling, feature
+//     extraction through the synchronous bam.Array interface (which pins
+//     the GPU's SMs), and training execute serially each iteration.
+//   - CAMTrainer — the paper's pipeline (Figs 6 and 7): double-buffered
+//     prefetch through the CAM API overlaps feature I/O with sampling and
+//     training of the adjacent iterations.
+//
+// Datasets are the paper's Table IV entries with synthetic hash-generated
+// topology: per-node neighbor lists are computed deterministically on the
+// fly (no terabyte CSR needed), while feature bytes live in the simulated
+// SSDs' real backing store so extraction correctness is verifiable.
+package gnn
+
+import (
+	"encoding/binary"
+	"math"
+
+	"camsim/internal/nvme"
+	"camsim/internal/sim"
+)
+
+// Dataset describes one evaluation graph (paper Table IV).
+type Dataset struct {
+	Name     string
+	NumNodes uint64
+	NumEdges uint64
+	FeatDim  int
+	// AvgDegree drives the synthetic neighbor generator.
+	AvgDegree int
+}
+
+// Paper100M is ogbn-papers100M: 111 M nodes, 1.6 B edges, 128-dim features
+// (512 B per node — the paper's fine-grained access case).
+func Paper100M() Dataset {
+	return Dataset{
+		Name:      "Paper100M",
+		NumNodes:  111_059_956,
+		NumEdges:  1_615_685_872,
+		FeatDim:   128,
+		AvgDegree: 15,
+	}
+}
+
+// IGBFull is IGB-full: 269 M nodes, 4 B edges, 1024-dim features (4 KiB per
+// node, 1.1 TB of features).
+func IGBFull() Dataset {
+	return Dataset{
+		Name:      "IGB-full",
+		NumNodes:  269_364_174,
+		NumEdges:  3_995_777_033,
+		FeatDim:   1024,
+		AvgDegree: 15,
+	}
+}
+
+// Scaled returns a copy with the node count scaled down (for fast tests);
+// feature dimension and per-node behavior are unchanged.
+func (d Dataset) Scaled(nodes uint64) Dataset {
+	d.NumNodes = nodes
+	d.NumEdges = nodes * uint64(d.AvgDegree)
+	return d
+}
+
+// FeatBytes reports the on-SSD bytes per node feature row, rounded up to
+// the 512 B logical block.
+func (d Dataset) FeatBytes() int64 {
+	raw := int64(d.FeatDim) * 4
+	if rem := raw % nvme.LBASize; rem != 0 {
+		raw += nvme.LBASize - rem
+	}
+	return raw
+}
+
+// Neighbor returns the i-th synthetic neighbor of node v: a deterministic
+// hash so the same (v, i) always yields the same edge, which is what lets
+// the sampler run without materializing the edge list.
+func (d Dataset) Neighbor(v uint64, i int) uint64 {
+	x := v*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x % d.NumNodes
+}
+
+// FeatureRow fills row with node v's reference feature bytes: a
+// deterministic pattern derived from v, used to pre-populate SSDs and to
+// verify extraction end to end.
+func (d Dataset) FeatureRow(v uint64, row []byte) {
+	n := int(d.FeatBytes())
+	_ = row[n-1]
+	var w [8]byte
+	for off := 0; off < n; off += 8 {
+		binary.LittleEndian.PutUint64(w[:], v^uint64(off)*0x9e3779b97f4a7c15)
+		copy(row[off:], w[:])
+	}
+}
+
+// Model is a GNN architecture with its relative compute intensity
+// (calibrated so GAT is the paper's "most intensive computation" case).
+type Model struct {
+	Name string
+	// ComputeFactor scales per-node training FLOPs relative to GCN.
+	ComputeFactor float64
+}
+
+// The paper's three models.
+var (
+	GCN       = Model{Name: "GCN", ComputeFactor: 1.0}
+	GAT       = Model{Name: "GAT", ComputeFactor: 1.45}
+	GraphSAGE = Model{Name: "GRAPHSAGE", ComputeFactor: 0.95}
+)
+
+// Models lists the evaluated models in paper order.
+func Models() []Model { return []Model{GCN, GAT, GraphSAGE} }
+
+// TrainConfig is the paper's Table V with simulation knobs.
+type TrainConfig struct {
+	// Batch is the seed-node minibatch size (paper: 8000; benchmarks use
+	// a scaled value — per-node ratios are batch-invariant).
+	Batch int
+	// Fanouts is the neighbor sampling fan-out per hop (paper: 25, 10).
+	Fanouts []int
+	// HiddenDim is the model hidden size (paper: 128).
+	HiddenDim int
+	// SampleCostPerNode is the GPU time to sample one unique node
+	// (UVA random access into CPU-resident graph structure).
+	SampleCostPerNode sim.Time
+	// BaseComputeRate is the effective training FLOP rate for 128-dim
+	// inputs; wider features raise arithmetic intensity (see EffRate).
+	BaseComputeRate float64
+	// Seed drives sampling randomness.
+	Seed uint64
+}
+
+// DefaultTrainConfig returns the paper's configuration with a scaled batch.
+func DefaultTrainConfig() TrainConfig {
+	// SampleCostPerNode covers the GPU-side neighbor sampling over
+	// graph structure resident in CPU memory (UVA random accesses);
+	// together with the compute rate it calibrates the Fig 1 stage
+	// shares and caps the overlap speedup at the paper's 1.84x.
+	return TrainConfig{
+		Batch:             512,
+		Fanouts:           []int{25, 10},
+		HiddenDim:         128,
+		SampleCostPerNode: 38 * sim.Nanosecond,
+		BaseComputeRate:   1.0e12,
+		Seed:              1,
+	}
+}
+
+// EffRate reports the effective compute rate for a dataset: wider feature
+// rows run denser kernels, so efficiency grows with log2(dim/128). The
+// coefficient is calibrated so IGB-full training lands in the paper's
+// "I/O slightly longer than computation" regime (§IV-C observation 3).
+func (c TrainConfig) EffRate(d Dataset) float64 {
+	boost := 1 + 0.5*math.Log2(float64(d.FeatDim)/128.0)/3.0
+	if boost < 1 {
+		boost = 1
+	}
+	return c.BaseComputeRate * boost
+}
+
+// FlopsPerNode reports the per-sampled-node training cost of a model on a
+// dataset: forward+backward of the input projection and hidden layers.
+func (c TrainConfig) FlopsPerNode(m Model, d Dataset) float64 {
+	return 2 * float64(d.FeatDim+c.HiddenDim) * float64(c.HiddenDim) * m.ComputeFactor
+}
+
+// ComputeTimePerNode reports the modeled training time per sampled node.
+func (c TrainConfig) ComputeTimePerNode(m Model, d Dataset) sim.Time {
+	sec := c.FlopsPerNode(m, d) / c.EffRate(d)
+	return sim.Time(sec * float64(sim.Second))
+}
+
+// SampleBatch draws one minibatch: seed nodes plus multi-hop fan-out
+// neighbors, deduplicated. The result is the set of unique nodes whose
+// features the iteration must extract.
+func SampleBatch(d Dataset, c TrainConfig, iter int) []uint64 {
+	rng := sim.NewRNG(c.Seed + uint64(iter)*0x9e3779b97f4a7c15)
+	seen := make(map[uint64]struct{}, c.Batch*8)
+	frontier := make([]uint64, 0, c.Batch)
+	var unique []uint64
+	add := func(v uint64) bool {
+		if _, ok := seen[v]; ok {
+			return false
+		}
+		seen[v] = struct{}{}
+		unique = append(unique, v)
+		return true
+	}
+	for len(frontier) < c.Batch {
+		v := uint64(rng.Int63n(int64(d.NumNodes)))
+		if add(v) {
+			frontier = append(frontier, v)
+		}
+	}
+	for _, fan := range c.Fanouts {
+		next := make([]uint64, 0, len(frontier)*fan)
+		for _, v := range frontier {
+			for i := 0; i < fan; i++ {
+				// Sample a random neighbor index within the node's
+				// synthetic adjacency.
+				idx := int(rng.Int63n(int64(d.AvgDegree * 4)))
+				u := d.Neighbor(v, idx)
+				next = append(next, u)
+				add(u)
+			}
+		}
+		frontier = next
+	}
+	return unique
+}

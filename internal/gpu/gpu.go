@@ -1,0 +1,250 @@
+// Package gpu models an A100-class GPU at the granularity the paper's
+// arguments need: an array of streaming multiprocessors whose resident
+// thread slots are a shared resource, a compute-kernel cost model, and HBM
+// device memory with real backing bytes that NVMe controllers can DMA into
+// directly (the GDRCopy / nvidia_p2p_get_pages data plane).
+//
+// The central mechanic is thread-slot contention: BaM-style I/O submission
+// pins hundreds of thousands of resident threads to keep SSDs saturated,
+// which starves compute kernels of SMs and serializes I/O with computation
+// (the paper's Issue 3). CAM pins none.
+package gpu
+
+import (
+	"fmt"
+
+	"camsim/internal/mem"
+	"camsim/internal/sim"
+	"camsim/internal/trace"
+)
+
+// Config describes the device.
+type Config struct {
+	// SMs is the number of streaming multiprocessors (A100: 108).
+	SMs int
+	// ThreadsPerSM is the resident thread capacity per SM (A100: 2048).
+	ThreadsPerSM int
+	// TFLOPS is the peak compute rate used by kernel cost models.
+	TFLOPS float64
+	// MemBytes is the HBM capacity (A100 80 GB).
+	MemBytes int64
+	// KernelLaunchOverhead is the host-side cost per kernel launch.
+	KernelLaunchOverhead sim.Time
+	// HBMWindow places this device's memory in the platform physical
+	// map; zero uses the default window. Multi-GPU platforms give each
+	// device a distinct window (see WindowForInstance).
+	HBMWindow mem.Addr
+}
+
+// WindowForInstance returns a non-overlapping HBM window base for the i-th
+// GPU on a platform (16 TiB stride leaves room for any HBM size).
+func WindowForInstance(i int) mem.Addr {
+	return HBMWindowBase + mem.Addr(i)*0x0000_1000_0000_0000
+}
+
+// DefaultConfig matches the paper's 80 GB PCIe A100.
+func DefaultConfig() Config {
+	return Config{
+		SMs:                  108,
+		ThreadsPerSM:         2048,
+		TFLOPS:               312, // TF32 tensor-core rate the paper quotes
+		MemBytes:             80 << 30,
+		KernelLaunchOverhead: 4 * sim.Microsecond,
+	}
+}
+
+// HBMWindowBase is where GPU memory lives in the simulated physical map,
+// disjoint from host DRAM.
+const HBMWindowBase mem.Addr = 0x2000_0000_0000_0000
+
+// GPU is one device instance.
+type GPU struct {
+	Name string
+	cfg  Config
+	e    *sim.Engine
+
+	// threads is the pool of resident thread slots across all SMs; both
+	// compute kernels and (for BaM) I/O submission warps draw from it.
+	threads *sim.Resource
+
+	arena     *mem.Arena
+	space     *mem.Space
+	allocated int64
+	tracer    *trace.Tracer
+}
+
+// SetTracer attaches an event tracer (nil disables tracing).
+func (g *GPU) SetTracer(t *trace.Tracer) { g.tracer = t }
+
+// New creates a GPU and claims its HBM window in the address space.
+func New(e *sim.Engine, name string, cfg Config, space *mem.Space) *GPU {
+	if cfg.SMs <= 0 || cfg.ThreadsPerSM <= 0 {
+		panic("gpu: invalid config")
+	}
+	window := cfg.HBMWindow
+	if window == 0 {
+		window = HBMWindowBase
+	}
+	return &GPU{
+		Name:    name,
+		cfg:     cfg,
+		e:       e,
+		threads: e.NewResource(name+".threads", int64(cfg.SMs)*int64(cfg.ThreadsPerSM)),
+		arena:   mem.NewArena(name+".hbm", window, cfg.MemBytes),
+		space:   space,
+	}
+}
+
+// Config returns the device configuration.
+func (g *GPU) Config() Config { return g.cfg }
+
+// TotalThreads reports the total resident thread capacity.
+func (g *GPU) TotalThreads() int64 { return int64(g.cfg.SMs) * int64(g.cfg.ThreadsPerSM) }
+
+// FreeThreads reports currently unoccupied thread slots.
+func (g *GPU) FreeThreads() int64 { return g.threads.Available() }
+
+// SMUtilization reports the instantaneous fraction of thread slots held.
+func (g *GPU) SMUtilization() float64 {
+	return float64(g.threads.InUse()) / float64(g.TotalThreads())
+}
+
+// MeanSMUtilization reports the time-averaged occupancy since t=0.
+func (g *GPU) MeanSMUtilization() float64 { return g.threads.MeanUtilization() }
+
+// Buffer is device memory with real bytes, registered for DMA.
+type Buffer struct {
+	Name   string
+	Addr   mem.Addr
+	Data   []byte
+	Pinned bool
+	g      *GPU
+}
+
+// Alloc reserves device memory (cudaMalloc analogue).
+func (g *GPU) Alloc(name string, n int64) *Buffer {
+	return g.alloc(name, n, false)
+}
+
+// AllocPinned reserves device memory registered for peer-to-peer DMA
+// (the CAM_alloc / GDRCopy path). In the simulation every HBM range is
+// physically reachable, but drivers enforce the pinned contract the way
+// real ones do.
+func (g *GPU) AllocPinned(name string, n int64) *Buffer {
+	return g.alloc(name, n, true)
+}
+
+func (g *GPU) alloc(name string, n int64, pinned bool) *Buffer {
+	if g.allocated+n > g.cfg.MemBytes {
+		panic(fmt.Sprintf("gpu: out of memory allocating %q (%d bytes)", name, n))
+	}
+	data := make([]byte, n)
+	addr := g.arena.Alloc(n, 4096)
+	g.space.Register(g.Name+"."+name, addr, data, mem.GPUHBM)
+	g.allocated += n
+	return &Buffer{Name: name, Addr: addr, Data: data, Pinned: pinned, g: g}
+}
+
+// Free releases the buffer (cudaFree / CAM_free analogue).
+func (b *Buffer) Free() {
+	b.g.space.Unregister(b.Addr)
+	b.g.allocated -= int64(len(b.Data))
+	b.Data = nil
+}
+
+// Size reports the buffer length.
+func (b *Buffer) Size() int64 { return int64(len(b.Data)) }
+
+// Allocated reports bytes currently allocated on the device.
+func (g *GPU) Allocated() int64 { return g.allocated }
+
+// PinThreads permanently occupies n thread slots (clamped to capacity)
+// until the returned release function is called. BaM's submission/polling
+// warps use this; the paper's Figure 4 is the resulting occupancy.
+func (g *GPU) PinThreads(p *sim.Proc, n int64) (held int64, release func()) {
+	if n > g.TotalThreads() {
+		n = g.TotalThreads()
+	}
+	if n <= 0 {
+		return 0, func() {}
+	}
+	g.threads.Acquire(p, n)
+	return n, func() { g.threads.Release(n) }
+}
+
+// KernelSpec describes one compute kernel launch.
+type KernelSpec struct {
+	Name string
+	// Threads is the kernel's maximum useful parallelism in resident
+	// threads (grid size × block size, clamped to device capacity).
+	Threads int64
+	// FullOccupancyTime is how long the kernel runs when granted all the
+	// threads it asked for; with fewer threads it runs proportionally
+	// longer (elastic model).
+	FullOccupancyTime sim.Time
+	// MinThreads is the smallest grant the kernel can start with
+	// (defaults to one 64-thread block).
+	MinThreads int64
+}
+
+// RunKernel executes a compute kernel with elastic SM allocation: it takes
+// whatever thread slots are free (at least MinThreads, blocking for them if
+// necessary) and runs proportionally longer when it gets fewer than
+// Threads. This reproduces both full-speed compute on an idle GPU and the
+// serialization that happens when I/O warps hold the device.
+func (g *GPU) RunKernel(p *sim.Proc, spec KernelSpec) {
+	want := spec.Threads
+	if want <= 0 {
+		want = 64
+	}
+	if want > g.TotalThreads() {
+		want = g.TotalThreads()
+	}
+	min := spec.MinThreads
+	if min <= 0 {
+		min = 64
+	}
+	if min > want {
+		min = want
+	}
+	if g.cfg.KernelLaunchOverhead > 0 {
+		p.Sleep(g.cfg.KernelLaunchOverhead)
+	}
+	// Take the free slots now, or block until the minimum is available.
+	grant := g.threads.Available()
+	if grant > want {
+		grant = want
+	}
+	if grant < min || !g.threads.TryAcquire(grant) {
+		// Not enough free (or FIFO waiters ahead): block for the
+		// minimum, then top the grant up from whatever is free once
+		// admitted — a real scheduler would dispatch the waiting blocks
+		// onto SMs as they drain.
+		g.threads.Acquire(p, min)
+		grant = min
+	}
+	if grant < want {
+		extra := g.threads.Available()
+		if extra > want-grant {
+			extra = want - grant
+		}
+		if extra > 0 && g.threads.TryAcquire(extra) {
+			grant += extra
+		}
+	}
+	dur := sim.Time(float64(spec.FullOccupancyTime) * float64(want) / float64(grant))
+	g.tracer.Emit(trace.KernelStart, g.Name, spec.Name, grant)
+	p.Sleep(dur)
+	g.threads.Release(grant)
+	g.tracer.Emit(trace.KernelEnd, g.Name, spec.Name, grant)
+}
+
+// ComputeTime converts a FLOP count into full-occupancy kernel time under
+// the configured peak rate and an efficiency factor in (0,1].
+func (g *GPU) ComputeTime(flops float64, efficiency float64) sim.Time {
+	if efficiency <= 0 || efficiency > 1 {
+		panic("gpu: efficiency must be in (0,1]")
+	}
+	sec := flops / (g.cfg.TFLOPS * 1e12 * efficiency)
+	return sim.Time(sec * float64(sim.Second))
+}

@@ -1,0 +1,145 @@
+package gpucache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"camsim/internal/gpu"
+	"camsim/internal/mem"
+	"camsim/internal/sim"
+)
+
+func newCache(cfg Config) *Cache {
+	g := gpu.New(sim.New(), "gpu0", gpu.DefaultConfig(), mem.NewSpace())
+	return New(g, "cache", cfg)
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := newCache(Config{Sets: 4, Ways: 2, LineBytes: 512})
+	if _, hit := c.Lookup(7); hit {
+		t.Fatal("cold cache hit")
+	}
+	line := c.Insert(7)
+	line[0] = 0xAB
+	got, hit := c.Lookup(7)
+	if !hit || got[0] != 0xAB {
+		t.Fatalf("hit=%v data=%x", hit, got[0])
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// One set, two ways: blocks 0, 4, 8 map to set 0 (sets=4).
+	c := newCache(Config{Sets: 4, Ways: 2, LineBytes: 512})
+	c.Insert(0)
+	c.Insert(4)
+	c.Lookup(0) // refresh 0: now 4 is LRU
+	c.Insert(8) // must evict 4
+	if !c.Contains(0) || !c.Contains(8) {
+		t.Fatal("wrong victim: survivors missing")
+	}
+	if c.Contains(4) {
+		t.Fatal("LRU victim 4 survived")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestInsertResidentRefreshes(t *testing.T) {
+	c := newCache(Config{Sets: 1, Ways: 2, LineBytes: 512})
+	c.Insert(1)
+	c.Insert(2)
+	c.Insert(1) // refresh, not duplicate
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	c.Insert(3) // evicts 2 (LRU), not 1
+	if !c.Contains(1) || c.Contains(2) {
+		t.Fatal("refresh did not update recency")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := newCache(Config{Sets: 2, Ways: 1, LineBytes: 512})
+	c.Insert(2)
+	c.Invalidate(2)
+	if c.Contains(2) {
+		t.Fatal("invalidate left block resident")
+	}
+	c.Invalidate(99) // absent: no-op
+}
+
+func TestSetMapping(t *testing.T) {
+	c := newCache(Config{Sets: 8, Ways: 1, LineBytes: 512})
+	for b := uint64(0); b < 8; b++ {
+		c.Insert(b)
+	}
+	// All 8 blocks hit distinct sets: none evicted.
+	for b := uint64(0); b < 8; b++ {
+		if !c.Contains(b) {
+			t.Fatalf("block %d evicted despite distinct sets", b)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	for i, cfg := range []Config{
+		{Sets: 3, Ways: 1, LineBytes: 512},
+		{Sets: 4, Ways: 0, LineBytes: 512},
+		{Sets: 4, Ways: 1, LineBytes: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d accepted", i)
+				}
+			}()
+			newCache(cfg)
+		}()
+	}
+}
+
+// Property: after any access sequence, invariants hold and a Lookup hit
+// always returns the bytes most recently inserted for that block.
+func TestCacheConsistencyQuick(t *testing.T) {
+	f := func(seed uint64, ops uint8) bool {
+		c := newCache(Config{Sets: 4, Ways: 2, LineBytes: 8})
+		rng := sim.NewRNG(seed)
+		content := map[uint64]byte{}
+		for i := 0; i < int(ops); i++ {
+			b := uint64(rng.Int63n(32))
+			if rng.Float64() < 0.5 {
+				tag := byte(rng.Uint64())
+				line := c.Insert(b)
+				line[0] = tag
+				content[b] = tag
+			} else if data, hit := c.Lookup(b); hit {
+				if data[0] != content[b] {
+					return false
+				}
+			}
+		}
+		return c.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Fatal("empty hit rate not 0")
+	}
+	s.Hits, s.Misses = 3, 1
+	if s.HitRate() != 0.75 {
+		t.Fatalf("hit rate = %g", s.HitRate())
+	}
+}

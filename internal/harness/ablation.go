@@ -1,0 +1,187 @@
+package harness
+
+import (
+	"fmt"
+
+	"camsim/internal/cam"
+	"camsim/internal/gpu"
+	"camsim/internal/metrics"
+	"camsim/internal/nvme"
+	"camsim/internal/platform"
+	"camsim/internal/sim"
+)
+
+// Ablations for the design choices DESIGN.md calls out. They are not paper
+// figures; they justify CAM's mechanisms in isolation.
+
+func init() {
+	register("abl-dyncores", "Ablation: dynamic core adjustment vs fixed core counts", runAblDynCores)
+	register("abl-batch", "Ablation: CAM batch size vs throughput", runAblBatch)
+	register("abl-outstanding", "Ablation: outstanding prefetch batches (pipeline depth)", runAblOutstanding)
+}
+
+// runAblDynCores runs an alternating compute-heavy / I-O-heavy workload
+// under fixed core counts and under dynamic adjustment, reporting both the
+// completion time and the integrated core-seconds consumed — the dynamic
+// policy should match max-core performance at well below max-core cost.
+func runAblDynCores(cfg RunConfig) *Result {
+	r := &Result{ID: "abl-dyncores", Title: "Dynamic core adjustment"}
+	const ssds = 8
+	batches := 40
+	if cfg.Quick {
+		batches = 16
+	}
+
+	type outcome struct {
+		elapsed  sim.Time
+		coreSecs float64
+		endCores int
+	}
+	runOne := func(dynamic bool, cores int) outcome {
+		env := platform.New(platform.Options{SSDs: ssds})
+		ccfg := cam.DefaultConfig(ssds)
+		ccfg.DynamicCores = dynamic
+		ccfg.Cores = cores
+		ccfg.AdjustPeriod = 2
+		mgr := cam.New(env.E, ccfg, env.GPU, env.HM, env.Space, env.Fab, env.Devs)
+		dst := mgr.Alloc("d", 1024*4096)
+		blocks := make([]uint64, 1024)
+		for i := range blocks {
+			blocks[i] = uint64(i)
+		}
+		var coreSecs float64
+		env.E.Go("app", func(p *sim.Proc) {
+			for b := 0; b < batches; b++ {
+				t0 := p.Now()
+				mgr.Prefetch(p, blocks, dst, 0)
+				// Compute long enough that I/O hides under it half the
+				// time: the dynamic policy should shed cores there.
+				var kt sim.Time
+				if b%2 == 0 {
+					kt = 2 * sim.Millisecond
+				} else {
+					kt = 100 * sim.Microsecond
+				}
+				env.GPU.RunKernel(p, gpu.KernelSpec{Name: "c", Threads: 4096, FullOccupancyTime: kt})
+				mgr.PrefetchSynchronize(p)
+				coreSecs += float64(mgr.ActiveCores()) * (p.Now() - t0).Seconds()
+			}
+		})
+		end := env.Run()
+		return outcome{elapsed: end, coreSecs: coreSecs, endCores: mgr.ActiveCores()}
+	}
+
+	t := metrics.NewTable("Dynamic vs fixed reactor cores (8 SSDs, mixed workload)",
+		"policy", "elapsed ms", "core-ms consumed", "final cores")
+	for _, fixed := range []int{2, 4} {
+		o := runOne(false, fixed)
+		t.AddRow(fmt.Sprintf("fixed %d", fixed), o.elapsed.Seconds()*1000, o.coreSecs*1000, o.endCores)
+	}
+	o := runOne(true, 0)
+	t.AddRow("dynamic N/4..N/2", o.elapsed.Seconds()*1000, o.coreSecs*1000, o.endCores)
+	r.Tables = append(r.Tables, t)
+	r.Notes = append(r.Notes,
+		"dynamic adjustment tracks the max-core completion time while consuming fewer core-seconds")
+	return r
+}
+
+// runAblBatch sweeps the prefetch batch size at fixed total volume: bigger
+// batches amortize the publish handshake and keep queues deeper.
+func runAblBatch(cfg RunConfig) *Result {
+	r := &Result{ID: "abl-batch", Title: "Batch size sweep"}
+	f := metrics.NewFigure("CAM read throughput vs batch size (12 SSDs, 4KB)", "blocks/batch", "GB/s")
+	s := f.NewSeries("CAM")
+	sizes := []int{16, 64, 256, 1024, 4096}
+	if cfg.Quick {
+		sizes = []int{16, 256, 4096}
+	}
+	for _, bs := range sizes {
+		env := platform.New(platform.Options{SSDs: 12})
+		ccfg := cam.DefaultConfig(12)
+		ccfg.BlockBytes = 4096
+		ccfg.MaxBatch = bs
+		mgr := cam.New(env.E, ccfg, env.GPU, env.HM, env.Space, env.Fab, env.Devs)
+		dst := mgr.Alloc("d", int64(bs)*4096)
+		total := int64(1 << 14 * 4096)
+		if cfg.Quick {
+			total = 1 << 13 * 4096
+		}
+		batches := int(total / int64(bs) / 4096)
+		rng := sim.NewRNG(3)
+		env.E.Go("app", func(p *sim.Proc) {
+			for b := 0; b < batches; b++ {
+				blocks := make([]uint64, bs)
+				for i := range blocks {
+					blocks[i] = uint64(rng.Int63n(1 << 20))
+				}
+				mgr.Prefetch(p, blocks, dst, 0)
+				mgr.PrefetchSynchronize(p)
+			}
+		})
+		end := env.Run()
+		s.Add(float64(bs), float64(int64(batches)*int64(bs)*4096)/end.Seconds()/1e9)
+	}
+	r.Figs = append(r.Figs, f)
+	r.Notes = append(r.Notes,
+		"small batches cannot keep twelve SSDs' queues full; the paper's batching premise in one curve")
+	return r
+}
+
+// runAblOutstanding sweeps the number of concurrently published batches.
+func runAblOutstanding(cfg RunConfig) *Result {
+	r := &Result{ID: "abl-outstanding", Title: "Outstanding-batch (pipeline depth) sweep"}
+	f := metrics.NewFigure("CAM read throughput vs outstanding batches (12 SSDs, 4KB, 512-block batches)",
+		"outstanding", "GB/s")
+	s := f.NewSeries("CAM")
+	depths := []int{1, 2, 4, 8}
+	if cfg.Quick {
+		depths = []int{1, 2, 8}
+	}
+	for _, d := range depths {
+		v, _, _ := camThroughputSmallBatch(12, nvme.OpRead, 4096, d, cfg.Quick)
+		s.Add(float64(d), v/1e9)
+	}
+	r.Figs = append(r.Figs, f)
+	r.Notes = append(r.Notes,
+		"with small batches, deeper pipelines recover the idle gap between publish and completion")
+	return r
+}
+
+// camThroughputSmallBatch is camThroughput with a deliberately small batch
+// so pipeline depth matters.
+func camThroughputSmallBatch(ssds int, op nvme.Opcode, gran int64, outstanding int, quick bool) (float64, *platform.Env, *cam.Manager) {
+	env := platform.New(platform.Options{SSDs: ssds})
+	cfg := cam.DefaultConfig(ssds)
+	cfg.BlockBytes = gran
+	cfg.MaxOutstanding = outstanding + 1
+	const perBatch = 512
+	cfg.MaxBatch = perBatch
+	mgr := cam.New(env.E, cfg, env.GPU, env.HM, env.Space, env.Fab, env.Devs)
+	batches := 64
+	if quick {
+		batches = 32
+	}
+	buf := mgr.Alloc("bench", perBatch*gran*int64(outstanding))
+	rng := sim.NewRNG(7)
+	env.E.Go("bench", func(p *sim.Proc) {
+		var handles []*cam.Batch
+		for b := 0; b < batches; b++ {
+			blocks := make([]uint64, perBatch)
+			for i := range blocks {
+				blocks[i] = uint64(rng.Int63n(1 << 20))
+			}
+			slot := int64(b%outstanding) * perBatch * gran
+			h := mgr.Prefetch(p, blocks, buf, slot)
+			handles = append(handles, h)
+			if len(handles) >= outstanding {
+				mgr.Synchronize(p, handles[0])
+				handles = handles[1:]
+			}
+		}
+		for _, h := range handles {
+			mgr.Synchronize(p, h)
+		}
+	})
+	end := env.Run()
+	return float64(int64(batches)*perBatch*gran) / end.Seconds(), env, mgr
+}

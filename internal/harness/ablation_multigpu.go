@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"fmt"
+
+	"camsim/internal/cam"
+	"camsim/internal/gpu"
+	"camsim/internal/metrics"
+	"camsim/internal/platform"
+	"camsim/internal/sim"
+)
+
+func init() {
+	register("abl-multigpu", "Extension: multiple GPUs sharing one CAM-managed SSD array", runAblMultiGPU)
+}
+
+// runAblMultiGPU addresses the paper's second stated limitation ("the
+// current prototype restricts data consumption capabilities to a single
+// GPU configuration"): each GPU gets its own CAM manager — its own sync
+// regions, polling thread, and reactor pool with dedicated per-GPU queue
+// pairs on every SSD — while the devices and fabric are shared. The SSD
+// array's aggregate rate becomes the contended resource, splitting fairly
+// across GPUs.
+func runAblMultiGPU(cfg RunConfig) *Result {
+	r := &Result{ID: "abl-multigpu", Title: "Multi-GPU CAM (extension beyond the paper)"}
+	const ssds = 12
+	batches := 12
+	if cfg.Quick {
+		batches = 6
+	}
+	perBatch := 4096
+
+	runWith := func(gpus int) (aggregate float64, perGPU []float64) {
+		env := platform.New(platform.Options{SSDs: ssds})
+		// Additional GPUs beyond the platform's default one.
+		gs := []*gpu.GPU{env.GPU}
+		for i := 1; i < gpus; i++ {
+			gcfg := gpu.DefaultConfig()
+			gcfg.HBMWindow = gpu.WindowForInstance(i)
+			gs = append(gs, gpu.New(env.E, fmt.Sprintf("gpu%d", i), gcfg, env.Space))
+		}
+		done := make([]sim.Time, gpus)
+		for gi, g := range gs {
+			ccfg := cam.DefaultConfig(ssds)
+			ccfg.BlockBytes = 4096
+			ccfg.MaxBatch = perBatch
+			mgr := cam.New(env.E, ccfg, g, env.HM, env.Space, env.Fab, env.Devs)
+			dst := mgr.Alloc(fmt.Sprintf("dst%d", gi), int64(perBatch)*4096)
+			gi := gi
+			seed := uint64(gi + 1)
+			env.E.Go(fmt.Sprintf("gpu%d.app", gi), func(p *sim.Proc) {
+				rng := sim.NewRNG(seed)
+				for b := 0; b < batches; b++ {
+					blocks := make([]uint64, perBatch)
+					for i := range blocks {
+						blocks[i] = uint64(rng.Int63n(1 << 20))
+					}
+					mgr.Prefetch(p, blocks, dst, 0)
+					mgr.PrefetchSynchronize(p)
+				}
+				done[gi] = p.Now()
+			})
+		}
+		end := env.Run()
+		_ = end
+		total := 0.0
+		for _, t := range done {
+			gbps := float64(batches*perBatch) * 4096 / t.Seconds()
+			perGPU = append(perGPU, gbps/1e9)
+			total += gbps / 1e9
+		}
+		return total, perGPU
+	}
+
+	t := metrics.NewTable("Multi-GPU scaling (12 SSDs, 4KB random read)",
+		"GPUs", "aggregate GB/s", "per-GPU GB/s", "fairness (min/max)")
+	for _, n := range []int{1, 2, 4} {
+		agg, per := runWith(n)
+		min, max := per[0], per[0]
+		for _, v := range per {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		t.AddRow(n, agg, fmt.Sprintf("%.2f", per[0]), min/max)
+	}
+	r.Tables = append(r.Tables, t)
+	r.Notes = append(r.Notes,
+		"each GPU runs its own control plane over shared SSDs; the array's aggregate rate splits fairly",
+		"lifts the paper's single-GPU limitation (§III-C) — no code changes to CAM were needed, only instantiation")
+	return r
+}

@@ -1,0 +1,184 @@
+package harness
+
+import (
+	"camsim/internal/bam"
+	"camsim/internal/cam"
+	"camsim/internal/gnn"
+	"camsim/internal/metrics"
+	"camsim/internal/platform"
+	"camsim/internal/sim"
+	"camsim/internal/sortx"
+	"camsim/internal/xfer"
+
+	"camsim/internal/gemmx"
+)
+
+func init() {
+	register("fig1", "GNN training time breakdown of GIDS (BaM-based)", runFig1)
+	register("fig9", "GNN training epoch time: CAM vs GIDS", runFig9)
+	register("fig10a", "Mergesort execution time: CAM vs SPDK vs POSIX", runFig10a)
+	register("fig10bc", "GEMM throughput and execution time: CAM vs BaM vs GDS vs SPDK", runFig10bc)
+}
+
+// gnnScale returns the simulated graph scale and iteration count.
+func gnnScale(quick bool) (nodes uint64, batch, iters int) {
+	if quick {
+		return 400_000, 96, 2
+	}
+	return 4_000_000, 512, 3
+}
+
+func gnnDatasets() []gnn.Dataset {
+	return []gnn.Dataset{gnn.Paper100M(), gnn.IGBFull()}
+}
+
+func runFig1(cfg RunConfig) *Result {
+	r := &Result{ID: "fig1", Title: "GIDS stage breakdown on Paper100M"}
+	nodes, batch, iters := gnnScale(cfg.Quick)
+	t := metrics.NewTable("Fig 1: GIDS time breakdown (Paper100M, 12 SSDs)",
+		"model", "sample %", "extract %", "train %")
+	d := gnn.Paper100M().Scaled(nodes)
+	tcfg := gnn.DefaultTrainConfig()
+	tcfg.Batch = batch
+	for _, m := range gnn.Models() {
+		env := platform.New(platform.Options{SSDs: 12})
+		sys := bam.New(env.E, bam.DefaultConfig(), env.GPU, env.Devs)
+		tr := gnn.NewGIDSTrainer(env, d, m, tcfg, sys)
+		var b gnn.Breakdown
+		env.E.Go("t", func(p *sim.Proc) { b = tr.RunIterations(p, iters) })
+		env.Run()
+		s, e, tn := b.Fractions()
+		t.AddRow(m.Name, 100*s, 100*e, 100*tn)
+	}
+	r.Tables = append(r.Tables, t)
+	r.Notes = append(r.Notes, "feature extraction (SSD reads) takes 40-65% of GIDS training time")
+	return r
+}
+
+func runFig9(cfg RunConfig) *Result {
+	r := &Result{ID: "fig9", Title: "GNN epoch time: CAM vs GIDS"}
+	nodes, batch, iters := gnnScale(cfg.Quick)
+	t := metrics.NewTable("Fig 9: per-iteration time (ms) and speedup",
+		"dataset", "model", "GIDS ms/iter", "CAM ms/iter", "speedup")
+	tcfg := gnn.DefaultTrainConfig()
+	tcfg.Batch = batch
+	for _, ds := range gnnDatasets() {
+		d := ds.Scaled(nodes)
+		for _, m := range gnn.Models() {
+			gEnv := platform.New(platform.Options{SSDs: 12})
+			sys := bam.New(gEnv.E, bam.DefaultConfig(), gEnv.GPU, gEnv.Devs)
+			gt := gnn.NewGIDSTrainer(gEnv, d, m, tcfg, sys)
+			var gb gnn.Breakdown
+			gEnv.E.Go("t", func(p *sim.Proc) { gb = gt.RunIterations(p, iters) })
+			gEnv.Run()
+
+			cEnv := platform.New(platform.Options{SSDs: 12})
+			ccfg := cam.DefaultConfig(12)
+			ccfg.BlockBytes = d.FeatBytes()
+			ccfg.MaxBatch = 1 << 17
+			mgr := cam.New(cEnv.E, ccfg, cEnv.GPU, cEnv.HM, cEnv.Space, cEnv.Fab, cEnv.Devs)
+			ct := gnn.NewCAMTrainer(cEnv, d, m, tcfg, mgr)
+			var cb gnn.Breakdown
+			cEnv.E.Go("t", func(p *sim.Proc) { cb = ct.RunIterations(p, iters) })
+			cEnv.Run()
+
+			gms := gb.Total.Seconds() * 1000 / float64(gb.Iters)
+			cms := cb.Total.Seconds() * 1000 / float64(cb.Iters)
+			t.AddRow(ds.Name, m.Name, gms, cms, gms/cms)
+		}
+	}
+	r.Tables = append(r.Tables, t)
+	r.Notes = append(r.Notes,
+		"CAM overlaps feature I/O with sampling+training; speedups grow on IGB-full (I/O-heavier), up to ~1.8x")
+	return r
+}
+
+func runFig10a(cfg RunConfig) *Result {
+	r := &Result{ID: "fig10a", Title: "Out-of-core mergesort time"}
+	sizes := []int64{1 << 21, 1 << 22, 1 << 23} // keys
+	if cfg.Quick {
+		sizes = []int64{1 << 19, 1 << 20}
+	}
+	f := metrics.NewFigure("Fig 10a: mergesort execution time", "keys", "ms")
+	series := map[string]*metrics.Series{
+		"CAM":   f.NewSeries("CAM"),
+		"SPDK":  f.NewSeries("SPDK"),
+		"POSIX": f.NewSeries("POSIX"),
+	}
+	for _, n := range sizes {
+		// 4·n bytes of keys in four runs → two real merge passes.
+		scfg := sortx.Config{
+			NumInts:    n,
+			RunBytes:   n, // bytes: (n*4)/4 runs
+			ChunkBytes: 256 << 10,
+			SortRate:   4e9,
+			MergeRate:  8e9,
+		}
+		for _, sys := range []string{"CAM", "SPDK", "POSIX"} {
+			env := platform.New(platform.Options{SSDs: 12})
+			var b xfer.Backend
+			switch sys {
+			case "CAM":
+				b = xfer.NewCAM(env, 65536, nil)
+			case "SPDK":
+				// Granules of a quarter chunk keep several devices busy
+				// per streamed chunk while amortizing the memcpy.
+				b = xfer.NewSPDK(env, scfg.ChunkBytes/4, 8)
+			case "POSIX":
+				b = xfer.NewPOSIX(env, scfg.ChunkBytes, 4)
+			}
+			s := sortx.New(env, b, scfg)
+			var st sortx.Stats
+			env.E.Go("sort", func(p *sim.Proc) {
+				s.Fill(p, 3)
+				st = s.Sort(p)
+				if err := s.Verify(p); err != nil {
+					panic(err)
+				}
+			})
+			env.Run()
+			series[sys].Add(float64(n), st.Elapsed.Seconds()*1000)
+		}
+	}
+	r.Figs = append(r.Figs, f)
+	r.Notes = append(r.Notes,
+		"CAM ≈ SPDK (both overlap at large granularity); both beat POSIX by ~1.5x (paper §IV-D)")
+	return r
+}
+
+func runFig10bc(cfg RunConfig) *Result {
+	r := &Result{ID: "fig10bc", Title: "Out-of-core GEMM"}
+	gcfg := gemmx.Config{N: 2048, K: 2048, M: 2048, Tile: 512, ComputeRate: 100e12}
+	if cfg.Quick {
+		gcfg = gemmx.Config{N: 1024, K: 1024, M: 1024, Tile: 256, ComputeRate: 100e12}
+	}
+	t := metrics.NewTable("Fig 10b,c: GEMM read throughput and execution time",
+		"system", "GB/s", "time ms")
+	for _, sys := range []string{"CAM", "BaM", "GDS", "SPDK"} {
+		env := platform.New(platform.Options{SSDs: 12})
+		var b xfer.Backend
+		gran := int64(65536)
+		switch sys {
+		case "CAM":
+			b = xfer.NewCAM(env, gran, nil)
+		case "BaM":
+			b = xfer.NewBaM(env, bam.New(env.E, bam.DefaultConfig(), env.GPU, env.Devs), gran)
+		case "GDS":
+			b = xfer.NewGDS(env, gran)
+		case "SPDK":
+			b = xfer.NewSPDK(env, gcfg.TileBytes(), 4)
+		}
+		m := gemmx.New(env, b, gcfg)
+		var st gemmx.Stats
+		env.E.Go("gemm", func(p *sim.Proc) {
+			m.FillInputs(p, 5)
+			st = m.Run(p)
+		})
+		env.Run()
+		t.AddRow(sys, st.Throughput/1e9, st.Elapsed.Seconds()*1000)
+	}
+	r.Tables = append(r.Tables, t)
+	r.Notes = append(r.Notes,
+		"GDS is capped near 0.8GB/s by its fs/NVFS path; CAM beats BaM by overlapping I/O with the multiply (paper: up to 1.84x)")
+	return r
+}

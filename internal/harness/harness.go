@@ -1,0 +1,114 @@
+// Package harness contains one runnable experiment per table and figure of
+// the paper's evaluation (§IV). Each experiment builds its own simulated
+// platform, drives the workload, and renders the same rows/series the
+// paper reports. `cambench -exp <id>` runs them from the command line and
+// the repository's benchmark suite wraps each one in a testing.B target.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"camsim/internal/metrics"
+)
+
+// RunConfig selects the experiment scale.
+type RunConfig struct {
+	// Quick shrinks sweeps and workload sizes for CI; Full (-quick=false)
+	// is paper scale.
+	Quick bool
+}
+
+// Result is one experiment's rendered output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*metrics.Table
+	Figs   []*metrics.Figure
+	Notes  []string
+}
+
+// String renders everything.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	for _, f := range r.Figs {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is a registered, runnable reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg RunConfig) *Result
+}
+
+var registry = map[string]Experiment{}
+
+func register(id, title string, run func(cfg RunConfig) *Result) {
+	if _, dup := registry[id]; dup {
+		panic("harness: duplicate experiment " + id)
+	}
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+}
+
+// Get looks an experiment up by id (e.g. "fig8").
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment sorted by id.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return idLess(out[i].ID, out[j].ID) })
+	return out
+}
+
+// IDs returns the sorted experiment ids.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// idLess orders fig1 < fig2 < ... < fig10 < tab1 (numeric-aware).
+func idLess(a, b string) bool {
+	pa, na := splitID(a)
+	pb, nb := splitID(b)
+	if pa != pb {
+		return pa < pb
+	}
+	if na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+func splitID(s string) (prefix string, n int) {
+	i := 0
+	for i < len(s) && (s[i] < '0' || s[i] > '9') {
+		i++
+	}
+	prefix = s[:i]
+	for ; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+		n = n*10 + int(s[i]-'0')
+	}
+	return
+}

@@ -1,0 +1,126 @@
+// Package hostmem models CPU-attached DRAM: a configurable number of memory
+// channels whose aggregate bandwidth is a shared resource. The paper's
+// Figures 14 and 15 hinge on this component — SPDK's staging data path
+// crosses DRAM twice per SSD byte, so throttling the channel count throttles
+// SPDK while leaving CAM (whose data plane bypasses DRAM) untouched.
+package hostmem
+
+import (
+	"fmt"
+
+	"camsim/internal/mem"
+	"camsim/internal/sim"
+)
+
+// Config describes the DRAM subsystem.
+type Config struct {
+	// Channels is the number of populated memory channels.
+	Channels int
+	// ChannelBandwidth is the effective per-channel data rate in bytes/s.
+	// The paper's Xeon Gold 5320 runs DDR4-2933 (23.5 GB/s peak per
+	// channel); sustained mixed-stream efficiency is far lower, and the
+	// default is calibrated so that 2 channels cannot feed a 21 GB/s
+	// staging pipeline (Fig 15) while 16 channels can.
+	ChannelBandwidth float64
+	// Capacity is the total DRAM capacity in bytes (the paper's host has
+	// 768 GiB).
+	Capacity int64
+	// TouchLatency is the cost of one cacheline-sized access, used for
+	// polling-flag reads and small flag writes.
+	TouchLatency sim.Time
+}
+
+// DefaultConfig matches the paper's host with all 16 channels populated.
+func DefaultConfig() Config {
+	return Config{
+		Channels:         16,
+		ChannelBandwidth: 14e9,
+		Capacity:         768 << 30,
+		TouchLatency:     90 * sim.Nanosecond,
+	}
+}
+
+// Memory is the DRAM subsystem instance.
+type Memory struct {
+	cfg   Config
+	link  *sim.Link
+	arena *mem.Arena
+	space *mem.Space
+
+	allocated int64
+}
+
+// HostWindowBase is where host DRAM lives in the simulated physical address
+// map. GPU HBM gets a disjoint window (see the gpu package).
+const HostWindowBase mem.Addr = 0x0000_1000_0000_0000
+
+// New creates the DRAM subsystem and registers its allocator window.
+func New(e *sim.Engine, space *mem.Space, cfg Config) *Memory {
+	if cfg.Channels <= 0 {
+		panic("hostmem: Channels must be positive")
+	}
+	return &Memory{
+		cfg:   cfg,
+		link:  e.NewLink("dram", float64(cfg.Channels)*cfg.ChannelBandwidth, 0),
+		arena: mem.NewArena("hostdram", HostWindowBase, cfg.Capacity),
+		space: space,
+	}
+}
+
+// Config returns the configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// Bandwidth reports the aggregate configured bandwidth in bytes/s.
+func (m *Memory) Bandwidth() float64 { return float64(m.cfg.Channels) * m.cfg.ChannelBandwidth }
+
+// Buffer is an allocation in host DRAM with real backing bytes and a
+// simulated physical address, usable as a DMA target.
+type Buffer struct {
+	Name string
+	Addr mem.Addr
+	Data []byte
+	m    *Memory
+}
+
+// Alloc reserves n bytes of pinned host memory, registered in the platform
+// address space so devices can DMA into it.
+func (m *Memory) Alloc(name string, n int64) *Buffer {
+	if m.allocated+n > m.cfg.Capacity {
+		panic(fmt.Sprintf("hostmem: out of capacity allocating %q (%d bytes)", name, n))
+	}
+	data := make([]byte, n)
+	addr := m.arena.Alloc(n, 4096)
+	m.space.Register(name, addr, data, mem.HostDRAM)
+	m.allocated += n
+	return &Buffer{Name: name, Addr: addr, Data: data, m: m}
+}
+
+// Free releases the buffer's address range.
+func (b *Buffer) Free() {
+	b.m.space.Unregister(b.Addr)
+	b.m.allocated -= int64(len(b.Data))
+	b.Data = nil
+}
+
+// Size reports the buffer length in bytes.
+func (b *Buffer) Size() int64 { return int64(len(b.Data)) }
+
+// ReserveTraffic books n bytes of DRAM bandwidth (one crossing) and returns
+// the completion time without blocking. DMA writes into DRAM and CPU
+// streaming reads out of it each count as one crossing.
+func (m *Memory) ReserveTraffic(n int64) sim.Time { return m.link.Reserve(n) }
+
+// Traffic blocks p while n bytes cross the DRAM channels once.
+func (m *Memory) Traffic(p *sim.Proc, n int64) { m.link.Transfer(p, n) }
+
+// TouchLatency reports the cost of one small (cacheline) access.
+func (m *Memory) TouchLatency() sim.Time { return m.cfg.TouchLatency }
+
+// TotalTraffic reports all bytes that crossed DRAM.
+func (m *Memory) TotalTraffic() int64 { return m.link.TotalBytes() }
+
+// AchievedBandwidth reports DRAM bytes/s averaged over elapsed time.
+func (m *Memory) AchievedBandwidth() float64 { return m.link.AchievedBandwidth() }
+
+// Allocated reports currently allocated bytes.
+func (m *Memory) Allocated() int64 { return m.allocated }

@@ -1,0 +1,113 @@
+package hostmem
+
+import (
+	"math"
+	"testing"
+
+	"camsim/internal/mem"
+	"camsim/internal/sim"
+)
+
+func newMem(cfg Config) (*sim.Engine, *Memory) {
+	e := sim.New()
+	return e, New(e, mem.NewSpace(), cfg)
+}
+
+func TestBandwidthScalesWithChannels(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 2
+	_, m2 := newMem(cfg)
+	cfg.Channels = 16
+	_, m16 := newMem(cfg)
+	if m16.Bandwidth() != 8*m2.Bandwidth() {
+		t.Fatalf("16c = %g, 2c = %g", m16.Bandwidth(), m2.Bandwidth())
+	}
+}
+
+func TestTrafficTiming(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	cfg.ChannelBandwidth = 1e9
+	e, m := newMem(cfg)
+	var done sim.Time
+	e.Go("p", func(p *sim.Proc) {
+		m.Traffic(p, 1000)
+		done = p.Now()
+	})
+	e.Run()
+	if done != 1000 {
+		t.Fatalf("1000B at 1GB/s took %v, want 1000ns", done)
+	}
+}
+
+func TestAllocRegistersInSpace(t *testing.T) {
+	e := sim.New()
+	space := mem.NewSpace()
+	m := New(e, space, DefaultConfig())
+	b := m.Alloc("buf", 8192)
+	got, kind, err := space.Resolve(b.Addr, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != mem.HostDRAM {
+		t.Fatalf("kind = %v", kind)
+	}
+	got[0] = 0x42
+	if b.Data[0] != 0x42 {
+		t.Fatal("resolved bytes do not alias buffer")
+	}
+}
+
+func TestFreeUnregisters(t *testing.T) {
+	e := sim.New()
+	space := mem.NewSpace()
+	m := New(e, space, DefaultConfig())
+	b := m.Alloc("buf", 4096)
+	addr := b.Addr
+	b.Free()
+	if _, _, err := space.Resolve(addr, 1); err == nil {
+		t.Fatal("freed buffer still resolvable")
+	}
+	if m.Allocated() != 0 {
+		t.Fatalf("Allocated = %d after free", m.Allocated())
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Capacity = 1 << 20
+	e := sim.New()
+	m := New(e, mem.NewSpace(), cfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-capacity alloc did not panic")
+		}
+	}()
+	m.Alloc("big", 2<<20)
+}
+
+func TestTotalTrafficAccounting(t *testing.T) {
+	e, m := newMem(DefaultConfig())
+	e.Go("p", func(p *sim.Proc) {
+		m.Traffic(p, 1000)
+		m.Traffic(p, 2000)
+	})
+	e.Run()
+	if m.TotalTraffic() != 3000 {
+		t.Fatalf("TotalTraffic = %d", m.TotalTraffic())
+	}
+	if math.IsNaN(m.AchievedBandwidth()) {
+		t.Fatal("AchievedBandwidth NaN")
+	}
+}
+
+func TestZeroChannelsPanics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero channels did not panic")
+		}
+	}()
+	newMem(cfg)
+}

@@ -1,0 +1,151 @@
+// Package mem provides the simulated physical address space shared by every
+// device in the platform: host DRAM, GPU HBM, and the controller-visible
+// queue memory. DMA engines (SSD controllers) resolve target addresses
+// through a Space exactly like a real IOMMU-less PCIe device would, and the
+// bytes they move are real Go bytes, so data written through one I/O stack
+// is readable through another.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Addr is a simulated physical address.
+type Addr uint64
+
+// Kind classifies which device backs a physical range; transfer paths use it
+// to decide which bandwidth links to charge.
+type Kind uint8
+
+const (
+	// HostDRAM is CPU-attached memory; DMA to it consumes DRAM channel
+	// bandwidth.
+	HostDRAM Kind = iota
+	// GPUHBM is GPU device memory reachable over PCIe peer-to-peer; DMA to
+	// it bypasses host DRAM entirely (the property CAM's data plane relies
+	// on).
+	GPUHBM
+)
+
+func (k Kind) String() string {
+	switch k {
+	case HostDRAM:
+		return "HostDRAM"
+	case GPUHBM:
+		return "GPUHBM"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Region is a contiguous registered physical range with real backing bytes.
+type Region struct {
+	Base Addr
+	Data []byte
+	Kind Kind
+	Name string
+}
+
+// End reports one past the last address of the region.
+func (r *Region) End() Addr { return r.Base + Addr(len(r.Data)) }
+
+// Space is the platform physical address map. It is not safe for concurrent
+// mutation; all simulation code runs single-threaded under the DES engine.
+type Space struct {
+	regions []*Region // sorted by Base, non-overlapping
+}
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space { return &Space{} }
+
+// Register adds a backing range. It panics on overlap — overlapping device
+// windows would be a platform bug, not a runtime condition.
+func (s *Space) Register(name string, base Addr, data []byte, kind Kind) *Region {
+	r := &Region{Base: base, Data: data, Kind: kind, Name: name}
+	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].Base >= base })
+	if i > 0 && s.regions[i-1].End() > base {
+		panic(fmt.Sprintf("mem: region %q overlaps %q", name, s.regions[i-1].Name))
+	}
+	if i < len(s.regions) && r.End() > s.regions[i].Base {
+		panic(fmt.Sprintf("mem: region %q overlaps %q", name, s.regions[i].Name))
+	}
+	s.regions = append(s.regions, nil)
+	copy(s.regions[i+1:], s.regions[i:])
+	s.regions[i] = r
+	return r
+}
+
+// Unregister removes a previously registered region by base address.
+func (s *Space) Unregister(base Addr) {
+	for i, r := range s.regions {
+		if r.Base == base {
+			s.regions = append(s.regions[:i], s.regions[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("mem: Unregister of unknown base %#x", uint64(base)))
+}
+
+// Resolve maps [addr, addr+n) to its backing bytes. The range must lie
+// within a single region; crossing a region boundary is an error (real DMA
+// would fault).
+func (s *Space) Resolve(addr Addr, n int) ([]byte, Kind, error) {
+	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].End() > addr })
+	if i == len(s.regions) || addr < s.regions[i].Base {
+		return nil, 0, fmt.Errorf("mem: unmapped address %#x", uint64(addr))
+	}
+	r := s.regions[i]
+	off := int(addr - r.Base)
+	if off+n > len(r.Data) {
+		return nil, 0, fmt.Errorf("mem: range [%#x,+%d) crosses end of region %q", uint64(addr), n, r.Name)
+	}
+	return r.Data[off : off+n : off+n], r.Kind, nil
+}
+
+// KindOf reports the kind backing addr, or an error if unmapped.
+func (s *Space) KindOf(addr Addr) (Kind, error) {
+	_, k, err := s.Resolve(addr, 1)
+	return k, err
+}
+
+// Regions returns the registered regions in address order (read-only view).
+func (s *Space) Regions() []*Region { return s.regions }
+
+// Arena hands out non-overlapping addresses within a device window; each
+// device (host DRAM allocator, GPU HBM allocator) owns one.
+type Arena struct {
+	name string
+	base Addr
+	next Addr
+	end  Addr
+}
+
+// NewArena creates an allocator over [base, base+size).
+func NewArena(name string, base Addr, size int64) *Arena {
+	return &Arena{name: name, base: base, next: base, end: base + Addr(size)}
+}
+
+// Alloc reserves n bytes aligned to align (a power of two) and returns the
+// base address. It panics when the window is exhausted — simulated devices
+// size their windows to the experiment.
+func (a *Arena) Alloc(n int64, align int64) Addr {
+	if align <= 0 {
+		align = 1
+	}
+	if align&(align-1) != 0 {
+		panic("mem: alignment must be a power of two")
+	}
+	base := (uint64(a.next) + uint64(align-1)) &^ uint64(align-1)
+	if Addr(base)+Addr(n) > a.end {
+		panic(fmt.Sprintf("mem: arena %q exhausted (asked %d bytes)", a.name, n))
+	}
+	a.next = Addr(base) + Addr(n)
+	return Addr(base)
+}
+
+// InUse reports bytes handed out so far (including alignment padding).
+func (a *Arena) InUse() int64 { return int64(a.next - a.base) }
+
+// Remaining reports bytes still available.
+func (a *Arena) Remaining() int64 { return int64(a.end - a.next) }

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("t", "name", "value")
+	tb.AddRow("a", 1)
+	tb.AddRow("longer-name", 2.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "longer-name") || !strings.Contains(out, "2.5") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	// Header and rows share column start offsets.
+	if strings.Index(lines[1], "value") != strings.Index(lines[3], "1") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x", 1)
+	csv := tb.CSV()
+	if csv != "a,b\nx,1\n" {
+		t.Fatalf("CSV = %q", csv)
+	}
+}
+
+func TestFigureMergesXValues(t *testing.T) {
+	f := NewFigure("fig", "n", "gbps")
+	s1 := f.NewSeries("cam")
+	s2 := f.NewSeries("bam")
+	s1.Add(1, 2.0)
+	s1.Add(2, 4.0)
+	s2.Add(2, 3.5)
+	out := f.String()
+	if !strings.Contains(out, "cam") || !strings.Contains(out, "bam") {
+		t.Fatalf("series headers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "3.5") {
+		t.Fatalf("second series value missing:\n%s", out)
+	}
+}
+
+func TestBytesFormatting(t *testing.T) {
+	cases := map[float64]string{
+		512:             "512B",
+		2048:            "2.00KiB",
+		3 << 20:         "3.00MiB",
+		1.5 * (1 << 30): "1.50GiB",
+	}
+	for in, want := range cases {
+		if got := Bytes(in); got != want {
+			t.Errorf("Bytes(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGBps(t *testing.T) {
+	if got := GBps(21e9); got != "21.00GB/s" {
+		t.Fatalf("GBps = %q", got)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(4096) != "4096" {
+		t.Fatal("integral floats should render without decimals")
+	}
+	if trimFloat(1.25) != "1.25" {
+		t.Fatalf("got %s", trimFloat(1.25))
+	}
+}

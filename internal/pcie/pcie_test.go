@@ -1,0 +1,81 @@
+package pcie
+
+import (
+	"testing"
+
+	"camsim/internal/sim"
+)
+
+func TestDMATiming(t *testing.T) {
+	e := sim.New()
+	cfg := Config{EffectiveBandwidth: 1e9, PerTLPOverhead: 0, PropagationDelay: 100}
+	f := New(e, cfg)
+	var done sim.Time
+	e.Go("p", func(p *sim.Proc) {
+		f.DMA(p, 1_000_000) // 1 MB at 1 GB/s = 1 ms
+		done = p.Now()
+	})
+	e.Run()
+	if done != sim.Millisecond {
+		t.Fatalf("DMA done at %v, want 1ms", done)
+	}
+}
+
+func TestContentionSharesFabric(t *testing.T) {
+	e := sim.New()
+	f := New(e, Config{EffectiveBandwidth: 1e9, PerTLPOverhead: 0, PropagationDelay: 0})
+	var last sim.Time
+	for i := 0; i < 4; i++ {
+		e.Go("dev", func(p *sim.Proc) {
+			f.DMA(p, 1_000_000)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	e.Run()
+	if last != 4*sim.Millisecond {
+		t.Fatalf("4 MB over shared 1 GB/s finished at %v, want 4ms", last)
+	}
+}
+
+func TestDefaultConfigCeiling(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.EffectiveBandwidth != 21e9 {
+		t.Fatalf("default effective bandwidth = %g, want 21e9 (paper's measured ceiling)", cfg.EffectiveBandwidth)
+	}
+}
+
+func TestMMIODelay(t *testing.T) {
+	e := sim.New()
+	f := New(e, DefaultConfig())
+	if f.MMIODelay() != DefaultConfig().PropagationDelay {
+		t.Fatal("MMIODelay mismatch")
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	e := sim.New()
+	f := New(e, Config{EffectiveBandwidth: 1e9, PerTLPOverhead: 0, PropagationDelay: 0})
+	e.Go("p", func(p *sim.Proc) {
+		f.DMA(p, 500)
+		f.DMA(p, 500)
+	})
+	e.Run()
+	if f.TotalBytes() != 1000 {
+		t.Fatalf("TotalBytes = %d", f.TotalBytes())
+	}
+	if f.Utilization() < 0.99 {
+		t.Fatalf("Utilization = %g, want ~1", f.Utilization())
+	}
+}
+
+func TestReserveDMAOrdering(t *testing.T) {
+	e := sim.New()
+	f := New(e, Config{EffectiveBandwidth: 1e9, PerTLPOverhead: 0, PropagationDelay: 0})
+	end1 := f.ReserveDMA(1000)
+	end2 := f.ReserveDMA(1000)
+	if end2 <= end1 {
+		t.Fatal("second reservation not after first")
+	}
+}

@@ -1,0 +1,108 @@
+// Package platform wires the full simulated evaluation machine — the
+// paper's Table III testbed: one A100-class GPU, up to twelve P5510-class
+// NVMe SSDs behind a PCIe Gen4 fabric, and a 16-channel DRAM host. Every
+// experiment, example, and benchmark builds one Env and composes drivers on
+// top of it.
+package platform
+
+import (
+	"fmt"
+
+	"camsim/internal/gpu"
+	"camsim/internal/hostmem"
+	"camsim/internal/mem"
+	"camsim/internal/pcie"
+	"camsim/internal/sim"
+	"camsim/internal/ssd"
+)
+
+// Options selects the machine shape.
+type Options struct {
+	// SSDs is the device count (the paper sweeps 1–12).
+	SSDs int
+	// SSD overrides the per-device calibration (zero value → default).
+	SSD ssd.Config
+	// GPU overrides the device calibration (zero value → default).
+	GPU gpu.Config
+	// Host overrides the DRAM calibration (zero value → default);
+	// MemoryChannels, if nonzero, overrides just the channel count
+	// (Fig 15's "2c"/"16c" configurations).
+	Host           hostmem.Config
+	MemoryChannels int
+	// PCIe overrides the fabric calibration (zero value → default).
+	PCIe pcie.Config
+	// Seed perturbs every device's private jitter stream.
+	Seed uint64
+}
+
+// Env is one simulated machine.
+type Env struct {
+	E     *sim.Engine
+	Space *mem.Space
+	Fab   *pcie.Fabric
+	HM    *hostmem.Memory
+	GPU   *gpu.GPU
+	CE    *gpu.CopyEngine
+	Devs  []*ssd.Device
+
+	started bool
+}
+
+// New builds the machine. Devices are created but not started; call
+// StartDevices after creating all queue pairs (drivers usually do this for
+// you via their constructors, then you call StartDevices once).
+func New(o Options) *Env {
+	if o.SSDs <= 0 {
+		o.SSDs = 12
+	}
+	if o.SSD.CapacityBytes == 0 {
+		o.SSD = ssd.DefaultConfig()
+	}
+	if o.GPU.SMs == 0 {
+		o.GPU = gpu.DefaultConfig()
+	}
+	if o.Host.Channels == 0 {
+		o.Host = hostmem.DefaultConfig()
+	}
+	if o.MemoryChannels > 0 {
+		o.Host.Channels = o.MemoryChannels
+	}
+	if o.PCIe.EffectiveBandwidth == 0 {
+		o.PCIe = pcie.DefaultConfig()
+	}
+	e := sim.New()
+	space := mem.NewSpace()
+	env := &Env{
+		E:     e,
+		Space: space,
+		Fab:   pcie.New(e, o.PCIe),
+		HM:    hostmem.New(e, space, o.Host),
+		GPU:   gpu.New(e, "gpu0", o.GPU, space),
+		CE:    gpu.NewCopyEngine(e, "h2d", gpu.DefaultCopyEngineConfig()),
+	}
+	for i := 0; i < o.SSDs; i++ {
+		cfg := o.SSD
+		cfg.Seed = o.Seed*1000 + uint64(i) + 1
+		env.Devs = append(env.Devs, ssd.New(e, fmt.Sprintf("nvme%d", i), cfg, env.Fab, space))
+	}
+	return env
+}
+
+// StartDevices launches every SSD controller. Safe to call once, after all
+// queue pairs exist.
+func (env *Env) StartDevices() {
+	if env.started {
+		return
+	}
+	env.started = true
+	for _, d := range env.Devs {
+		d.Start()
+	}
+}
+
+// Run starts the devices (if needed) and runs the simulation to quiescence,
+// returning the final virtual time.
+func (env *Env) Run() sim.Time {
+	env.StartDevices()
+	return env.E.Run()
+}

@@ -1,0 +1,78 @@
+package platform
+
+import (
+	"testing"
+
+	"camsim/internal/hostmem"
+	"camsim/internal/sim"
+)
+
+func TestDefaultsFilledIn(t *testing.T) {
+	env := New(Options{})
+	if len(env.Devs) != 12 {
+		t.Fatalf("default SSDs = %d, want 12", len(env.Devs))
+	}
+	if env.GPU.Config().SMs != 108 {
+		t.Fatalf("default GPU SMs = %d", env.GPU.Config().SMs)
+	}
+	if env.HM.Config().Channels != 16 {
+		t.Fatalf("default channels = %d", env.HM.Config().Channels)
+	}
+	if env.Fab.Config().EffectiveBandwidth != 21e9 {
+		t.Fatalf("default PCIe = %g", env.Fab.Config().EffectiveBandwidth)
+	}
+}
+
+func TestMemoryChannelOverride(t *testing.T) {
+	env := New(Options{MemoryChannels: 2})
+	if env.HM.Config().Channels != 2 {
+		t.Fatalf("channels = %d, want 2", env.HM.Config().Channels)
+	}
+	// The rest of the host config stays default.
+	if env.HM.Config().ChannelBandwidth != hostmem.DefaultConfig().ChannelBandwidth {
+		t.Fatal("channel bandwidth clobbered by override")
+	}
+}
+
+func TestDeviceSeedsDiffer(t *testing.T) {
+	env := New(Options{SSDs: 3, Seed: 5})
+	seen := map[uint64]bool{}
+	for _, d := range env.Devs {
+		s := d.Config().Seed
+		if seen[s] {
+			t.Fatalf("duplicate device seed %d", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestStartDevicesIdempotent(t *testing.T) {
+	env := New(Options{SSDs: 2})
+	env.StartDevices()
+	env.StartDevices() // must not panic (ssd.Start panics on double start)
+}
+
+func TestRunStartsDevicesAndAdvancesClock(t *testing.T) {
+	env := New(Options{SSDs: 1})
+	fired := false
+	env.E.Go("p", func(p *sim.Proc) {
+		p.Sleep(100)
+		fired = true
+	})
+	end := env.Run()
+	if !fired || end < 100 {
+		t.Fatalf("run end=%v fired=%v", end, fired)
+	}
+}
+
+func TestSharedAddressSpace(t *testing.T) {
+	env := New(Options{SSDs: 1})
+	hb := env.HM.Alloc("h", 4096)
+	gb := env.GPU.Alloc("g", 4096)
+	if _, _, err := env.Space.Resolve(hb.Addr, 4096); err != nil {
+		t.Fatal("host buffer not in shared space:", err)
+	}
+	if _, _, err := env.Space.Resolve(gb.Addr, 4096); err != nil {
+		t.Fatal("GPU buffer not in shared space:", err)
+	}
+}

@@ -1,0 +1,330 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// Every hardware actor in the reproduction (GPU streaming multiprocessors,
+// CPU cores, SSD controllers, DMA engines, polling threads) runs as a
+// simulation process on one shared virtual clock. Exactly one process is
+// runnable at any instant, so a given seed always produces the same event
+// trace, the same metrics, and the same data movement.
+//
+// Processes are ordinary goroutines that rendezvous with the engine through
+// per-process channels: the engine resumes a process, the process runs until
+// it blocks (Sleep, Wait, Acquire, ...) or returns, and control passes back
+// to the engine. Virtual time only advances between events.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration helpers. Virtual durations share the Time type so arithmetic
+// stays free of conversions.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual instant.
+const MaxTime Time = math.MaxInt64
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6fs", t.Seconds())
+	}
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+
+// Engine owns the virtual clock and the pending-event queue.
+// Engines are not safe for concurrent use from multiple OS threads; all
+// interaction must come from the driving goroutine (before Run) or from
+// within simulation processes and callbacks (during Run).
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// current is the process whose code is executing right now, nil while
+	// the engine itself (or a plain callback) runs.
+	current *Proc
+	// yield is the rendezvous channel processes use to hand control back.
+	yield chan struct{}
+	procs int // live (started, not finished) processes
+
+	stopped bool
+}
+
+// New returns an empty engine at virtual time zero.
+func New() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn at now+delay. A negative delay is treated as zero.
+// Callbacks run on the engine goroutine and must not block.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.scheduleAt(e.now+delay, fn)
+}
+
+func (e *Engine) scheduleAt(at Time, fn func()) {
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// Proc is a simulation process: a goroutine interleaved with the engine so
+// that exactly one process runs at a time.
+type Proc struct {
+	e      *Engine
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Name reports the name the process was started with.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine the process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Go starts fn as a new simulation process. The process begins executing at
+// the current virtual time, after already-queued events at that time.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{e: e, name: name, resume: make(chan struct{})}
+	e.procs++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.done = true
+		e.procs--
+		e.yield <- struct{}{}
+	}()
+	e.Schedule(0, func() { e.runProc(p) })
+	return p
+}
+
+// runProc transfers control to p and waits for it to block or finish.
+func (e *Engine) runProc(p *Proc) {
+	prev := e.current
+	e.current = p
+	p.resume <- struct{}{}
+	<-e.yield
+	e.current = prev
+}
+
+// block suspends the calling process until something resumes it.
+// Must only be called from within that process.
+func (p *Proc) block() {
+	p.e.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d of virtual time (d<=0 is a yield to
+// events already queued at the current instant).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.e.Schedule(d, func() { p.e.runProc(p) })
+	p.block()
+}
+
+// SleepUntil suspends the process until virtual time t (or yields if t has
+// passed).
+func (p *Proc) SleepUntil(t Time) {
+	d := t - p.e.now
+	if d < 0 {
+		d = 0
+	}
+	p.Sleep(d)
+}
+
+// Yield reschedules the process behind all events pending at the current
+// instant.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Run processes events until none remain or Stop is called. It returns the
+// final virtual time.
+func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
+
+// RunUntil processes events with timestamps <= deadline. Events beyond the
+// deadline remain queued; the clock is left at min(deadline, last event).
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := e.events[0]
+		if ev.at > deadline {
+			break
+		}
+		heap.Pop(&e.events)
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.fn()
+	}
+	return e.now
+}
+
+// Stop makes Run return after the currently executing event completes.
+// Pending events stay queued, so Run can be called again to continue.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Live reports the number of started-but-unfinished processes.
+func (e *Engine) Live() int { return e.procs }
+
+// Signal is a one-shot event: processes Wait on it, someone Fires it. After
+// firing, Wait returns immediately. Fire is idempotent.
+type Signal struct {
+	e       *Engine
+	name    string
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal creates an unfired signal.
+func (e *Engine) NewSignal(name string) *Signal {
+	return &Signal{e: e, name: name}
+}
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire wakes all waiters at the current virtual time. Firing twice is a
+// no-op.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	waiters := s.waiters
+	s.waiters = nil
+	for _, p := range waiters {
+		p := p
+		s.e.Schedule(0, func() { s.e.runProc(p) })
+	}
+}
+
+// Reset re-arms a fired signal so it can be waited on and fired again.
+// It must not be called while processes are still waiting.
+func (s *Signal) Reset() {
+	if len(s.waiters) != 0 {
+		panic("sim: Reset on Signal with waiters: " + s.name)
+	}
+	s.fired = false
+}
+
+// Wait blocks the process until the signal fires (returns immediately if it
+// already has).
+func (p *Proc) Wait(s *Signal) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.block()
+}
+
+// WaitTimeout blocks until the signal fires or d elapses. It reports whether
+// the signal fired (true) or the timeout hit (false).
+func (p *Proc) WaitTimeout(s *Signal, d Time) bool {
+	if s.fired {
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	expired := false
+	fired := false
+	// The timer and the signal race; whichever runs first resumes p and
+	// disarms the other by flipping the shared flags.
+	s.waiters = append(s.waiters, p)
+	p.e.Schedule(d, func() {
+		if fired || expired {
+			return
+		}
+		expired = true
+		// Remove p from the signal's waiters so Fire will not resume it
+		// a second time.
+		for i, w := range s.waiters {
+			if w == p {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				break
+			}
+		}
+		p.e.runProc(p)
+	})
+	// Wrap the resume from Fire: mark fired before control returns.
+	// Fire resumes p directly; detect which path ran via flags set above
+	// or below.
+	p.blockNoted(&fired, &expired)
+	return fired
+}
+
+// blockNoted blocks like block, but if resumed by a Signal.Fire (rather than
+// the timeout callback) it records that by setting *fired. Fire path: the
+// process is scheduled via runProc without expired set.
+func (p *Proc) blockNoted(fired, expired *bool) {
+	p.e.yield <- struct{}{}
+	<-p.resume
+	if !*expired {
+		*fired = true
+	}
+}
+
+// WaitAll blocks until every listed signal has fired.
+func (p *Proc) WaitAll(sigs ...*Signal) {
+	for _, s := range sigs {
+		p.Wait(s)
+	}
+}

@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := New()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if fmt.Sprint(order) != "[1 2 3]" {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final time = %v, want 30", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of order: %v", order)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := New()
+	ran := false
+	e.Schedule(-100, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("negative-delay event never ran")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("time moved backwards: %v", e.Now())
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := New()
+	var wake Time
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(100)
+		wake = p.Now()
+	})
+	e.Run()
+	if wake != 100 {
+		t.Fatalf("woke at %v, want 100", wake)
+	}
+}
+
+func TestProcSleepUntilPast(t *testing.T) {
+	e := New()
+	var wake Time
+	e.Go("p", func(p *Proc) {
+		p.Sleep(50)
+		p.SleepUntil(10) // in the past: acts as yield
+		wake = p.Now()
+	})
+	e.Run()
+	if wake != 50 {
+		t.Fatalf("woke at %v, want 50", wake)
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := New()
+		var trace []string
+		for _, name := range []string{"a", "b"} {
+			name := name
+			e.Go(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					trace = append(trace, fmt.Sprintf("%s%d@%d", name, i, p.Now()))
+					p.Sleep(10)
+				}
+			})
+		}
+		e.Run()
+		return trace
+	}
+	t1, t2 := run(), run()
+	if fmt.Sprint(t1) != fmt.Sprint(t2) {
+		t.Fatalf("nondeterministic traces:\n%v\n%v", t1, t2)
+	}
+	want := "[a0@0 b0@0 a1@10 b1@10 a2@20 b2@20]"
+	if fmt.Sprint(t1) != want {
+		t.Fatalf("trace = %v, want %v", t1, want)
+	}
+}
+
+func TestSignalFireWakesWaiters(t *testing.T) {
+	e := New()
+	s := e.NewSignal("go")
+	var woke []Time
+	for i := 0; i < 3; i++ {
+		e.Go(fmt.Sprint("w", i), func(p *Proc) {
+			p.Wait(s)
+			woke = append(woke, p.Now())
+		})
+	}
+	e.Go("firer", func(p *Proc) {
+		p.Sleep(42)
+		s.Fire()
+	})
+	e.Run()
+	if len(woke) != 3 {
+		t.Fatalf("woke %d waiters, want 3", len(woke))
+	}
+	for _, w := range woke {
+		if w != 42 {
+			t.Fatalf("waiter woke at %v, want 42", w)
+		}
+	}
+}
+
+func TestSignalWaitAfterFireReturnsImmediately(t *testing.T) {
+	e := New()
+	s := e.NewSignal("pre")
+	var at Time = -1
+	e.Go("f", func(p *Proc) { s.Fire() })
+	e.Go("w", func(p *Proc) {
+		p.Sleep(5)
+		p.Wait(s)
+		at = p.Now()
+	})
+	e.Run()
+	if at != 5 {
+		t.Fatalf("waiter resumed at %v, want 5", at)
+	}
+}
+
+func TestSignalFireIdempotent(t *testing.T) {
+	e := New()
+	s := e.NewSignal("x")
+	e.Go("f", func(p *Proc) {
+		s.Fire()
+		s.Fire() // must not panic or double-wake
+	})
+	e.Run()
+	if !s.Fired() {
+		t.Fatal("signal not fired")
+	}
+}
+
+func TestSignalReset(t *testing.T) {
+	e := New()
+	s := e.NewSignal("r")
+	count := 0
+	e.Go("w", func(p *Proc) {
+		p.Wait(s)
+		count++
+		s.Reset()
+		p.Wait(s)
+		count++
+	})
+	e.Go("f", func(p *Proc) {
+		p.Sleep(10)
+		s.Fire()
+		p.Sleep(10)
+		s.Fire()
+	})
+	e.Run()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestWaitTimeoutExpires(t *testing.T) {
+	e := New()
+	s := e.NewSignal("never")
+	var fired bool
+	var at Time
+	e.Go("w", func(p *Proc) {
+		fired = p.WaitTimeout(s, 100)
+		at = p.Now()
+	})
+	e.Run()
+	if fired {
+		t.Fatal("WaitTimeout reported fired for unfired signal")
+	}
+	if at != 100 {
+		t.Fatalf("timeout at %v, want 100", at)
+	}
+	if len(s.waiters) != 0 {
+		t.Fatalf("stale waiter left on signal")
+	}
+}
+
+func TestWaitTimeoutSignalWins(t *testing.T) {
+	e := New()
+	s := e.NewSignal("soon")
+	var fired bool
+	var at Time
+	e.Go("w", func(p *Proc) {
+		fired = p.WaitTimeout(s, 100)
+		at = p.Now()
+	})
+	e.Go("f", func(p *Proc) {
+		p.Sleep(30)
+		s.Fire()
+	})
+	e.Run()
+	if !fired {
+		t.Fatal("WaitTimeout missed the signal")
+	}
+	if at != 30 {
+		t.Fatalf("woke at %v, want 30", at)
+	}
+}
+
+func TestWaitTimeoutAlreadyFired(t *testing.T) {
+	e := New()
+	s := e.NewSignal("pre")
+	var fired bool
+	e.Go("f", func(p *Proc) { s.Fire() })
+	e.Go("w", func(p *Proc) {
+		p.Sleep(1)
+		fired = p.WaitTimeout(s, 50)
+	})
+	e.Run()
+	if !fired {
+		t.Fatal("WaitTimeout on fired signal returned false")
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := New()
+	var ran []int64
+	for _, d := range []Time{10, 20, 30} {
+		d := d
+		e.Schedule(d, func() { ran = append(ran, int64(d)) })
+	}
+	e.RunUntil(20)
+	if fmt.Sprint(ran) != "[10 20]" {
+		t.Fatalf("ran = %v", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if fmt.Sprint(ran) != "[10 20 30]" {
+		t.Fatalf("after resume ran = %v", ran)
+	}
+}
+
+func TestStopPausesRun(t *testing.T) {
+	e := New()
+	n := 0
+	e.Schedule(1, func() { n++; e.Stop() })
+	e.Schedule(2, func() { n++ })
+	e.Run()
+	if n != 1 {
+		t.Fatalf("n = %d after Stop, want 1", n)
+	}
+	e.Run()
+	if n != 2 {
+		t.Fatalf("n = %d after resume, want 2", n)
+	}
+}
+
+func TestLiveCountsProcesses(t *testing.T) {
+	e := New()
+	e.Go("p", func(p *Proc) { p.Sleep(10) })
+	if e.Live() != 1 {
+		t.Fatalf("Live = %d before run, want 1", e.Live())
+	}
+	e.Run()
+	if e.Live() != 0 {
+		t.Fatalf("Live = %d after run, want 0", e.Live())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		500:             "500ns",
+		1500:            "1.500us",
+		2 * Millisecond: "2.000ms",
+		3 * Second:      "3.000000s",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("(%d).String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestNestedGoFromProc(t *testing.T) {
+	e := New()
+	var childAt Time = -1
+	e.Go("parent", func(p *Proc) {
+		p.Sleep(7)
+		e.Go("child", func(c *Proc) {
+			childAt = c.Now()
+		})
+		p.Sleep(1)
+	})
+	e.Run()
+	if childAt != 7 {
+		t.Fatalf("child started at %v, want 7", childAt)
+	}
+}

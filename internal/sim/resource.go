@@ -1,0 +1,126 @@
+package sim
+
+// Resource is a counted semaphore with FIFO admission, used to model units
+// of capacity: CPU cores, DMA engines, NVMe queue slots, SM thread slots.
+type Resource struct {
+	e        *Engine
+	name     string
+	capacity int64
+	inUse    int64
+	waiters  []*resWaiter
+
+	// usage integration for utilization reporting
+	lastChange Time
+	usageInt   float64 // ∫ inUse dt, in unit·ns
+}
+
+type resWaiter struct {
+	p *Proc
+	n int64
+}
+
+// NewResource creates a resource with the given capacity (> 0).
+func (e *Engine) NewResource(name string, capacity int64) *Resource {
+	if capacity <= 0 {
+		panic("sim: NewResource capacity must be positive: " + name)
+	}
+	return &Resource{e: e, name: name, capacity: capacity}
+}
+
+// Capacity reports the configured capacity.
+func (r *Resource) Capacity() int64 { return r.capacity }
+
+// InUse reports the number of units currently held.
+func (r *Resource) InUse() int64 { return r.inUse }
+
+// Available reports capacity minus units held.
+func (r *Resource) Available() int64 { return r.capacity - r.inUse }
+
+// QueueLen reports how many processes are blocked in Acquire.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// integrate accrues usage·time up to now; call before every inUse change.
+func (r *Resource) integrate() {
+	now := r.e.now
+	if now > r.lastChange {
+		r.usageInt += float64(r.inUse) * float64(now-r.lastChange)
+		r.lastChange = now
+	}
+}
+
+// IntegratedUsage reports ∫ inUse dt in unit·nanoseconds up to now.
+func (r *Resource) IntegratedUsage() float64 {
+	r.integrate()
+	return r.usageInt
+}
+
+// MeanUtilization reports time-averaged inUse/capacity since t=0.
+func (r *Resource) MeanUtilization() float64 {
+	if r.e.now == 0 {
+		return 0
+	}
+	return r.IntegratedUsage() / (float64(r.capacity) * float64(r.e.now))
+}
+
+// Acquire blocks p until n units are available, then holds them. Admission
+// is strictly FIFO: a large request at the head blocks later small ones.
+func (r *Resource) Acquire(p *Proc, n int64) {
+	if n <= 0 {
+		return
+	}
+	if n > r.capacity {
+		panic("sim: Acquire larger than capacity on " + r.name)
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.integrate()
+		r.inUse += n
+		return
+	}
+	r.waiters = append(r.waiters, &resWaiter{p: p, n: n})
+	p.block()
+}
+
+// TryAcquire holds n units if immediately available (respecting FIFO order)
+// and reports whether it did.
+func (r *Resource) TryAcquire(n int64) bool {
+	if n <= 0 {
+		return true
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.integrate()
+		r.inUse += n
+		return true
+	}
+	return false
+}
+
+// Release returns n units and admits queued waiters in order.
+func (r *Resource) Release(n int64) {
+	if n <= 0 {
+		return
+	}
+	r.integrate()
+	r.inUse -= n
+	if r.inUse < 0 {
+		panic("sim: Release below zero on " + r.name)
+	}
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if r.inUse+w.n > r.capacity {
+			break
+		}
+		r.integrate()
+		r.inUse += w.n
+		r.waiters = r.waiters[1:]
+		p := w.p
+		r.e.Schedule(0, func() { r.e.runProc(p) })
+	}
+}
+
+// Use acquires n units, runs the process for d of virtual time, and
+// releases. It models holding a piece of hardware for a fixed occupation.
+func (r *Resource) Use(p *Proc, n int64, d Time) {
+	r.Acquire(p, n)
+	p.Sleep(d)
+	r.Release(n)
+}

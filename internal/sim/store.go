@@ -1,0 +1,89 @@
+package sim
+
+// Store is an unbounded FIFO mailbox between simulation processes, the
+// channel analogue inside virtual time. Producers never block; consumers
+// block until an item arrives.
+type Store[T any] struct {
+	e       *Engine
+	name    string
+	items   []T
+	getters []*storeGetter[T]
+	closed  bool
+}
+
+type storeGetter[T any] struct {
+	p  *Proc
+	v  T
+	ok bool
+}
+
+// NewStore creates an empty store. The type parameter is supplied at the
+// call site: sim.NewStore[*Request](e, "sq0").
+func NewStore[T any](e *Engine, name string) *Store[T] {
+	return &Store[T]{e: e, name: name}
+}
+
+// Len reports the number of queued items.
+func (s *Store[T]) Len() int { return len(s.items) }
+
+// Put enqueues v, waking the oldest blocked getter if any. Put after Close
+// panics.
+func (s *Store[T]) Put(v T) {
+	if s.closed {
+		panic("sim: Put on closed store " + s.name)
+	}
+	if len(s.getters) > 0 {
+		g := s.getters[0]
+		s.getters = s.getters[1:]
+		g.v, g.ok = v, true
+		p := g.p
+		s.e.Schedule(0, func() { s.e.runProc(p) })
+		return
+	}
+	s.items = append(s.items, v)
+}
+
+// Get blocks until an item is available and returns it; ok is false only if
+// the store is closed and drained.
+func (s *Store[T]) Get(p *Proc) (v T, ok bool) {
+	if len(s.items) > 0 {
+		v = s.items[0]
+		s.items = s.items[1:]
+		return v, true
+	}
+	if s.closed {
+		return v, false
+	}
+	g := &storeGetter[T]{p: p}
+	s.getters = append(s.getters, g)
+	p.block()
+	return g.v, g.ok
+}
+
+// TryGet dequeues an item if one is queued.
+func (s *Store[T]) TryGet() (v T, ok bool) {
+	if len(s.items) == 0 {
+		return v, false
+	}
+	v = s.items[0]
+	s.items = s.items[1:]
+	return v, true
+}
+
+// Close marks the store closed: queued items can still be drained, blocked
+// and future getters receive ok=false once empty.
+func (s *Store[T]) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	getters := s.getters
+	s.getters = nil
+	for _, g := range getters {
+		g := g
+		s.e.Schedule(0, func() { s.e.runProc(g.p) })
+	}
+}
+
+// Closed reports whether Close has been called.
+func (s *Store[T]) Closed() bool { return s.closed }

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestStorePutThenGet(t *testing.T) {
+	e := New()
+	s := NewStore[int](e, "s")
+	var got int
+	e.Go("c", func(p *Proc) {
+		v, ok := s.Get(p)
+		if !ok {
+			t.Error("Get returned !ok")
+		}
+		got = v
+	})
+	e.Go("pr", func(p *Proc) {
+		p.Sleep(10)
+		s.Put(7)
+	})
+	e.Run()
+	if got != 7 {
+		t.Fatalf("got %d, want 7", got)
+	}
+}
+
+func TestStoreFIFOOrder(t *testing.T) {
+	e := New()
+	s := NewStore[int](e, "s")
+	var got []int
+	e.Go("pr", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			s.Put(i)
+		}
+	})
+	e.Go("c", func(p *Proc) {
+		p.Sleep(1)
+		for i := 0; i < 5; i++ {
+			v, _ := s.Get(p)
+			got = append(got, v)
+		}
+	})
+	e.Run()
+	if fmt.Sprint(got) != "[0 1 2 3 4]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestStoreMultipleGettersFIFO(t *testing.T) {
+	e := New()
+	s := NewStore[string](e, "s")
+	var got []string
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go(fmt.Sprint("c", i), func(p *Proc) {
+			v, _ := s.Get(p)
+			got = append(got, fmt.Sprintf("c%d:%s", i, v))
+		})
+	}
+	e.Go("pr", func(p *Proc) {
+		p.Sleep(5)
+		s.Put("x")
+		s.Put("y")
+		s.Put("z")
+	})
+	e.Run()
+	if fmt.Sprint(got) != "[c0:x c1:y c2:z]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestStoreTryGet(t *testing.T) {
+	e := New()
+	s := NewStore[int](e, "s")
+	if _, ok := s.TryGet(); ok {
+		t.Fatal("TryGet on empty store succeeded")
+	}
+	s.Put(3)
+	v, ok := s.TryGet()
+	if !ok || v != 3 {
+		t.Fatalf("TryGet = %d,%v", v, ok)
+	}
+}
+
+func TestStoreCloseWakesGetters(t *testing.T) {
+	e := New()
+	s := NewStore[int](e, "s")
+	var okAfterClose = true
+	e.Go("c", func(p *Proc) {
+		_, ok := s.Get(p)
+		okAfterClose = ok
+	})
+	e.Go("closer", func(p *Proc) {
+		p.Sleep(10)
+		s.Close()
+	})
+	e.Run()
+	if okAfterClose {
+		t.Fatal("Get on closed store returned ok")
+	}
+}
+
+func TestStoreCloseDrainsQueuedItems(t *testing.T) {
+	e := New()
+	s := NewStore[int](e, "s")
+	s.Put(1)
+	s.Close()
+	var vals []int
+	var lastOK bool
+	e.Go("c", func(p *Proc) {
+		v, ok := s.Get(p)
+		if ok {
+			vals = append(vals, v)
+		}
+		_, lastOK = s.Get(p)
+	})
+	e.Run()
+	if fmt.Sprint(vals) != "[1]" || lastOK {
+		t.Fatalf("vals=%v lastOK=%v", vals, lastOK)
+	}
+}
+
+// Property: everything Put is Got exactly once, in order, for any
+// interleaving of producer/consumer counts.
+func TestStoreConservationQuick(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		count := int(n%64) + 1
+		e := New()
+		s := NewStore[int](e, "s")
+		rng := NewRNG(seed)
+		var got []int
+		e.Go("pr", func(p *Proc) {
+			for i := 0; i < count; i++ {
+				s.Put(i)
+				p.Sleep(Time(rng.Int63n(5)))
+			}
+		})
+		e.Go("c", func(p *Proc) {
+			for i := 0; i < count; i++ {
+				v, ok := s.Get(p)
+				if !ok {
+					return
+				}
+				got = append(got, v)
+				p.Sleep(Time(rng.Int63n(5)))
+			}
+		})
+		e.Run()
+		if len(got) != count {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

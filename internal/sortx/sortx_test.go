@@ -1,0 +1,220 @@
+package sortx
+
+import (
+	"testing"
+	"testing/quick"
+
+	"camsim/internal/bam"
+	"camsim/internal/platform"
+	"camsim/internal/sim"
+	"camsim/internal/xfer"
+)
+
+// smallCfg: 16 Ki keys (64 KiB), 4 runs, 4 KiB chunks.
+func smallCfg() Config {
+	return Config{
+		NumInts:    16 << 10,
+		RunBytes:   16 << 10,
+		ChunkBytes: 4 << 10,
+		SortRate:   4e9,
+		MergeRate:  8e9,
+	}
+}
+
+func runSort(t *testing.T, mk func(env *platform.Env) xfer.Backend, cfg Config, seed uint64) (Stats, *platform.Env) {
+	t.Helper()
+	env := platform.New(platform.Options{SSDs: 3})
+	b := mk(env)
+	s := New(env, b, cfg)
+	var st Stats
+	var verr error
+	env.E.Go("sort", func(p *sim.Proc) {
+		s.Fill(p, seed)
+		st = s.Sort(p)
+		verr = s.Verify(p)
+	})
+	env.Run()
+	if verr != nil {
+		t.Fatal(verr)
+	}
+	return st, env
+}
+
+func TestSortCAMVerified(t *testing.T) {
+	st, _ := runSort(t, func(env *platform.Env) xfer.Backend {
+		return xfer.NewCAM(env, 4096, nil)
+	}, smallCfg(), 1)
+	if st.Passes != 2 { // 4 runs -> 2 merge passes
+		t.Fatalf("passes = %d, want 2", st.Passes)
+	}
+	if st.Elapsed <= 0 || st.RunPhase <= 0 || st.MergePhase <= 0 {
+		t.Fatalf("timings missing: %+v", st)
+	}
+}
+
+func TestSortSPDKVerified(t *testing.T) {
+	runSort(t, func(env *platform.Env) xfer.Backend {
+		return xfer.NewSPDK(env, 4096, 4)
+	}, smallCfg(), 2)
+}
+
+func TestSortPOSIXVerified(t *testing.T) {
+	runSort(t, func(env *platform.Env) xfer.Backend {
+		return xfer.NewPOSIX(env, 4096, 2)
+	}, smallCfg(), 3)
+}
+
+func TestSortBaMVerified(t *testing.T) {
+	runSort(t, func(env *platform.Env) xfer.Backend {
+		return xfer.NewBaM(env, bam.New(env.E, bam.DefaultConfig(), env.GPU, env.Devs), 4096)
+	}, smallCfg(), 4)
+}
+
+func TestSortSingleRun(t *testing.T) {
+	cfg := smallCfg()
+	cfg.RunBytes = cfg.NumInts * 4 // one run, no merge passes
+	st, _ := runSort(t, func(env *platform.Env) xfer.Backend {
+		return xfer.NewCAM(env, 4096, nil)
+	}, cfg, 5)
+	if st.Passes != 0 {
+		t.Fatalf("single-run sort had %d merge passes", st.Passes)
+	}
+}
+
+func TestSortRandomSeedsQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		env := platform.New(platform.Options{SSDs: 2})
+		b := xfer.NewCAM(env, 4096, nil)
+		cfg := Config{NumInts: 8 << 10, RunBytes: 8 << 10, ChunkBytes: 4 << 10, SortRate: 4e9, MergeRate: 8e9}
+		s := New(env, b, cfg)
+		ok := true
+		env.E.Go("sort", func(p *sim.Proc) {
+			s.Fill(p, seed)
+			s.Sort(p)
+			ok = s.Verify(p) == nil
+		})
+		env.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{NumInts: 0, RunBytes: 8192, ChunkBytes: 4096},
+		{NumInts: 1 << 12, RunBytes: 6144, ChunkBytes: 4096},           // run not multiple of chunk
+		{NumInts: 1 << 12, RunBytes: 8192, ChunkBytes: 1000},           // chunk not multiple of block
+		{NumInts: (1 << 12) + 1, RunBytes: 8192, ChunkBytes: 4096},     // data not multiple of run
+		{NumInts: 1 << 12, RunBytes: 8192, ChunkBytes: 4096, Fanin: 1}, // nonsensical fan-in
+	}
+	for i, c := range bad {
+		if err := c.Validate(4096); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+	good := Config{NumInts: 16 << 10, RunBytes: 16 << 10, ChunkBytes: 4 << 10}
+	if err := good.Validate(4096); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+// perfCfg is a 4 MiB sort with chunk sizes large enough that staging-based
+// backends amortize their per-copy overhead, as the paper's sort code does.
+func perfCfg() Config {
+	return Config{
+		NumInts:    1 << 20, // 4 MiB of keys
+		RunBytes:   1 << 20,
+		ChunkBytes: 128 << 10,
+		SortRate:   4e9,
+		MergeRate:  8e9,
+	}
+}
+
+func TestCAMFasterThanPOSIX(t *testing.T) {
+	cfg := perfCfg()
+	camSt, _ := runSort(t, func(env *platform.Env) xfer.Backend {
+		return xfer.NewCAM(env, 4096, nil)
+	}, cfg, 7)
+	posixSt, _ := runSort(t, func(env *platform.Env) xfer.Backend {
+		return xfer.NewPOSIX(env, cfg.ChunkBytes, 2)
+	}, cfg, 7)
+	ratio := float64(posixSt.Elapsed) / float64(camSt.Elapsed)
+	if ratio < 1.2 {
+		t.Fatalf("CAM sort only %.2fx faster than POSIX (paper: ~1.5x)", ratio)
+	}
+}
+
+func TestCAMAndSPDKComparable(t *testing.T) {
+	// The paper finds CAM ≈ SPDK on mergesort (both overlap, similar
+	// throughput at large granularity).
+	cfg := perfCfg()
+	camSt, _ := runSort(t, func(env *platform.Env) xfer.Backend {
+		return xfer.NewCAM(env, 4096, nil)
+	}, cfg, 9)
+	spdkSt, _ := runSort(t, func(env *platform.Env) xfer.Backend {
+		return xfer.NewSPDK(env, cfg.ChunkBytes, 4)
+	}, cfg, 9)
+	ratio := float64(spdkSt.Elapsed) / float64(camSt.Elapsed)
+	if ratio < 0.7 || ratio > 1.7 {
+		t.Fatalf("CAM/SPDK sort ratio = %.2f, expected comparable", ratio)
+	}
+}
+
+func TestSortKWayFewerPasses(t *testing.T) {
+	// 16 runs: pairwise needs 4 passes, 4-way needs 2, moving less data.
+	base := Config{
+		NumInts:    64 << 10,
+		RunBytes:   16 << 10,
+		ChunkBytes: 4 << 10,
+		SortRate:   4e9,
+		MergeRate:  8e9,
+	}
+	two, _ := runSort(t, func(env *platform.Env) xfer.Backend {
+		return xfer.NewCAM(env, 4096, nil)
+	}, base, 11)
+	k4 := base
+	k4.Fanin = 4
+	four, _ := runSort(t, func(env *platform.Env) xfer.Backend {
+		return xfer.NewCAM(env, 4096, nil)
+	}, k4, 11)
+	if two.Passes != 4 || four.Passes != 2 {
+		t.Fatalf("passes = %d (2-way) / %d (4-way), want 4 / 2", two.Passes, four.Passes)
+	}
+	if four.BytesMoved >= two.BytesMoved {
+		t.Fatalf("4-way moved %d bytes, not below 2-way's %d", four.BytesMoved, two.BytesMoved)
+	}
+}
+
+func TestSortOddRunCount(t *testing.T) {
+	// 3 runs: no longer restricted to powers of two; the residual run is
+	// copied through and correctness must hold.
+	cfg := Config{
+		NumInts:    12 << 10, // 48 KiB = 3 runs of 16 KiB
+		RunBytes:   16 << 10,
+		ChunkBytes: 4 << 10,
+		SortRate:   4e9,
+		MergeRate:  8e9,
+	}
+	runSort(t, func(env *platform.Env) xfer.Backend {
+		return xfer.NewCAM(env, 4096, nil)
+	}, cfg, 13)
+}
+
+func TestSortWideFaninSinglePass(t *testing.T) {
+	cfg := Config{
+		NumInts:    64 << 10,
+		RunBytes:   8 << 10,
+		ChunkBytes: 4 << 10,
+		SortRate:   4e9,
+		MergeRate:  8e9,
+		Fanin:      32, // all runs in one pass
+	}
+	st, _ := runSort(t, func(env *platform.Env) xfer.Backend {
+		return xfer.NewCAM(env, 4096, nil)
+	}, cfg, 17)
+	if st.Passes != 1 {
+		t.Fatalf("passes = %d, want 1", st.Passes)
+	}
+}

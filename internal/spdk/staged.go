@@ -1,0 +1,97 @@
+package spdk
+
+import (
+	"fmt"
+
+	"camsim/internal/gpu"
+	"camsim/internal/hostmem"
+	"camsim/internal/mem"
+	"camsim/internal/nvme"
+	"camsim/internal/sim"
+)
+
+// StagedGPUIO is the classic SPDK-to-GPU data path: SSD ⇄ host staging
+// buffer ⇄ cudaMemcpyAsync ⇄ GPU memory. Each application granule becomes
+// one memcpy call, so small granules pay the launch overhead in full
+// (Fig 16) and every byte crosses host DRAM twice (Figs 14–15).
+type StagedGPUIO struct {
+	d       *Driver
+	ce      *gpu.CopyEngine
+	staging *hostmem.Buffer
+}
+
+// NewStagedGPUIO creates the helper with a staging buffer of the given
+// size (must hold the largest single granule in flight).
+func NewStagedGPUIO(d *Driver, ce *gpu.CopyEngine, stagingBytes int64) *StagedGPUIO {
+	return &StagedGPUIO{
+		d:       d,
+		ce:      ce,
+		staging: d.hm.Alloc(fmt.Sprintf("spdk.staging.%p", d), stagingBytes),
+	}
+}
+
+// Driver exposes the underlying NVMe driver.
+func (s *StagedGPUIO) Driver() *Driver { return s.d }
+
+// ReadToGPU reads n bytes from dev starting at slba into gpuDst (one
+// application granule): SSD commands are split at the device MDTS; when all
+// land in staging, a single cudaMemcpyAsync moves the granule to the GPU.
+// It blocks p until the granule is resident in GPU memory.
+func (s *StagedGPUIO) ReadToGPU(p *sim.Proc, dev int, slba uint64, gpuDst *gpu.Buffer, dstOff, n int64) {
+	if n > s.staging.Size() {
+		panic("spdk: granule larger than staging buffer")
+	}
+	reqs := s.split(nvme.OpRead, dev, slba, n)
+	for _, r := range reqs {
+		s.d.Submit(r)
+	}
+	for _, r := range reqs {
+		p.Wait(r.Done)
+	}
+	// One memcpy per granule; the copy engine moves the real bytes and
+	// the read leg crosses DRAM once more.
+	s.d.hm.ReserveTraffic(n)
+	s.ce.Copy(p, gpuDst.Data[dstOff:], s.staging.Data, n)
+}
+
+// WriteFromGPU writes n bytes from gpuSrc to dev at slba: one memcpy
+// GPU→staging, then SSD writes from staging.
+func (s *StagedGPUIO) WriteFromGPU(p *sim.Proc, dev int, slba uint64, gpuSrc *gpu.Buffer, srcOff, n int64) {
+	if n > s.staging.Size() {
+		panic("spdk: granule larger than staging buffer")
+	}
+	s.d.hm.ReserveTraffic(n) // memcpy write leg into DRAM
+	s.ce.Copy(p, s.staging.Data, gpuSrc.Data[srcOff:], n)
+	reqs := s.split(nvme.OpWrite, dev, slba, n)
+	for _, r := range reqs {
+		s.d.Submit(r)
+	}
+	for _, r := range reqs {
+		p.Wait(r.Done)
+	}
+}
+
+// split cuts a granule into MDTS-sized requests targeting consecutive
+// staging offsets.
+func (s *StagedGPUIO) split(op nvme.Opcode, dev int, slba uint64, n int64) []*Request {
+	if n%nvme.LBASize != 0 {
+		panic("spdk: granule must be a multiple of 512")
+	}
+	var reqs []*Request
+	var off int64
+	for off < n {
+		chunk := n - off
+		if chunk > maxXfer {
+			chunk = maxXfer
+		}
+		reqs = append(reqs, &Request{
+			Op:   op,
+			Dev:  dev,
+			SLBA: slba + uint64(off)/nvme.LBASize,
+			NLB:  uint32(chunk / nvme.LBASize),
+			Addr: s.staging.Addr + mem.Addr(off),
+		})
+		off += chunk
+	}
+	return reqs
+}

@@ -1,0 +1,171 @@
+package ssd
+
+import (
+	"bytes"
+	"testing"
+
+	"camsim/internal/nvme"
+	"camsim/internal/sim"
+)
+
+// adminRig wires a device with an admin client.
+func adminRig(t *testing.T) (*rig, *AdminClient) {
+	t.Helper()
+	r := newRig(t, DefaultConfig(), 8) // the direct-path QP is unused here
+	c := NewAdminClient(r.e, r.dev, r.hm)
+	return r, c
+}
+
+func TestAdminIdentify(t *testing.T) {
+	r, c := adminRig(t)
+	idBuf := r.hm.Alloc("id", 4096)
+	var got nvme.IdentifyData
+	var err error
+	r.e.Go("host", func(p *sim.Proc) {
+		got, err = c.Identify(p, idBuf.Addr, idBuf.Data)
+	})
+	r.e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.dev.IdentifyData()
+	if got != want {
+		t.Fatalf("identify = %+v, want %+v", got, want)
+	}
+	if got.MDTSBytes != 128<<10 || got.CapacityLBAs == 0 {
+		t.Fatalf("implausible identify: %+v", got)
+	}
+}
+
+func TestAdminCreateQueueAndDoIO(t *testing.T) {
+	r, c := adminRig(t)
+	const depth = 32
+	sqMem := r.hm.Alloc("iosq", depth*nvme.SQESize)
+	cqMem := r.hm.Alloc("iocq", depth*nvme.CQESize)
+	wbuf := r.hm.Alloc("w", 4096)
+	rbuf := r.hm.Alloc("r", 4096)
+	for i := range wbuf.Data {
+		wbuf.Data[i] = byte(i * 11)
+	}
+	r.e.Go("host", func(p *sim.Proc) {
+		qp, err := c.CreateIOQueuePair(p, 1, sqMem.Addr, cqMem.Addr, depth)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Real I/O through the admin-created queue.
+		doIO := func(op nvme.Opcode, cid uint16, prp uint64) nvme.Status {
+			qp.SQ.Push(nvme.SQE{Opcode: op, CID: cid, PRP1: prp, SLBA: 80, NLB: 8})
+			qp.SQ.Ring()
+			for {
+				if cqe, ok := qp.CQ.Poll(); ok {
+					return cqe.Status
+				}
+				if !qp.CQ.OnPost.Fired() {
+					p.Wait(qp.CQ.OnPost)
+				}
+				qp.CQ.OnPost.Reset()
+			}
+		}
+		if st := doIO(nvme.OpWrite, 1, uint64(wbuf.Addr)); st != nvme.StatusSuccess {
+			t.Errorf("write via admin-created queue: %v", st)
+		}
+		if st := doIO(nvme.OpRead, 2, uint64(rbuf.Addr)); st != nvme.StatusSuccess {
+			t.Errorf("read via admin-created queue: %v", st)
+		}
+	})
+	r.e.Run()
+	if !bytes.Equal(rbuf.Data, wbuf.Data) {
+		t.Fatal("round trip via admin-created queue pair mismatch")
+	}
+}
+
+func TestAdminDeleteQueue(t *testing.T) {
+	r, c := adminRig(t)
+	const depth = 16
+	sqMem := r.hm.Alloc("iosq", depth*nvme.SQESize)
+	cqMem := r.hm.Alloc("iocq", depth*nvme.CQESize)
+	r.e.Go("host", func(p *sim.Proc) {
+		if _, err := c.CreateIOQueuePair(p, 3, sqMem.Addr, cqMem.Addr, depth); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := c.DeleteIOQueuePair(p, 3); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, ok := r.dev.IOQueuePair(3); ok {
+			t.Error("queue pair still registered after delete")
+		}
+		// Deleting again must fail cleanly.
+		if err := c.DeleteIOQueuePair(p, 3); err == nil {
+			t.Error("double delete succeeded")
+		}
+		// The qid is reusable after deletion.
+		if _, err := c.CreateIOQueuePair(p, 3, sqMem.Addr, cqMem.Addr, depth); err != nil {
+			t.Errorf("recreate after delete: %v", err)
+		}
+	})
+	r.e.Run()
+}
+
+func TestAdminErrors(t *testing.T) {
+	r, c := adminRig(t)
+	const depth = 16
+	sqMem := r.hm.Alloc("iosq", depth*nvme.SQESize)
+	cqMem := r.hm.Alloc("iocq", depth*nvme.CQESize)
+	r.e.Go("host", func(p *sim.Proc) {
+		// SQ without a registered CQ.
+		st := c.roundTrip(p, nvme.AdminSQE{Opcode: nvme.AdminCreateIOSQ, QID: 5, CQID: 9, QSize: depth, PRP1: uint64(sqMem.Addr)})
+		if st != nvme.StatusInvalidQID {
+			t.Errorf("orphan CreateIOSQ status = %v", st)
+		}
+		// qid 0 is the admin queue: reserved.
+		st = c.roundTrip(p, nvme.AdminSQE{Opcode: nvme.AdminCreateIOCQ, QID: 0, QSize: depth, PRP1: uint64(cqMem.Addr)})
+		if st != nvme.StatusInvalidQID {
+			t.Errorf("qid 0 status = %v", st)
+		}
+		// Unmapped ring memory.
+		st = c.roundTrip(p, nvme.AdminSQE{Opcode: nvme.AdminCreateIOCQ, QID: 6, QSize: depth, PRP1: 0xdead0000})
+		if st != nvme.StatusDMAError {
+			t.Errorf("unmapped ring status = %v", st)
+		}
+		// Duplicate qid.
+		if _, err := c.CreateIOQueuePair(p, 7, sqMem.Addr, cqMem.Addr, depth); err != nil {
+			t.Error(err)
+		}
+		st = c.roundTrip(p, nvme.AdminSQE{Opcode: nvme.AdminCreateIOCQ, QID: 7, QSize: depth, PRP1: uint64(cqMem.Addr)})
+		if st != nvme.StatusQIDInUse {
+			t.Errorf("duplicate qid status = %v", st)
+		}
+		// Undersized queue.
+		st = c.roundTrip(p, nvme.AdminSQE{Opcode: nvme.AdminCreateIOCQ, QID: 8, QSize: 1, PRP1: uint64(cqMem.Addr)})
+		if st != nvme.StatusInvalidQSize {
+			t.Errorf("tiny queue status = %v", st)
+		}
+		// Unknown admin opcode.
+		st = c.roundTrip(p, nvme.AdminSQE{Opcode: 0x7e})
+		if st != nvme.StatusInvalidOpcode {
+			t.Errorf("unknown opcode status = %v", st)
+		}
+	})
+	r.e.Run()
+}
+
+func TestAdminSQERoundTrip(t *testing.T) {
+	in := nvme.AdminSQE{Opcode: nvme.AdminCreateIOSQ, CID: 9, PRP1: 0x1234, QID: 3, QSize: 64, CQID: 3}
+	var buf [nvme.AdminSQESize]byte
+	in.Marshal(buf[:])
+	if got := nvme.UnmarshalAdminSQE(buf[:]); got != in {
+		t.Fatalf("round trip: %+v != %+v", got, in)
+	}
+}
+
+func TestIdentifyDataRoundTrip(t *testing.T) {
+	in := nvme.IdentifyData{Serial: "S123", Model: "camsim", CapacityLBAs: 999, MDTSBytes: 4096, MaxQueues: 12}
+	buf := make([]byte, 4096)
+	in.Marshal(buf)
+	if got := nvme.UnmarshalIdentify(buf); got != in {
+		t.Fatalf("round trip: %+v != %+v", got, in)
+	}
+}

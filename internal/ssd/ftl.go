@@ -1,0 +1,275 @@
+package ssd
+
+import "fmt"
+
+// FTL is a page-mapped flash translation layer: the metadata machine a
+// real SSD runs between host LBAs and NAND pages. Writes append to an
+// active block; overwrites invalidate the old page; when free blocks run
+// low, garbage collection migrates a victim's valid pages and erases it.
+//
+// The paper treats the device as a black box with steady-state rates, so
+// by default the FTL only *accounts* (write amplification, erases, GC
+// migrations) without adding time — the calibrated Write IOPS already
+// embody steady-state GC. Setting ChargeGC adds the migration time to the
+// controller frontend explicitly, which exposes the classic random-write
+// cliff as device utilization grows (see the abl-ftl experiment).
+type FTL struct {
+	cfg FTLConfig
+
+	// mapping: logical page number → physical page number (sparse).
+	mapping map[int64]int64
+	// rmap: physical page number → logical page number for valid pages.
+	rmap map[int64]int64
+
+	blocks    []ftlBlock
+	active    int   // index of the block receiving writes
+	freeList  []int // erased, reusable blocks
+	nextFresh int   // count of never-allocated blocks remaining
+
+	stats FTLStats
+}
+
+type ftlBlock struct {
+	valid    int // valid pages in this block
+	written  int // pages programmed since last erase (write pointer)
+	erases   int
+	inactive bool // fully written, candidate for GC
+}
+
+// FTLConfig sizes the translation layer.
+type FTLConfig struct {
+	// PageBytes is the NAND program granularity (4 KiB).
+	PageBytes int64
+	// PagesPerBlock is the erase-block size in pages (256 → 1 MiB).
+	PagesPerBlock int
+	// Blocks is the physical block count, including over-provisioning.
+	Blocks int
+	// GCWatermark triggers collection when free+fresh blocks fall to it.
+	GCWatermark int
+	// ChargeGC makes GC migrations consume controller time.
+	ChargeGC bool
+}
+
+// DefaultFTLConfig sizes an FTL for the given logical capacity with the
+// given over-provisioning fraction.
+func DefaultFTLConfig(logicalBytes int64, overProvision float64) FTLConfig {
+	cfg := FTLConfig{
+		PageBytes:     4096,
+		PagesPerBlock: 256,
+		GCWatermark:   4,
+	}
+	blockBytes := cfg.PageBytes * int64(cfg.PagesPerBlock)
+	logicalBlocks := (logicalBytes + blockBytes - 1) / blockBytes
+	cfg.Blocks = int(float64(logicalBlocks)*(1+overProvision)) + cfg.GCWatermark + 2
+	return cfg
+}
+
+// FTLStats aggregates the layer's counters.
+type FTLStats struct {
+	HostPages     int64 // pages the host asked to write
+	NANDPages     int64 // pages actually programmed (host + GC copies)
+	GCMigrations  int64 // valid pages copied by GC
+	Erases        int64
+	GCRuns        int64
+	MappedPages   int64 // currently valid logical pages
+	PartialWrites int64 // sub-page host writes (read-modify-write)
+}
+
+// WriteAmplification reports NAND/host page programs (1.0 when no GC has
+// copied anything; 0 when nothing was written).
+func (s FTLStats) WriteAmplification() float64 {
+	if s.HostPages == 0 {
+		return 0
+	}
+	return float64(s.NANDPages) / float64(s.HostPages)
+}
+
+// NewFTL builds an empty layer.
+func NewFTL(cfg FTLConfig) *FTL {
+	if cfg.PageBytes <= 0 || cfg.PagesPerBlock <= 0 || cfg.Blocks <= cfg.GCWatermark+1 {
+		panic("ssd: invalid FTL config")
+	}
+	f := &FTL{
+		cfg:       cfg,
+		mapping:   make(map[int64]int64),
+		rmap:      make(map[int64]int64),
+		nextFresh: cfg.Blocks,
+	}
+	f.active = f.takeBlock()
+	return f
+}
+
+// Stats returns a snapshot.
+func (f *FTL) Stats() FTLStats {
+	s := f.stats
+	s.MappedPages = int64(len(f.mapping))
+	return s
+}
+
+// takeBlock hands out an erased block, preferring recycled ones.
+func (f *FTL) takeBlock() int {
+	if n := len(f.freeList); n > 0 {
+		b := f.freeList[n-1]
+		f.freeList = f.freeList[:n-1]
+		return b
+	}
+	if f.nextFresh == 0 {
+		panic("ssd: FTL out of physical blocks — over-provisioning exhausted")
+	}
+	f.nextFresh--
+	f.blocks = append(f.blocks, ftlBlock{})
+	return len(f.blocks) - 1
+}
+
+// freeBlocksAvail reports erased plus never-used blocks.
+func (f *FTL) freeBlocksAvail() int { return len(f.freeList) + f.nextFresh }
+
+// HostWrite records a host write of n bytes at byte offset off and
+// returns the number of page programs it caused including any GC
+// migrations (callers charging GC time multiply by the page program
+// cost).
+func (f *FTL) HostWrite(off, n int64) (programs int64) {
+	if n <= 0 {
+		return 0
+	}
+	firstPage := off / f.cfg.PageBytes
+	lastPage := (off + n - 1) / f.cfg.PageBytes
+	for lpn := firstPage; lpn <= lastPage; lpn++ {
+		// Sub-page head/tail writes still program a whole page.
+		pageStart := lpn * f.cfg.PageBytes
+		if off > pageStart || off+n < pageStart+f.cfg.PageBytes {
+			f.stats.PartialWrites++
+		}
+		programs += f.writePage(lpn)
+	}
+	return programs
+}
+
+// allocPage hands out the next NAND page, rolling the active block over
+// when it is full. It never triggers GC itself, so it is safe to call
+// from within a collection pass.
+func (f *FTL) allocPage() int64 {
+	ab := &f.blocks[f.active]
+	if ab.written == f.cfg.PagesPerBlock {
+		ab.inactive = true
+		f.active = f.takeBlock()
+		ab = &f.blocks[f.active]
+	}
+	ppn := int64(f.active)*int64(f.cfg.PagesPerBlock) + int64(ab.written)
+	ab.written++
+	ab.valid++
+	return ppn
+}
+
+// writePage maps one logical page to a fresh NAND page, running GC when
+// free blocks fall to the watermark.
+func (f *FTL) writePage(lpn int64) (programs int64) {
+	// Invalidate the previous location.
+	if old, ok := f.mapping[lpn]; ok {
+		blk := int(old) / f.cfg.PagesPerBlock
+		f.blocks[blk].valid--
+		delete(f.rmap, old)
+	}
+	ppn := f.allocPage()
+	f.mapping[lpn] = ppn
+	f.rmap[ppn] = lpn
+	f.stats.HostPages++
+	f.stats.NANDPages++
+	programs = 1
+
+	if f.freeBlocksAvail() <= f.cfg.GCWatermark {
+		programs += f.collect()
+	}
+	return programs
+}
+
+// Lookup reports the physical page holding lpn.
+func (f *FTL) Lookup(lpn int64) (ppn int64, ok bool) {
+	ppn, ok = f.mapping[lpn]
+	return
+}
+
+// collect runs one GC pass: pick the fully-written block with the fewest
+// valid pages, migrate them, erase it.
+func (f *FTL) collect() (migrated int64) {
+	victim := -1
+	best := f.cfg.PagesPerBlock + 1
+	for i := range f.blocks {
+		b := &f.blocks[i]
+		if !b.inactive || i == f.active {
+			continue
+		}
+		if b.valid < best {
+			best = b.valid
+			victim = i
+		}
+	}
+	if victim < 0 || best == f.cfg.PagesPerBlock {
+		// No block has any invalid page: collection would only churn.
+		// The next takeBlock failure reports genuine exhaustion.
+		return 0
+	}
+	f.stats.GCRuns++
+	vb := &f.blocks[victim]
+	// Migrate valid pages to the active block (possibly cascading into
+	// further blocks; writePage handles active-block turnover, and the
+	// freshly erased victim guarantees forward progress).
+	base := int64(victim) * int64(f.cfg.PagesPerBlock)
+	for p := int64(0); p < int64(f.cfg.PagesPerBlock) && vb.valid > 0; p++ {
+		ppn := base + p
+		lpn, ok := f.rmap[ppn]
+		if !ok {
+			continue
+		}
+		f.migratePage(lpn, ppn)
+		migrated++
+		f.stats.GCMigrations++
+	}
+	// Erase the victim.
+	*vb = ftlBlock{erases: vb.erases + 1}
+	f.stats.Erases++
+	f.freeList = append(f.freeList, victim)
+	return migrated
+}
+
+// migratePage relocates one valid page during GC.
+func (f *FTL) migratePage(lpn, oldPPN int64) {
+	blk := int(oldPPN) / f.cfg.PagesPerBlock
+	f.blocks[blk].valid--
+	delete(f.rmap, oldPPN)
+	delete(f.mapping, lpn)
+	ppn := f.allocPage()
+	f.mapping[lpn] = ppn
+	f.rmap[ppn] = lpn
+	f.stats.NANDPages++ // a GC copy programs NAND but is not a host write
+}
+
+// CheckInvariants validates internal consistency (used by tests): every
+// mapping has a matching reverse entry, per-block valid counts agree with
+// the reverse map, and no physical page is double-mapped.
+func (f *FTL) CheckInvariants() error {
+	perBlock := make([]int, len(f.blocks))
+	for lpn, ppn := range f.mapping {
+		back, ok := f.rmap[ppn]
+		if !ok || back != lpn {
+			return fmt.Errorf("ftl: mapping %d→%d lacks reverse entry", lpn, ppn)
+		}
+		blk := int(ppn) / f.cfg.PagesPerBlock
+		if blk >= len(f.blocks) {
+			return fmt.Errorf("ftl: ppn %d beyond allocated blocks", ppn)
+		}
+		if int(ppn)%f.cfg.PagesPerBlock >= f.blocks[blk].written {
+			return fmt.Errorf("ftl: ppn %d beyond block %d write pointer", ppn, blk)
+		}
+		perBlock[blk]++
+	}
+	if len(f.rmap) != len(f.mapping) {
+		return fmt.Errorf("ftl: rmap size %d != mapping size %d", len(f.rmap), len(f.mapping))
+	}
+	for i, b := range f.blocks {
+		if perBlock[i] != b.valid {
+			return fmt.Errorf("ftl: block %d valid=%d but %d mapped pages", i, b.valid, perBlock[i])
+		}
+	}
+	return nil
+}

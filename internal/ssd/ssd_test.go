@@ -1,0 +1,337 @@
+package ssd
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"camsim/internal/hostmem"
+	"camsim/internal/mem"
+	"camsim/internal/nvme"
+	"camsim/internal/pcie"
+	"camsim/internal/sim"
+)
+
+// rig wires one SSD to a fabric, host memory and one queue pair.
+type rig struct {
+	e     *sim.Engine
+	space *mem.Space
+	fab   *pcie.Fabric
+	hm    *hostmem.Memory
+	dev   *Device
+	qp    *nvme.QueuePair
+}
+
+func newRig(t testing.TB, cfg Config, depth uint32) *rig {
+	t.Helper()
+	e := sim.New()
+	space := mem.NewSpace()
+	fab := pcie.New(e, pcie.DefaultConfig())
+	hm := hostmem.New(e, space, hostmem.DefaultConfig())
+	dev := New(e, "nvme0", cfg, fab, space)
+	sqMem := hm.Alloc("sq", int64(depth*nvme.SQESize))
+	cqMem := hm.Alloc("cq", int64(depth*nvme.CQESize))
+	qp := dev.CreateQueuePair("qp0", sqMem.Data, cqMem.Data, depth)
+	dev.Start()
+	return &rig{e: e, space: space, fab: fab, hm: hm, dev: dev, qp: qp}
+}
+
+// submitWait pushes one command and blocks p until its completion arrives.
+func (r *rig) submitWait(p *sim.Proc, sqe nvme.SQE) nvme.CQE {
+	if err := r.qp.SQ.Push(sqe); err != nil {
+		panic(err)
+	}
+	r.dev.Ring(r.qp)
+	for {
+		if c, ok := r.qp.CQ.Poll(); ok {
+			return c
+		}
+		if !r.qp.CQ.OnPost.Fired() {
+			p.Wait(r.qp.CQ.OnPost)
+		}
+		r.qp.CQ.OnPost.Reset()
+	}
+}
+
+func TestReadAfterWriteRoundTrip(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 64)
+	wbuf := r.hm.Alloc("w", 4096)
+	rbuf := r.hm.Alloc("r", 4096)
+	for i := range wbuf.Data {
+		wbuf.Data[i] = byte(i * 7)
+	}
+	var got nvme.CQE
+	r.e.Go("host", func(p *sim.Proc) {
+		got = r.submitWait(p, nvme.SQE{Opcode: nvme.OpWrite, CID: 1, PRP1: uint64(wbuf.Addr), SLBA: 100, NLB: 8})
+		if got.Status != nvme.StatusSuccess {
+			t.Errorf("write status = %v", got.Status)
+		}
+		got = r.submitWait(p, nvme.SQE{Opcode: nvme.OpRead, CID: 2, PRP1: uint64(rbuf.Addr), SLBA: 100, NLB: 8})
+	})
+	r.e.Run()
+	if got.Status != nvme.StatusSuccess {
+		t.Fatalf("read status = %v", got.Status)
+	}
+	if !bytes.Equal(rbuf.Data, wbuf.Data) {
+		t.Fatal("read data != written data")
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 64)
+	rbuf := r.hm.Alloc("r", 4096)
+	for i := range rbuf.Data {
+		rbuf.Data[i] = 0xff
+	}
+	r.e.Go("host", func(p *sim.Proc) {
+		r.submitWait(p, nvme.SQE{Opcode: nvme.OpRead, CID: 1, PRP1: uint64(rbuf.Addr), SLBA: 0, NLB: 8})
+	})
+	r.e.Run()
+	for _, b := range rbuf.Data {
+		if b != 0 {
+			t.Fatal("unwritten LBA did not read as zero")
+		}
+	}
+}
+
+func TestLBAOutOfRange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CapacityBytes = 1 << 20 // 2048 LBAs
+	r := newRig(t, cfg, 64)
+	buf := r.hm.Alloc("b", 4096)
+	var st nvme.Status
+	r.e.Go("host", func(p *sim.Proc) {
+		c := r.submitWait(p, nvme.SQE{Opcode: nvme.OpRead, CID: 1, PRP1: uint64(buf.Addr), SLBA: 2048, NLB: 1})
+		st = c.Status
+	})
+	r.e.Run()
+	if st != nvme.StatusLBAOutOfRange {
+		t.Fatalf("status = %v, want LBAOutOfRange", st)
+	}
+}
+
+func TestInvalidOpcode(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 64)
+	var st nvme.Status
+	r.e.Go("host", func(p *sim.Proc) {
+		c := r.submitWait(p, nvme.SQE{Opcode: 0x7f, CID: 1, NLB: 1})
+		st = c.Status
+	})
+	r.e.Run()
+	if st != nvme.StatusInvalidOpcode {
+		t.Fatalf("status = %v, want InvalidOpcode", st)
+	}
+}
+
+func TestUnmappedDMAAddress(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 64)
+	var st nvme.Status
+	r.e.Go("host", func(p *sim.Proc) {
+		c := r.submitWait(p, nvme.SQE{Opcode: nvme.OpRead, CID: 1, PRP1: 0xdead0000, SLBA: 0, NLB: 1})
+		st = c.Status
+	})
+	r.e.Run()
+	if st != nvme.StatusDMAError {
+		t.Fatalf("status = %v, want DMAError", st)
+	}
+}
+
+func TestReadLatencyNearConfigured(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LatencyJitter = 0
+	r := newRig(t, cfg, 64)
+	buf := r.hm.Alloc("b", 4096)
+	var lat sim.Time
+	r.e.Go("host", func(p *sim.Proc) {
+		t0 := p.Now()
+		r.submitWait(p, nvme.SQE{Opcode: nvme.OpRead, CID: 1, PRP1: uint64(buf.Addr), SLBA: 0, NLB: 8})
+		lat = p.Now() - t0
+	})
+	r.e.Run()
+	// service (~2.2us) + media 15us + DMA ~0.2us; allow [15us, 20us].
+	if lat < 15*sim.Microsecond || lat > 20*sim.Microsecond {
+		t.Fatalf("single-read latency = %v", lat)
+	}
+}
+
+func TestWriteSlowerThanRead(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 64)
+	buf := r.hm.Alloc("b", 4096)
+	var rl, wl sim.Time
+	r.e.Go("host", func(p *sim.Proc) {
+		t0 := p.Now()
+		r.submitWait(p, nvme.SQE{Opcode: nvme.OpRead, CID: 1, PRP1: uint64(buf.Addr), SLBA: 0, NLB: 8})
+		rl = p.Now() - t0
+		t0 = p.Now()
+		r.submitWait(p, nvme.SQE{Opcode: nvme.OpWrite, CID: 2, PRP1: uint64(buf.Addr), SLBA: 0, NLB: 8})
+		wl = p.Now() - t0
+	})
+	r.e.Run()
+	if wl <= rl {
+		t.Fatalf("write latency %v not greater than read latency %v", wl, rl)
+	}
+}
+
+// TestReadIOPSCap drives the device at high queue depth and checks the
+// achieved 4 KiB random-read rate is close to the configured cap.
+func TestReadIOPSCap(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, cfg, 256)
+	buf := r.hm.Alloc("b", 4096)
+	const total = 3000
+	done := 0
+	r.e.Go("host", func(p *sim.Proc) {
+		submitted := 0
+		for done < total {
+			for submitted < total && !r.qp.SQ.Full() && r.qp.InFlight() < 128 {
+				r.qp.SQ.Push(nvme.SQE{
+					Opcode: nvme.OpRead, CID: uint16(submitted),
+					PRP1: uint64(buf.Addr), SLBA: uint64(submitted * 8), NLB: 8,
+				})
+				submitted++
+			}
+			r.dev.Ring(r.qp)
+			for {
+				if _, ok := r.qp.CQ.Poll(); ok {
+					done++
+					continue
+				}
+				break
+			}
+			if done < total {
+				if !r.qp.CQ.OnPost.Fired() {
+					p.Wait(r.qp.CQ.OnPost)
+				}
+				r.qp.CQ.OnPost.Reset()
+			}
+		}
+	})
+	end := r.e.Run()
+	iops := float64(total) / end.Seconds()
+	if math.Abs(iops-cfg.ReadIOPS)/cfg.ReadIOPS > 0.05 {
+		t.Fatalf("achieved %0.f IOPS, want ~%0.f", iops, cfg.ReadIOPS)
+	}
+}
+
+// TestFlush exercises the flush path.
+func TestFlush(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 64)
+	var st nvme.Status = 0xf
+	r.e.Go("host", func(p *sim.Proc) {
+		c := r.submitWait(p, nvme.SQE{Opcode: nvme.OpFlush, CID: 1})
+		st = c.Status
+	})
+	r.e.Run()
+	if st != nvme.StatusSuccess {
+		t.Fatalf("flush status = %v", st)
+	}
+	if r.dev.Stats().FlushCmds != 1 {
+		t.Fatal("flush not counted")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 64)
+	buf := r.hm.Alloc("b", 4096)
+	r.e.Go("host", func(p *sim.Proc) {
+		r.submitWait(p, nvme.SQE{Opcode: nvme.OpWrite, CID: 1, PRP1: uint64(buf.Addr), SLBA: 0, NLB: 8})
+		r.submitWait(p, nvme.SQE{Opcode: nvme.OpRead, CID: 2, PRP1: uint64(buf.Addr), SLBA: 0, NLB: 8})
+	})
+	r.e.Run()
+	st := r.dev.Stats()
+	if st.ReadCmds != 1 || st.WriteCmds != 1 {
+		t.Fatalf("cmds = %d/%d", st.ReadCmds, st.WriteCmds)
+	}
+	if st.ReadBytes != 4096 || st.WriteBytes != 4096 {
+		t.Fatalf("bytes = %d/%d", st.ReadBytes, st.WriteBytes)
+	}
+	if st.AvgReadLatency() == 0 || st.AvgWriteLatency() == 0 {
+		t.Fatal("latency accounting missing")
+	}
+}
+
+// Store-level property tests.
+
+func TestStoreRoundTripQuick(t *testing.T) {
+	f := func(seed uint64, slba16 uint16, nlb8 uint8) bool {
+		s := NewStore(1 << 20)
+		slba := uint64(slba16)
+		nlb := uint32(nlb8%32) + 1
+		rng := sim.NewRNG(seed)
+		src := make([]byte, int(nlb)*nvme.LBASize)
+		for i := range src {
+			src[i] = byte(rng.Uint64())
+		}
+		if err := s.WriteLBA(slba, nlb, src); err != nil {
+			return false
+		}
+		dst := make([]byte, len(src))
+		if err := s.ReadLBA(slba, nlb, dst); err != nil {
+			return false
+		}
+		return bytes.Equal(src, dst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreDisjointWritesIndependent(t *testing.T) {
+	s := NewStore(1 << 20)
+	a := bytes.Repeat([]byte{0xaa}, nvme.LBASize)
+	b := bytes.Repeat([]byte{0xbb}, nvme.LBASize)
+	s.WriteLBA(10, 1, a)
+	s.WriteLBA(11, 1, b)
+	got := make([]byte, nvme.LBASize)
+	s.ReadLBA(10, 1, got)
+	if !bytes.Equal(got, a) {
+		t.Fatal("LBA 10 corrupted by adjacent write")
+	}
+	s.ReadLBA(11, 1, got)
+	if !bytes.Equal(got, b) {
+		t.Fatal("LBA 11 wrong")
+	}
+}
+
+func TestStoreCrossExtentWrite(t *testing.T) {
+	s := NewStore(1 << 20)
+	// extent is 128 LBAs; span the boundary
+	nlb := uint32(16)
+	slba := uint64(lbasPerExtent - 8)
+	src := bytes.Repeat([]byte{0x5a}, int(nlb)*nvme.LBASize)
+	if err := s.WriteLBA(slba, nlb, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(src))
+	if err := s.ReadLBA(slba, nlb, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, dst) {
+		t.Fatal("cross-extent round trip failed")
+	}
+}
+
+func TestStoreOutOfRange(t *testing.T) {
+	s := NewStore(100)
+	buf := make([]byte, nvme.LBASize)
+	if err := s.ReadLBA(100, 1, buf); err == nil {
+		t.Fatal("read at capacity succeeded")
+	}
+	if err := s.WriteLBA(99, 2, make([]byte, 2*nvme.LBASize)); err == nil {
+		t.Fatal("write crossing capacity succeeded")
+	}
+	if err := s.WriteLBA(99, 1, buf); err != nil {
+		t.Fatalf("legal write failed: %v", err)
+	}
+}
+
+func TestStoreShortBuffer(t *testing.T) {
+	s := NewStore(100)
+	if err := s.ReadLBA(0, 2, make([]byte, nvme.LBASize)); err == nil {
+		t.Fatal("short read buffer accepted")
+	}
+	if err := s.WriteLBA(0, 2, make([]byte, nvme.LBASize)); err == nil {
+		t.Fatal("short write buffer accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package ssd
+
+import (
+	"fmt"
+
+	"camsim/internal/nvme"
+)
+
+// extentBytes is the allocation unit of the sparse backing store. 64 KiB
+// amortizes Go allocator overhead while keeping sparse datasets cheap.
+const extentBytes = 64 << 10
+
+const lbasPerExtent = extentBytes / nvme.LBASize
+
+// Store is the sparse flash backing store: real bytes addressed by LBA.
+// Unwritten blocks read as zeros, like a freshly formatted namespace.
+type Store struct {
+	capacityLBAs uint64
+	extents      map[uint64][]byte
+	writtenLBAs  uint64 // approximate footprint accounting (extent-granular)
+}
+
+// NewStore creates a store of the given capacity in logical blocks.
+func NewStore(capacityLBAs uint64) *Store {
+	return &Store{capacityLBAs: capacityLBAs, extents: make(map[uint64][]byte)}
+}
+
+// CapacityLBAs reports the namespace size in logical blocks.
+func (s *Store) CapacityLBAs() uint64 { return s.capacityLBAs }
+
+// CapacityBytes reports the namespace size in bytes.
+func (s *Store) CapacityBytes() int64 { return int64(s.capacityLBAs) * nvme.LBASize }
+
+// InRange reports whether [slba, slba+nlb) fits the namespace.
+func (s *Store) InRange(slba uint64, nlb uint32) bool {
+	return nlb > 0 && slba < s.capacityLBAs && uint64(nlb) <= s.capacityLBAs-slba
+}
+
+// ReadLBA copies nlb blocks starting at slba into dst.
+func (s *Store) ReadLBA(slba uint64, nlb uint32, dst []byte) error {
+	n := int(nlb) * nvme.LBASize
+	if len(dst) < n {
+		return fmt.Errorf("ssd: read buffer %d bytes, need %d", len(dst), n)
+	}
+	if !s.InRange(slba, nlb) {
+		return fmt.Errorf("ssd: read [%d,+%d) out of range", slba, nlb)
+	}
+	off := slba * nvme.LBASize
+	for done := 0; done < n; {
+		ext := (off + uint64(done)) / extentBytes
+		extOff := int((off + uint64(done)) % extentBytes)
+		chunk := extentBytes - extOff
+		if chunk > n-done {
+			chunk = n - done
+		}
+		if data, ok := s.extents[ext]; ok {
+			copy(dst[done:done+chunk], data[extOff:extOff+chunk])
+		} else {
+			zero(dst[done : done+chunk])
+		}
+		done += chunk
+	}
+	return nil
+}
+
+// WriteLBA copies nlb blocks from src into the store starting at slba.
+func (s *Store) WriteLBA(slba uint64, nlb uint32, src []byte) error {
+	n := int(nlb) * nvme.LBASize
+	if len(src) < n {
+		return fmt.Errorf("ssd: write buffer %d bytes, need %d", len(src), n)
+	}
+	if !s.InRange(slba, nlb) {
+		return fmt.Errorf("ssd: write [%d,+%d) out of range", slba, nlb)
+	}
+	off := slba * nvme.LBASize
+	for done := 0; done < n; {
+		ext := (off + uint64(done)) / extentBytes
+		extOff := int((off + uint64(done)) % extentBytes)
+		chunk := extentBytes - extOff
+		if chunk > n-done {
+			chunk = n - done
+		}
+		data, ok := s.extents[ext]
+		if !ok {
+			data = make([]byte, extentBytes)
+			s.extents[ext] = data
+			s.writtenLBAs += lbasPerExtent
+		}
+		copy(data[extOff:extOff+chunk], src[done:done+chunk])
+		done += chunk
+	}
+	return nil
+}
+
+// AllocatedBytes reports the resident footprint of the sparse store.
+func (s *Store) AllocatedBytes() int64 { return int64(len(s.extents)) * extentBytes }
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"camsim/internal/sim"
+)
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(KernelStart, "gpu0", "k", 1) // must not panic
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer not inert")
+	}
+	if tr.Summary() != "trace: disabled" {
+		t.Fatal("nil summary wrong")
+	}
+	var sb strings.Builder
+	if err := tr.WriteTimeline(&sb); err != nil || sb.Len() != 0 {
+		t.Fatal("nil timeline wrote output")
+	}
+}
+
+func TestEmitAndOrder(t *testing.T) {
+	e := sim.New()
+	tr := New(e, 16)
+	e.Go("p", func(p *sim.Proc) {
+		tr.Emit(KernelStart, "gpu0", "train", 100)
+		p.Sleep(50)
+		tr.Emit(KernelEnd, "gpu0", "train", 100)
+	})
+	e.Run()
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Kind != KernelStart || evs[1].Kind != KernelEnd {
+		t.Fatal("kinds wrong")
+	}
+	if evs[1].At != 50 {
+		t.Fatalf("second event at %v", evs[1].At)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	e := sim.New()
+	tr := New(e, 3)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Custom, "a", "", int64(i))
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained = %d", len(evs))
+	}
+	if evs[0].Arg != 2 || evs[2].Arg != 4 {
+		t.Fatalf("wrong window: %+v", evs)
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d", tr.Dropped())
+	}
+}
+
+func TestFilter(t *testing.T) {
+	e := sim.New()
+	tr := New(e, 8)
+	tr.Emit(BatchPublish, "cam", "prefetch", 1)
+	tr.Emit(KernelStart, "gpu0", "k", 0)
+	tr.Emit(BatchComplete, "cam", "prefetch", 1)
+	if got := tr.Filter(BatchPublish); len(got) != 1 || got[0].Arg != 1 {
+		t.Fatalf("filter = %+v", got)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	e := sim.New()
+	tr := New(e, 4)
+	tr.Emit(BatchPublish, "cam", "prefetch", 7)
+	var sb strings.Builder
+	if err := tr.WriteTimeline(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"batch-publish", "cam", "prefetch", "(7)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummaryCounts(t *testing.T) {
+	e := sim.New()
+	tr := New(e, 8)
+	tr.Emit(KernelStart, "g", "k", 0)
+	tr.Emit(KernelStart, "g", "k", 0)
+	tr.Emit(KernelEnd, "g", "k", 0)
+	s := tr.Summary()
+	if !strings.Contains(s, "kernel-start=2") || !strings.Contains(s, "kernel-end=1") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestOverlapReport(t *testing.T) {
+	e := sim.New()
+	tr := New(e, 16)
+	e.Go("p", func(p *sim.Proc) {
+		tr.Emit(BatchPublish, "cam", "prefetch", 1) // io from 0
+		p.Sleep(10)
+		tr.Emit(KernelStart, "gpu0", "train", 0) // compute from 10
+		p.Sleep(20)
+		tr.Emit(KernelEnd, "gpu0", "train", 0) // compute to 30
+		p.Sleep(10)
+		tr.Emit(BatchComplete, "cam", "prefetch", 1) // io to 40
+	})
+	e.Run()
+	io, comp, ov, span := tr.OverlapReport()
+	if span != 40 || io != 40 || comp != 20 || ov != 20 {
+		t.Fatalf("io=%v comp=%v ov=%v span=%v", io, comp, ov, span)
+	}
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero capacity")
+		}
+	}()
+	New(sim.New(), 0)
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := BatchPublish; k <= Custom; k++ {
+		if strings.Contains(k.String(), "Kind(") {
+			t.Fatalf("kind %d lacks a name", k)
+		}
+	}
+}

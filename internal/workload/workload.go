@@ -1,0 +1,191 @@
+// Package workload generates the access patterns the experiments replay:
+// uniform random (the paper's microbenchmarks), sequential streams (sort
+// and GEMM phases), and Zipfian skew (cache studies). Generators are
+// deterministic under a seed and allocation-free in the steady state.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"camsim/internal/sim"
+)
+
+// Pattern names an address distribution.
+type Pattern int
+
+// Supported patterns.
+const (
+	Uniform Pattern = iota
+	Sequential
+	Zipfian
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Uniform:
+		return "uniform"
+	case Sequential:
+		return "sequential"
+	case Zipfian:
+		return "zipfian"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Generator yields block indices in [0, Span).
+type Generator interface {
+	// Next returns the next block index.
+	Next() uint64
+	// Span reports the generator's address range.
+	Span() uint64
+}
+
+// NewUniform returns a uniform random generator over [0, span).
+func NewUniform(seed uint64, span uint64) Generator {
+	if span == 0 {
+		panic("workload: span must be positive")
+	}
+	return &uniform{rng: sim.NewRNG(seed), span: span}
+}
+
+type uniform struct {
+	rng  *sim.RNG
+	span uint64
+}
+
+func (u *uniform) Next() uint64 { return uint64(u.rng.Int63n(int64(u.span))) }
+func (u *uniform) Span() uint64 { return u.span }
+
+// NewSequential returns a wrapping sequential generator starting at start.
+func NewSequential(start, span uint64) Generator {
+	if span == 0 {
+		panic("workload: span must be positive")
+	}
+	return &sequential{next: start % span, span: span}
+}
+
+type sequential struct {
+	next uint64
+	span uint64
+}
+
+func (s *sequential) Next() uint64 {
+	v := s.next
+	s.next = (s.next + 1) % s.span
+	return v
+}
+func (s *sequential) Span() uint64 { return s.span }
+
+// NewZipfian returns a Zipf(θ)-skewed generator over [0, span) using the
+// Gray et al. rejection-free method (as in YCSB). θ in (0, 1); higher is
+// more skewed. Hot items are scattered across the span by a multiplicative
+// hash so skew does not correlate with physical placement.
+func NewZipfian(seed uint64, span uint64, theta float64) Generator {
+	if span == 0 {
+		panic("workload: span must be positive")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("workload: zipfian theta must be in (0,1)")
+	}
+	z := &zipfian{rng: sim.NewRNG(seed), span: span, theta: theta}
+	z.zetan = zeta(span, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(span), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+type zipfian struct {
+	rng          *sim.RNG
+	span         uint64
+	theta        float64
+	zetan, zeta2 float64
+	alpha, eta   float64
+}
+
+// zeta computes the generalized harmonic number H_{n,theta}. For very
+// large n it samples the tail (the truncation error is far below the
+// skew's own variance).
+func zeta(n uint64, theta float64) float64 {
+	const exact = 1 << 20
+	if n <= exact {
+		sum := 0.0
+		for i := uint64(1); i <= n; i++ {
+			sum += 1 / math.Pow(float64(i), theta)
+		}
+		return sum
+	}
+	// Exact head + integral-approximated tail.
+	head := zeta(exact, theta)
+	// ∫ x^-θ dx from `exact` to n.
+	tail := (math.Pow(float64(n), 1-theta) - math.Pow(float64(exact), 1-theta)) / (1 - theta)
+	return head + tail
+}
+
+func (z *zipfian) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	var rank uint64
+	switch {
+	case uz < 1:
+		rank = 0
+	case uz < 1+math.Pow(0.5, z.theta):
+		rank = 1
+	default:
+		rank = uint64(float64(z.span) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	}
+	if rank >= z.span {
+		rank = z.span - 1
+	}
+	// Scatter ranks over the span so "hot" does not mean "low address".
+	return scatter(rank) % z.span
+}
+
+func (z *zipfian) Span() uint64 { return z.span }
+
+// scatter is a fixed bijective-ish mixing hash (SplitMix64 finalizer).
+func scatter(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// New constructs a generator by pattern.
+func New(p Pattern, seed, span uint64, theta float64) Generator {
+	switch p {
+	case Uniform:
+		return NewUniform(seed, span)
+	case Sequential:
+		return NewSequential(0, span)
+	case Zipfian:
+		return NewZipfian(seed, span, theta)
+	default:
+		panic("workload: unknown pattern")
+	}
+}
+
+// Mix is a read/write mix driver: it draws ops with the given read
+// fraction and block indices from the generator.
+type Mix struct {
+	gen      Generator
+	rng      *sim.RNG
+	readFrac float64
+}
+
+// NewMix wraps a generator with an op mix (readFrac in [0,1]).
+func NewMix(seed uint64, gen Generator, readFrac float64) *Mix {
+	if readFrac < 0 || readFrac > 1 {
+		panic("workload: read fraction out of range")
+	}
+	return &Mix{gen: gen, rng: sim.NewRNG(seed ^ 0xabcdef), readFrac: readFrac}
+}
+
+// Next draws (block, isRead).
+func (m *Mix) Next() (uint64, bool) {
+	return m.gen.Next(), m.rng.Float64() < m.readFrac
+}

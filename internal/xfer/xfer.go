@@ -1,0 +1,369 @@
+// Package xfer gives out-of-core applications (mergesort, GEMM) one
+// asynchronous interface over every SSD-management scheme the paper
+// compares, so the application code is identical and only the storage
+// backend changes:
+//
+//	CAM   — prefetch/write_back batches, direct SSD⇄GPU data plane
+//	BaM   — synchronous GPU-managed gather/scatter (pins SMs)
+//	SPDK  — user-space driver + host staging + cudaMemcpyAsync
+//	GDS   — cuFile-style reads with the heavy fs/NVFS software path
+//	POSIX — kernel pread/pwrite + staging + cudaMemcpyAsync
+//
+// All backends expose the same striped flat byte space over the SSD array,
+// so a dataset written through one layout helper is readable by the
+// matching backend.
+package xfer
+
+import (
+	"fmt"
+
+	"camsim/internal/bam"
+	"camsim/internal/cam"
+	"camsim/internal/gds"
+	"camsim/internal/gpu"
+	"camsim/internal/mem"
+	"camsim/internal/oskernel"
+	"camsim/internal/platform"
+	"camsim/internal/sim"
+	"camsim/internal/spdk"
+)
+
+// Handle is an in-flight asynchronous transfer.
+type Handle interface {
+	// Wait blocks p until the transfer completes.
+	Wait(p *sim.Proc)
+}
+
+// Backend is the uniform storage interface.
+type Backend interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// BlockBytes is the backend's transfer granularity; offsets and
+	// lengths must be multiples of it.
+	BlockBytes() int64
+	// Alloc returns a GPU buffer usable as a transfer target.
+	Alloc(name string, n int64) *gpu.Buffer
+	// StartRead begins an asynchronous read of n bytes at byte offset
+	// off into dst at dstOff.
+	StartRead(p *sim.Proc, off, n int64, dst *gpu.Buffer, dstOff int64) Handle
+	// StartWrite begins an asynchronous write.
+	StartWrite(p *sim.Proc, off, n int64, src *gpu.Buffer, srcOff int64) Handle
+}
+
+// Read performs a synchronous read on any backend.
+func Read(p *sim.Proc, b Backend, off, n int64, dst *gpu.Buffer, dstOff int64) {
+	b.StartRead(p, off, n, dst, dstOff).Wait(p)
+}
+
+// Write performs a synchronous write on any backend.
+func Write(p *sim.Proc, b Backend, off, n int64, src *gpu.Buffer, srcOff int64) {
+	b.StartWrite(p, off, n, src, srcOff).Wait(p)
+}
+
+// sigHandle wraps a signal as a Handle.
+type sigHandle struct{ s *sim.Signal }
+
+func (h sigHandle) Wait(p *sim.Proc) { p.Wait(h.s) }
+
+// checkAligned validates an (off, n) pair against granularity g.
+func checkAligned(name string, off, n, g int64) {
+	if n <= 0 || off < 0 || off%g != 0 || n%g != 0 {
+		panic(fmt.Sprintf("xfer(%s): off=%d n=%d must be positive multiples of %d", name, off, n, g))
+	}
+}
+
+// blockRange expands a byte range into consecutive block ids.
+func blockRange(off, n, g int64) []uint64 {
+	blocks := make([]uint64, n/g)
+	first := uint64(off / g)
+	for i := range blocks {
+		blocks[i] = first + uint64(i)
+	}
+	return blocks
+}
+
+// ----- CAM -----
+
+// CAMBackend adapts a cam.Manager.
+type CAMBackend struct {
+	M *cam.Manager
+}
+
+// NewCAM builds a CAM backend over the environment with the given
+// granularity (one CAM block per granule).
+func NewCAM(env *platform.Env, blockBytes int64, tune func(*cam.Config)) *CAMBackend {
+	cfg := cam.DefaultConfig(len(env.Devs))
+	cfg.BlockBytes = blockBytes
+	if tune != nil {
+		tune(&cfg)
+	}
+	m := cam.New(env.E, cfg, env.GPU, env.HM, env.Space, env.Fab, env.Devs)
+	return &CAMBackend{M: m}
+}
+
+func (b *CAMBackend) Name() string      { return "CAM" }
+func (b *CAMBackend) BlockBytes() int64 { return b.M.BlockBytes() }
+
+func (b *CAMBackend) Alloc(name string, n int64) *gpu.Buffer { return b.M.Alloc(name, n) }
+
+type camHandle struct {
+	m *cam.Manager
+	b *cam.Batch
+}
+
+func (h camHandle) Wait(p *sim.Proc) { h.m.Synchronize(p, h.b) }
+
+// StartRead publishes one prefetch batch covering the range.
+func (b *CAMBackend) StartRead(p *sim.Proc, off, n int64, dst *gpu.Buffer, dstOff int64) Handle {
+	checkAligned("cam", off, n, b.BlockBytes())
+	batch := b.M.Prefetch(p, blockRange(off, n, b.BlockBytes()), dst, dstOff)
+	return camHandle{b.M, batch}
+}
+
+// StartWrite publishes one write_back batch covering the range.
+func (b *CAMBackend) StartWrite(p *sim.Proc, off, n int64, src *gpu.Buffer, srcOff int64) Handle {
+	checkAligned("cam", off, n, b.BlockBytes())
+	batch := b.M.WriteBack(p, blockRange(off, n, b.BlockBytes()), src, srcOff)
+	return camHandle{b.M, batch}
+}
+
+// ----- BaM -----
+
+// BaMBackend adapts a bam.System; its synchronous array interface is
+// wrapped in helper processes to present Start/Wait, but every operation
+// still pins the calibrated SM share while it runs.
+type BaMBackend struct {
+	env *platform.Env
+	arr *bam.Array
+	g   int64
+}
+
+// NewBaM builds a BaM backend with the given granularity.
+func NewBaM(env *platform.Env, sys *bam.System, blockBytes int64) *BaMBackend {
+	return &BaMBackend{env: env, arr: sys.NewArray(blockBytes), g: blockBytes}
+}
+
+func (b *BaMBackend) Name() string                           { return "BaM" }
+func (b *BaMBackend) BlockBytes() int64                      { return b.g }
+func (b *BaMBackend) Alloc(name string, n int64) *gpu.Buffer { return b.env.GPU.Alloc(name, n) }
+
+func (b *BaMBackend) StartRead(p *sim.Proc, off, n int64, dst *gpu.Buffer, dstOff int64) Handle {
+	checkAligned("bam", off, n, b.g)
+	s := b.env.E.NewSignal("bamxfer")
+	blocks := blockRange(off, n, b.g)
+	b.env.E.Go("bam.read", func(w *sim.Proc) {
+		b.arr.Gather(w, blocks, dst, dstOff)
+		s.Fire()
+	})
+	return sigHandle{s}
+}
+
+func (b *BaMBackend) StartWrite(p *sim.Proc, off, n int64, src *gpu.Buffer, srcOff int64) Handle {
+	checkAligned("bam", off, n, b.g)
+	s := b.env.E.NewSignal("bamxfer")
+	blocks := blockRange(off, n, b.g)
+	b.env.E.Go("bam.write", func(w *sim.Proc) {
+		b.arr.Scatter(w, blocks, src, srcOff)
+		s.Fire()
+	})
+	return sigHandle{s}
+}
+
+// ----- SPDK (staged) -----
+
+// SPDKBackend adapts the classic SPDK flow: a pool of staged-I/O helpers
+// provides bounded concurrency (each helper owns its staging buffer, so
+// concurrent granules never share staging memory).
+type SPDKBackend struct {
+	env  *platform.Env
+	d    *spdk.Driver
+	pool *sim.Store[*spdk.StagedGPUIO]
+	g    int64
+}
+
+// NewSPDK builds the backend; granules are striped across devices at
+// blockBytes granularity. helpers bounds concurrent granules in flight.
+func NewSPDK(env *platform.Env, blockBytes int64, helpers int) *SPDKBackend {
+	d := spdk.New(env.E, spdk.DefaultConfig(), env.HM, env.Space, env.Devs, (len(env.Devs)+1)/2)
+	d.Start()
+	b := &SPDKBackend{
+		env:  env,
+		d:    d,
+		pool: sim.NewStore[*spdk.StagedGPUIO](env.E, "spdk.helpers"),
+		g:    blockBytes,
+	}
+	if helpers <= 0 {
+		helpers = 4
+	}
+	for i := 0; i < helpers; i++ {
+		b.pool.Put(spdk.NewStagedGPUIO(d, env.CE, blockBytes))
+	}
+	return b
+}
+
+func (b *SPDKBackend) Name() string                           { return "SPDK" }
+func (b *SPDKBackend) BlockBytes() int64                      { return b.g }
+func (b *SPDKBackend) Alloc(name string, n int64) *gpu.Buffer { return b.env.GPU.Alloc(name, n) }
+
+// locate stripes granules across devices.
+func (b *SPDKBackend) locate(off int64) (dev int, slba uint64) {
+	granule := off / b.g
+	nd := int64(len(b.env.Devs))
+	dev = int(granule % nd)
+	devOff := (granule / nd) * b.g
+	return dev, uint64(devOff / 512)
+}
+
+func (b *SPDKBackend) StartRead(p *sim.Proc, off, n int64, dst *gpu.Buffer, dstOff int64) Handle {
+	return b.start(p, off, n, dst, dstOff, true)
+}
+
+func (b *SPDKBackend) StartWrite(p *sim.Proc, off, n int64, src *gpu.Buffer, srcOff int64) Handle {
+	return b.start(p, off, n, src, srcOff, false)
+}
+
+func (b *SPDKBackend) start(p *sim.Proc, off, n int64, buf *gpu.Buffer, bufOff int64, read bool) Handle {
+	checkAligned("spdk", off, n, b.g)
+	s := b.env.E.NewSignal("spdkxfer")
+	granules := n / b.g
+	// Granules proceed in parallel, bounded by the helper pool — the
+	// classic SPDK app pattern of keeping several staged transfers in
+	// flight per direction.
+	remaining := granules
+	for gidx := int64(0); gidx < granules; gidx++ {
+		done := gidx * b.g
+		b.env.E.Go("spdk.xfer", func(w *sim.Proc) {
+			st, _ := b.pool.Get(w)
+			dev, slba := b.locate(off + done)
+			if read {
+				st.ReadToGPU(w, dev, slba, buf, bufOff+done, b.g)
+			} else {
+				st.WriteFromGPU(w, dev, slba, buf, bufOff+done, b.g)
+			}
+			b.pool.Put(st)
+			remaining--
+			if remaining == 0 {
+				s.Fire()
+			}
+		})
+	}
+	return sigHandle{s}
+}
+
+// ----- GDS -----
+
+// GDSBackend adapts the gds.Driver.
+type GDSBackend struct {
+	env *platform.Env
+	d   *gds.Driver
+	g   int64
+}
+
+// NewGDS builds the backend.
+func NewGDS(env *platform.Env, blockBytes int64) *GDSBackend {
+	d := gds.New(env.E, gds.DefaultConfig(), env.HM, env.Space, env.Devs)
+	d.Start()
+	return &GDSBackend{env: env, d: d, g: blockBytes}
+}
+
+func (b *GDSBackend) Name() string                           { return "GDS" }
+func (b *GDSBackend) BlockBytes() int64                      { return b.g }
+func (b *GDSBackend) Alloc(name string, n int64) *gpu.Buffer { return b.env.GPU.Alloc(name, n) }
+
+func (b *GDSBackend) StartRead(p *sim.Proc, off, n int64, dst *gpu.Buffer, dstOff int64) Handle {
+	checkAligned("gds", off, n, b.g)
+	s := b.env.E.NewSignal("gdsxfer")
+	b.env.E.Go("gds.read", func(w *sim.Proc) {
+		b.d.Read(w, off, n, dst.Addr+mem.Addr(dstOff))
+		s.Fire()
+	})
+	return sigHandle{s}
+}
+
+func (b *GDSBackend) StartWrite(p *sim.Proc, off, n int64, src *gpu.Buffer, srcOff int64) Handle {
+	checkAligned("gds", off, n, b.g)
+	s := b.env.E.NewSignal("gdsxfer")
+	b.env.E.Go("gds.write", func(w *sim.Proc) {
+		b.d.Write(w, off, n, src.Addr+mem.Addr(srcOff))
+		s.Fire()
+	})
+	return sigHandle{s}
+}
+
+// ----- POSIX -----
+
+// POSIXBackend is the traditional flow: kernel pread/pwrite into host
+// memory plus cudaMemcpyAsync staging to the GPU.
+type POSIXBackend struct {
+	env   *platform.Env
+	stack *oskernel.Stack
+	pool  *sim.Store[*posixHelper]
+	g     int64
+}
+
+type posixHelper struct {
+	host []byte
+}
+
+// NewPOSIX builds the backend over a RAID0 kernel stack.
+func NewPOSIX(env *platform.Env, blockBytes int64, helpers int) *POSIXBackend {
+	st := oskernel.NewStack(env.E, oskernel.POSIX, oskernel.DefaultConfig(oskernel.POSIX), env.HM, env.Devs)
+	b := &POSIXBackend{
+		env:   env,
+		stack: st,
+		pool:  sim.NewStore[*posixHelper](env.E, "posix.helpers"),
+		g:     blockBytes,
+	}
+	if helpers <= 0 {
+		helpers = 2
+	}
+	for i := 0; i < helpers; i++ {
+		hb := env.HM.Alloc(fmt.Sprintf("posix.helper%d", i), blockBytes)
+		b.pool.Put(&posixHelper{host: hb.Data})
+	}
+	return b
+}
+
+func (b *POSIXBackend) Name() string                           { return "POSIX" }
+func (b *POSIXBackend) BlockBytes() int64                      { return b.g }
+func (b *POSIXBackend) Alloc(name string, n int64) *gpu.Buffer { return b.env.GPU.Alloc(name, n) }
+
+func (b *POSIXBackend) StartRead(p *sim.Proc, off, n int64, dst *gpu.Buffer, dstOff int64) Handle {
+	return b.start(p, off, n, dst, dstOff, true)
+}
+
+func (b *POSIXBackend) StartWrite(p *sim.Proc, off, n int64, src *gpu.Buffer, srcOff int64) Handle {
+	return b.start(p, off, n, src, srcOff, false)
+}
+
+// start issues granules in parallel, bounded by the helper-buffer pool —
+// the multi-threaded pread/pwrite worker pool a traditional implementation
+// uses.
+func (b *POSIXBackend) start(p *sim.Proc, off, n int64, buf *gpu.Buffer, bufOff int64, read bool) Handle {
+	checkAligned("posix", off, n, b.g)
+	s := b.env.E.NewSignal("posixxfer")
+	granules := n / b.g
+	remaining := granules
+	for gidx := int64(0); gidx < granules; gidx++ {
+		done := gidx * b.g
+		b.env.E.Go("posix.xfer", func(w *sim.Proc) {
+			h, _ := b.pool.Get(w)
+			if read {
+				b.stack.ReadAt(w, off+done, h.host)
+				// Stage host → GPU (one DRAM read crossing + one memcpy).
+				b.env.HM.ReserveTraffic(b.g)
+				b.env.CE.Copy(w, buf.Data[bufOff+done:], h.host, b.g)
+			} else {
+				b.env.HM.ReserveTraffic(b.g)
+				b.env.CE.Copy(w, h.host, buf.Data[bufOff+done:], b.g)
+				b.stack.WriteAt(w, off+done, h.host)
+			}
+			b.pool.Put(h)
+			remaining--
+			if remaining == 0 {
+				s.Fire()
+			}
+		})
+	}
+	return sigHandle{s}
+}

@@ -1,0 +1,147 @@
+package xfer
+
+import (
+	"bytes"
+	"testing"
+
+	"camsim/internal/bam"
+	"camsim/internal/platform"
+	"camsim/internal/sim"
+)
+
+// backends builds one instance of every backend over its own environment.
+func backends(blockBytes int64) map[string]struct {
+	env *platform.Env
+	b   Backend
+} {
+	out := make(map[string]struct {
+		env *platform.Env
+		b   Backend
+	})
+	mk := func(name string, f func(env *platform.Env) Backend) {
+		env := platform.New(platform.Options{SSDs: 3})
+		out[name] = struct {
+			env *platform.Env
+			b   Backend
+		}{env, f(env)}
+	}
+	mk("cam", func(env *platform.Env) Backend { return NewCAM(env, blockBytes, nil) })
+	mk("bam", func(env *platform.Env) Backend {
+		return NewBaM(env, bam.New(env.E, bam.DefaultConfig(), env.GPU, env.Devs), blockBytes)
+	})
+	mk("spdk", func(env *platform.Env) Backend { return NewSPDK(env, blockBytes, 4) })
+	mk("gds", func(env *platform.Env) Backend { return NewGDS(env, blockBytes) })
+	mk("posix", func(env *platform.Env) Backend { return NewPOSIX(env, blockBytes, 2) })
+	return out
+}
+
+func TestAllBackendsRoundTrip(t *testing.T) {
+	const bb = 4096
+	for name, bx := range backends(bb) {
+		name, bx := name, bx
+		t.Run(name, func(t *testing.T) {
+			n := int64(12 * bb) // spans all devices
+			src := bx.b.Alloc("src", n)
+			dst := bx.b.Alloc("dst", n)
+			rng := sim.NewRNG(77)
+			for i := range src.Data {
+				src.Data[i] = byte(rng.Uint64())
+			}
+			bx.env.E.Go("app", func(p *sim.Proc) {
+				Write(p, bx.b, 0, n, src, 0)
+				Read(p, bx.b, 0, n, dst, 0)
+			})
+			bx.env.Run()
+			if !bytes.Equal(src.Data, dst.Data) {
+				t.Fatalf("%s round trip mismatch", name)
+			}
+		})
+	}
+}
+
+func TestOffsetRoundTrip(t *testing.T) {
+	const bb = 4096
+	for name, bx := range backends(bb) {
+		name, bx := name, bx
+		t.Run(name, func(t *testing.T) {
+			src := bx.b.Alloc("src", 4*bb)
+			dst := bx.b.Alloc("dst", 8*bb)
+			for i := range src.Data {
+				src.Data[i] = byte(i % 250)
+			}
+			bx.env.E.Go("app", func(p *sim.Proc) {
+				Write(p, bx.b, 16*bb, 4*bb, src, 0)
+				Read(p, bx.b, 16*bb, 4*bb, dst, 4*bb)
+			})
+			bx.env.Run()
+			if !bytes.Equal(dst.Data[4*bb:], src.Data) {
+				t.Fatalf("%s offset round trip mismatch", name)
+			}
+		})
+	}
+}
+
+func TestAsyncOverlap(t *testing.T) {
+	// Two concurrent CAM reads must not take twice as long as one (they
+	// share the array but overlap in flight).
+	env := platform.New(platform.Options{SSDs: 4})
+	b := NewCAM(env, 4096, nil)
+	buf := b.Alloc("buf", 2048*4096)
+	var serial, overlapped sim.Time
+	env.E.Go("app", func(p *sim.Proc) {
+		t0 := p.Now()
+		Read(p, b, 0, 1024*4096, buf, 0)
+		Read(p, b, 1024*4096, 1024*4096, buf, 1024*4096)
+		serial = p.Now() - t0
+
+		t0 = p.Now()
+		h1 := b.StartRead(p, 0, 1024*4096, buf, 0)
+		h2 := b.StartRead(p, 1024*4096, 1024*4096, buf, 1024*4096)
+		h1.Wait(p)
+		h2.Wait(p)
+		overlapped = p.Now() - t0
+	})
+	env.Run()
+	if overlapped >= serial {
+		t.Fatalf("async reads did not overlap: serial=%v overlapped=%v", serial, overlapped)
+	}
+}
+
+func TestUnalignedPanics(t *testing.T) {
+	env := platform.New(platform.Options{SSDs: 2})
+	b := NewCAM(env, 4096, nil)
+	buf := b.Alloc("buf", 8192)
+	panicked := false
+	env.E.Go("app", func(p *sim.Proc) {
+		defer func() { panicked = recover() != nil }()
+		b.StartRead(p, 100, 4096, buf, 0)
+	})
+	env.Run()
+	if !panicked {
+		t.Fatal("unaligned read did not panic")
+	}
+}
+
+func TestBlockRange(t *testing.T) {
+	got := blockRange(8192, 12288, 4096)
+	want := []uint64{2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("blockRange = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("blockRange = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBackendNames(t *testing.T) {
+	for name, bx := range backends(4096) {
+		if bx.b.Name() == "" {
+			t.Errorf("%s: empty Name()", name)
+		}
+		if bx.b.BlockBytes() != 4096 {
+			t.Errorf("%s: BlockBytes = %d", name, bx.b.BlockBytes())
+		}
+	}
+}
