@@ -1,0 +1,40 @@
+# Tier-1 gate: `make check` is exactly what CI runs, so a green local check
+# means a green pipeline.
+
+GO ?= go
+
+.PHONY: all build test vet lint race vuln check check-fast
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs camlint, the repo's simulation-invariant analyzers
+# (internal/lint): nodeterminism, errchecksim, eventtime, mutexheld.
+lint:
+	$(GO) run ./cmd/camlint ./...
+
+race:
+	$(GO) test -race ./...
+
+# vuln runs govulncheck when installed (CI installs it; local runs skip
+# gracefully since this repo must build without network access).
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vuln: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
+# check is the full gate. The race-enabled test run dominates (~10 min).
+check: build vet lint race vuln
+
+# check-fast trades the race detector for speed during local iteration.
+check-fast: build vet lint test

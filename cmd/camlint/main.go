@@ -1,0 +1,70 @@
+// Command camlint runs the repository's simulation-invariant analyzers
+// (internal/lint) over Go packages, multichecker-style.
+//
+// Usage:
+//
+//	camlint [-list] [-only name,name] [packages...]
+//
+// With no package patterns it checks ./... relative to the current
+// directory. The exit status is 1 if any diagnostic survives
+// //camlint:allow filtering, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"camsim/internal/lint"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list analyzers and exit")
+		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	)
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "camlint: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	pkgs, err := lint.Load(".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "camlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "camlint: %s: %v\n", pkg.Path, err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			failed = true
+			fmt.Printf("%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"slices"
 
 	"camsim/internal/cam"
 	"camsim/internal/gpu"
@@ -284,8 +285,15 @@ func (t *Trainer) VerifyTable() error {
 		}
 		return nil
 	}
-	for r, c := range t.touches {
-		if err := check(r, c); err != nil {
+	// Verify in sorted row order so the first mismatch reported is the same
+	// on every run.
+	rows := make([]uint64, 0, len(t.touches))
+	for r := range t.touches {
+		rows = append(rows, r)
+	}
+	slices.Sort(rows)
+	for _, r := range rows {
+		if err := check(r, t.touches[r]); err != nil {
 			return err
 		}
 	}

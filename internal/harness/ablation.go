@@ -67,7 +67,7 @@ func runAblDynCores(cfg RunConfig) *Result {
 				coreSecs += float64(mgr.ActiveCores()) * (p.Now() - t0).Seconds()
 			}
 		})
-		end := env.Run()
+		end := runEnv(env)
 		return outcome{elapsed: end, coreSecs: coreSecs, endCores: mgr.ActiveCores()}
 	}
 
@@ -118,7 +118,7 @@ func runAblBatch(cfg RunConfig) *Result {
 				mgr.PrefetchSynchronize(p)
 			}
 		})
-		end := env.Run()
+		end := runEnv(env)
 		s.Add(float64(bs), float64(int64(batches)*int64(bs)*4096)/end.Seconds()/1e9)
 	}
 	r.Figs = append(r.Figs, f)
@@ -182,6 +182,6 @@ func camThroughputSmallBatch(ssds int, op nvme.Opcode, gran int64, outstanding i
 			mgr.Synchronize(p, h)
 		}
 	})
-	end := env.Run()
+	end := runEnv(env)
 	return float64(int64(batches)*perBatch*gran) / end.Seconds(), env, mgr
 }

@@ -50,7 +50,7 @@ func runAblCache(cfg RunConfig) *Result {
 				arr.Gather(p, blocks, dst, 0)
 			}
 		})
-		end := env.Run()
+		end := runEnv(env)
 		gbps = float64(batches*perBatch) * blockBytes / end.Seconds() / 1e9
 		if c != nil {
 			hitRate = c.Stats().HitRate()
@@ -74,7 +74,7 @@ func runAblCache(cfg RunConfig) *Result {
 				mgr.PrefetchSynchronize(p)
 			}
 		})
-		end := env.Run()
+		end := runEnv(env)
 		return float64(batches*perBatch) * blockBytes / end.Seconds() / 1e9
 	}
 

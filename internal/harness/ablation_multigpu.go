@@ -61,7 +61,7 @@ func runAblMultiGPU(cfg RunConfig) *Result {
 				done[gi] = p.Now()
 			})
 		}
-		end := env.Run()
+		end := runEnv(env)
 		_ = end
 		total := 0.0
 		for _, t := range done {

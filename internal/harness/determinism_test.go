@@ -1,0 +1,37 @@
+package harness
+
+import "testing"
+
+// TestDoubleRunDeterminism is the dynamic twin of the camlint static gate:
+// running the same experiment twice with the same configuration in one
+// process must render byte-identical output. Go randomizes map iteration
+// per range statement (not just per process), so any order leak the lint
+// suite misses shows up here as a diff between the two runs.
+//
+// The experiments chosen cover the subsystems with the most internal state
+// while staying cheap enough for -race runs: kernel stacks (fig2), the CAM
+// sync-vs-async data paths (fig11), per-request CPU accounting (fig13), and
+// the FTL's garbage collector (abl-ftl).
+func TestDoubleRunDeterminism(t *testing.T) {
+	for _, id := range []string{"fig2", "fig11", "fig13", "abl-ftl"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := Get(id)
+			if !ok {
+				t.Fatalf("experiment %q not registered", id)
+			}
+			cfg := RunConfig{Quick: true}
+			first := e.Run(cfg)
+			second := e.Run(cfg)
+			if a, b := first.String(), second.String(); a != b {
+				t.Errorf("%s: two identically-configured runs rendered different output:\nrun 1:\n%s\nrun 2:\n%s", id, a, b)
+			}
+			if first.SimElapsed != second.SimElapsed {
+				t.Errorf("%s: simulated %s of virtual time on run 1 but %s on run 2", id, first.SimElapsed, second.SimElapsed)
+			}
+			if first.SimElapsed <= 0 {
+				t.Errorf("%s: SimElapsed = %s, want > 0 (runEnv accounting broken?)", id, first.SimElapsed)
+			}
+		})
+	}
+}

@@ -100,7 +100,7 @@ func camThroughput(ssds int, op nvme.Opcode, gran int64, cores, outstanding int,
 			mgr.Synchronize(p, h)
 		}
 	})
-	end := env.Run()
+	end := runEnv(env)
 	return float64(total) / end.Seconds(), env, mgr
 }
 
@@ -139,7 +139,7 @@ func bamThroughput(ssds int, op nvme.Opcode, gran int64, quick bool) (float64, *
 			}
 		}
 	})
-	end := env.Run()
+	end := runEnv(env)
 	return float64(total) / end.Seconds(), env
 }
 
@@ -231,7 +231,7 @@ func spdkContigThroughput(ssds int, op nvme.Opcode, gran int64, quick bool, envO
 		p.Wait(copySig[last])
 		p.SleepUntil(copyEnd[last])
 	})
-	end := env.Run()
+	end := runEnv(env)
 	return float64(total) / end.Seconds(), env, d
 }
 
@@ -267,7 +267,7 @@ func kernelThroughput(kind oskernel.StackKind, ssds int, op nvme.Opcode, gran in
 			}
 		})
 	}
-	end := env.E.Run()
+	end := creditSim(env.E.Run())
 	return float64(total) / end.Seconds(), st
 }
 
@@ -302,7 +302,7 @@ func spdkRawThroughput(ssds int, op nvme.Opcode, gran int64, quick bool) (float6
 			done++
 		}
 	})
-	end := env.Run()
+	end := runEnv(env)
 	return float64(int64(reqs)*gran) / end.Seconds(), d, env
 }
 

@@ -9,8 +9,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"camsim/internal/metrics"
+	"camsim/internal/platform"
+	"camsim/internal/sim"
 )
 
 // RunConfig selects the experiment scale.
@@ -27,6 +30,12 @@ type Result struct {
 	Tables []*metrics.Table
 	Figs   []*metrics.Figure
 	Notes  []string
+	// SimElapsed is the total virtual time simulated while producing the
+	// result, summed across every engine the experiment drove (experiments
+	// often build several platforms per data point, so this is a sum of
+	// simulated spans, not one clock reading). cambench reports it next to
+	// its wall-clock number.
+	SimElapsed sim.Time
 }
 
 // String renders everything.
@@ -56,11 +65,35 @@ type Experiment struct {
 
 var registry = map[string]Experiment{}
 
+// virtualElapsed accumulates the virtual time of every engine run driven by
+// the experiment currently executing; register's wrapper resets it before
+// the experiment starts and harvests it into Result.SimElapsed after.
+var virtualElapsed atomic.Int64
+
+// creditSim records one completed engine run's final virtual time.
+func creditSim(end sim.Time) sim.Time {
+	virtualElapsed.Add(int64(end))
+	return end
+}
+
+// runEnv drives env to quiescence, crediting the simulated span to the
+// running experiment's virtual-time accounting. Experiment code should call
+// this instead of env.Run directly.
+func runEnv(env *platform.Env) sim.Time {
+	return creditSim(env.Run())
+}
+
 func register(id, title string, run func(cfg RunConfig) *Result) {
 	if _, dup := registry[id]; dup {
 		panic("harness: duplicate experiment " + id)
 	}
-	registry[id] = Experiment{ID: id, Title: title, Run: run}
+	wrapped := func(cfg RunConfig) *Result {
+		virtualElapsed.Store(0)
+		r := run(cfg)
+		r.SimElapsed = sim.Time(virtualElapsed.Load())
+		return r
+	}
+	registry[id] = Experiment{ID: id, Title: title, Run: wrapped}
 }
 
 // Get looks an experiment up by id (e.g. "fig8").
@@ -71,11 +104,15 @@ func Get(id string) (Experiment, bool) {
 
 // All returns every experiment sorted by id.
 func All() []Experiment {
-	out := make([]Experiment, 0, len(registry))
-	for _, e := range registry {
-		out = append(out, e)
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return idLess(out[i].ID, out[j].ID) })
+	sort.Slice(ids, func(i, j int) bool { return idLess(ids[i], ids[j]) })
+	out := make([]Experiment, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, registry[id])
+	}
 	return out
 }
 

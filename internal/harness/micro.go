@@ -345,6 +345,6 @@ func spdkScatteredThroughput(ssds int, gran int64, quick bool) float64 {
 			}
 		})
 	}
-	end := env.Run()
+	end := runEnv(env)
 	return float64(total) / end.Seconds()
 }

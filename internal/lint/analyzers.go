@@ -1,0 +1,21 @@
+package lint
+
+// All returns every analyzer in the camlint suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NoDeterminism,
+		ErrCheckSim,
+		EventTime,
+		MutexHeld,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

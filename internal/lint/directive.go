@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// An allow directive suppresses camlint diagnostics. Forms:
+//
+//	//camlint:allow                         suppress every analyzer
+//	//camlint:allow nodeterminism           suppress one analyzer
+//	//camlint:allow nodeterminism,eventtime suppress several
+//	//camlint:allow nodeterminism -- reason free-text justification
+//
+// A trailing directive suppresses diagnostics reported on its own line; a
+// stand-alone directive comment additionally covers the line immediately
+// below it, so it can precede the flagged statement. Justifications after
+// " -- " are encouraged (and quoted in DESIGN.md's determinism rules) but
+// not enforced mechanically.
+const allowPrefix = "//camlint:allow"
+
+// allowSet maps "file:line" to the set of analyzer names allowed there;
+// an empty set means "all analyzers".
+type allowSet map[string]map[string]bool
+
+// collectAllows scans every comment in files for allow directives.
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	set := allowSet{}
+	sources := map[string][]byte{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				set.add(pos.Filename, pos.Line, names)
+				// Only a stand-alone comment also covers the next line
+				// (so it can precede the flagged statement); a trailing
+				// directive must not leak onto its neighbor.
+				if standsAlone(sources, pos) {
+					set.add(pos.Filename, pos.Line+1, names)
+				}
+			}
+		}
+	}
+	return set
+}
+
+// standsAlone reports whether only whitespace precedes the token at pos on
+// its source line, reading (and caching) the file to find out. If the file
+// cannot be read the directive is treated as trailing, the conservative
+// choice.
+func standsAlone(sources map[string][]byte, pos token.Position) bool {
+	src, ok := sources[pos.Filename]
+	if !ok {
+		src, _ = os.ReadFile(pos.Filename)
+		sources[pos.Filename] = src
+	}
+	if pos.Offset > len(src) {
+		return false
+	}
+	for i := pos.Offset - pos.Column + 1; i < pos.Offset; i++ {
+		if src[i] != ' ' && src[i] != '\t' {
+			return false
+		}
+	}
+	return true
+}
+
+func (s allowSet) add(file string, line int, names []string) {
+	key := posKey(file, line)
+	m := s[key]
+	if m == nil {
+		m = map[string]bool{}
+		s[key] = m
+	}
+	if len(names) == 0 {
+		m["*"] = true
+		return
+	}
+	for _, n := range names {
+		m[n] = true
+	}
+}
+
+// suppresses reports whether d is covered by a directive.
+func (s allowSet) suppresses(d Diagnostic) bool {
+	m := s[posKey(d.Pos.Filename, d.Pos.Line)]
+	if m == nil {
+		return false
+	}
+	return m["*"] || m[d.Analyzer]
+}
+
+// parseAllow parses a comment's text; ok reports whether it is an allow
+// directive, and names holds the analyzer list (empty for the bare form).
+func parseAllow(text string) (names []string, ok bool) {
+	if !strings.HasPrefix(text, allowPrefix) {
+		return nil, false
+	}
+	rest := text[len(allowPrefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// Something like //camlint:allowfoo — not the directive.
+		return nil, false
+	}
+	// Strip the justification, if any.
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	for _, field := range strings.FieldsFunc(rest, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == ','
+	}) {
+		names = append(names, field)
+	}
+	return names, true
+}
+
+func posKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}

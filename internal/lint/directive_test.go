@@ -1,0 +1,29 @@
+package lint
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text  string
+		names []string
+		ok    bool
+	}{
+		{"//camlint:allow", nil, true},
+		{"//camlint:allow nodeterminism", []string{"nodeterminism"}, true},
+		{"//camlint:allow nodeterminism,eventtime", []string{"nodeterminism", "eventtime"}, true},
+		{"//camlint:allow nodeterminism -- cli flag parsing only", []string{"nodeterminism"}, true},
+		{"//camlint:allow -- blanket, with reason", nil, true},
+		{"//camlint:allowance", nil, false},
+		{"// camlint:allow", nil, false},
+		{"//nolint:all", nil, false},
+	}
+	for _, c := range cases {
+		names, ok := parseAllow(c.text)
+		if ok != c.ok || !reflect.DeepEqual(names, c.names) {
+			t.Errorf("parseAllow(%q) = %v, %v; want %v, %v", c.text, names, ok, c.names, c.ok)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// EventTime keeps the two clocks apart. sim.Time is int64 nanoseconds of
+// *virtual* time and time.Duration is int64 nanoseconds of *wall* time, so
+// Go happily converts one into the other — and a single such conversion
+// quietly couples event scheduling to host timing. The analyzer flags:
+//
+//   - conversions sim.Time(d) where d is a time.Duration or time.Time, and
+//     time.Duration(t) / time.Time-typed conversions of a sim.Time;
+//   - shift expressions mixing the two (the one binary form Go's type
+//     checker does not already reject).
+//
+// Ordinary mixed arithmetic (t + d) never compiles, so it needs no check.
+var EventTime = &Analyzer{
+	Name: "eventtime",
+	Doc: "flag conversions and expressions that mix virtual sim.Time with " +
+		"wall-clock time.Duration/time.Time",
+	Run: runEventTime,
+}
+
+func runEventTime(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if len(n.Args) != 1 {
+					return true
+				}
+				tv, ok := pass.Info.Types[n.Fun]
+				if !ok || !tv.IsType() {
+					return true
+				}
+				argTV, ok := pass.Info.Types[n.Args[0]]
+				if !ok {
+					return true
+				}
+				dst, src := tv.Type, argTV.Type
+				switch {
+				case isSimTime(dst) && isWallClock(src):
+					pass.Reportf(n.Pos(),
+						"conversion of wall-clock %s to virtual sim.Time couples event scheduling to host timing; derive virtual durations from model parameters", src)
+				case isWallClock(dst) && isSimTime(src):
+					pass.Reportf(n.Pos(),
+						"conversion of virtual sim.Time to wall-clock %s misreads ticks as host time; use sim.Time's Seconds/Micros/String for presentation", dst)
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.SHL && n.Op != token.SHR {
+					return true
+				}
+				xt, xok := pass.Info.Types[n.X]
+				yt, yok := pass.Info.Types[n.Y]
+				if !xok || !yok {
+					return true
+				}
+				if (isSimTime(xt.Type) && isWallClock(yt.Type)) ||
+					(isWallClock(xt.Type) && isSimTime(yt.Type)) {
+					pass.Reportf(n.Pos(),
+						"shift mixes virtual sim.Time with wall-clock time; keep the clocks separate")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+// Package linttest runs camlint analyzers over fixture packages, in the
+// style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under testdata/src/<importpath>/ and annotate the lines
+// where diagnostics are expected:
+//
+//	start := time.Now() // want "wall-clock"
+//
+// Each quoted string is a regular expression that must match one diagnostic
+// reported on that line; diagnostics without a matching expectation (and
+// expectations without a matching diagnostic) fail the test. Because the
+// harness routes results through lint.Run, lines carrying //camlint:allow
+// directives are filtered exactly as in production, letting fixtures prove
+// the escape hatch works.
+//
+// Imports inside fixtures resolve first against testdata/src (so fixtures
+// can import a fake "camsim/internal/sim"), then against the standard
+// library via the source importer.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"camsim/internal/lint"
+)
+
+// Run checks pkgPath (relative to dir/testdata/src) with analyzer a.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgPath string) {
+	t.Helper()
+	root := filepath.Join(testdata, "src")
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		root:     root,
+		fset:     fset,
+		packages: map[string]*types.Package{},
+		files:    map[string][]*ast.File{},
+	}
+	imp.std = importer.ForCompiler(fset, "source", nil)
+
+	files, tpkg, info, err := imp.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	pkg := &lint.Package{
+		Path:  pkgPath,
+		Dir:   filepath.Join(root, pkgPath),
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	diags, err := lint.Run(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+	checkExpectations(t, fset, files, diags)
+}
+
+// want is one "// want" expectation.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []lint.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range splitQuoted(m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+
+	for _, d := range diags {
+		if w := matchWant(wants, d); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: [%s] %s", d.Pos, d.Analyzer, d.Message)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func matchWant(wants []*want, d lint.Diagnostic) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+// splitQuoted extracts the double-quoted strings from a want payload.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		s = s[i:]
+		// Find the end of this Go string literal.
+		end := -1
+		for j := 1; j < len(s); j++ {
+			if s[j] == '\\' {
+				j++
+				continue
+			}
+			if s[j] == '"' {
+				end = j
+				break
+			}
+		}
+		if end < 0 {
+			return out
+		}
+		if unq, err := strconv.Unquote(s[:end+1]); err == nil {
+			out = append(out, unq)
+		}
+		s = s[end+1:]
+	}
+}
+
+// fixtureImporter type-checks packages rooted in testdata/src, falling back
+// to the standard library for everything else.
+type fixtureImporter struct {
+	root     string
+	fset     *token.FileSet
+	std      types.Importer
+	packages map[string]*types.Package
+	files    map[string][]*ast.File
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := fi.packages[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(fi.root, path)
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		_, pkg, _, err := fi.load(path)
+		return pkg, err
+	}
+	return fi.std.Import(path)
+}
+
+// load parses and type-checks one fixture package.
+func (fi *fixtureImporter) load(path string) ([]*ast.File, *types.Package, *types.Info, error) {
+	dir := filepath.Join(fi.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fi.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := lint.NewInfo()
+	conf := types.Config{Importer: fi}
+	pkg, err := conf.Check(path, fi.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	fi.packages[path] = pkg
+	fi.files[path] = files
+	return files, pkg, info, nil
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexHeld prepares the codebase for the roadmap's multi-goroutine scaling
+// by flagging sync primitives that are copied by value: a copied sync.Mutex
+// is a *different* mutex, so the copy silently stops excluding anything.
+// It reports lock-containing values that are
+//
+//   - declared as by-value parameters, results, or receivers (which also
+//     covers every return-by-value site);
+//   - copied by assignment or short variable declaration;
+//   - copied by a range statement's key/value variables;
+//   - passed by value as call arguments.
+//
+// Fresh composite literals are fine (that is initialization, not copying),
+// and pointers to locks are always fine.
+var MutexHeld = &Analyzer{
+	Name: "mutexheld",
+	Doc:  "flag sync primitives (Mutex, RWMutex, WaitGroup, ...) copied by value",
+	Run:  runMutexHeld,
+}
+
+func runMutexHeld(pass *Pass) error {
+	// typeOf is the expression's type, nil when unknown.
+	typeOf := func(e ast.Expr) types.Type {
+		if tv, ok := pass.Info.Types[e]; ok {
+			return tv.Type
+		}
+		return nil
+	}
+	// reportCopy flags e if evaluating it copies a live lock-containing value.
+	reportCopy := func(e ast.Expr, how string) {
+		if e == nil || !isExistingValue(e) {
+			return
+		}
+		t := typeOf(e)
+		if t == nil {
+			return
+		}
+		if path, found := lockPath(t); found {
+			pass.Reportf(e.Pos(), "%s copies %s; use a pointer", how, path)
+		}
+	}
+	// reportFieldList flags by-value lock params/results/receivers.
+	reportFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pass.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if path, found := lockPath(tv.Type); found {
+				pass.Reportf(field.Pos(), "%s passes %s by value; use a pointer", what, path)
+			}
+		}
+	}
+	// reportRangeVar flags a range key/value variable of lock type.
+	reportRangeVar := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		ident, ok := e.(*ast.Ident)
+		if !ok || ident.Name == "_" {
+			return
+		}
+		obj := pass.Info.Defs[ident]
+		if obj == nil {
+			if obj = pass.Info.Uses[ident]; obj == nil {
+				return
+			}
+		}
+		if path, found := lockPath(obj.Type()); found {
+			pass.Reportf(e.Pos(), "range variable copies %s each iteration; iterate by index or over pointers", path)
+		}
+	}
+
+	isBlank := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				reportFieldList(n.Recv, "method receiver")
+				reportFieldList(n.Type.Params, "function parameter")
+				reportFieldList(n.Type.Results, "function result")
+			case *ast.FuncLit:
+				reportFieldList(n.Type.Params, "function parameter")
+				reportFieldList(n.Type.Results, "function result")
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					// A blank target stores nothing, so nothing is copied.
+					if len(n.Lhs) == len(n.Rhs) && isBlank(n.Lhs[i]) {
+						continue
+					}
+					reportCopy(rhs, "assignment")
+				}
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					if len(n.Names) == len(n.Values) && n.Names[i].Name == "_" {
+						continue
+					}
+					reportCopy(v, "variable declaration")
+				}
+			case *ast.RangeStmt:
+				reportRangeVar(n.Key)
+				reportRangeVar(n.Value)
+			case *ast.CallExpr:
+				if tv, ok := pass.Info.Types[n.Fun]; ok && tv.IsType() {
+					return true // conversion, handled as its context's copy
+				}
+				for _, arg := range n.Args {
+					reportCopy(arg, "call argument")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+// Package sim is a miniature stand-in for camsim/internal/sim, giving
+// fixtures the same import path shape (".../internal/sim") and the same
+// exported names the analyzers key on.
+package sim
+
+// Time mirrors the real virtual-clock type.
+type Time int64
+
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+)
+
+// Engine mirrors the real engine's clock accessor.
+type Engine struct{ now Time }
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Submit mimics a sim API whose error must not be dropped.
+func Submit(v int) error { return nil }
+
+// Queue mimics a device queue with both fallible and infallible methods.
+type Queue struct{ depth int }
+
+// Ring mimics a doorbell write that can fail.
+func (q *Queue) Ring(v int) error { return nil }
+
+// Depth never fails.
+func (q *Queue) Depth() int { return q.depth }

@@ -1,0 +1,49 @@
+// Package simfix exercises the simulation-critical half of nodeterminism:
+// its import path sits under camsim/internal/, so map iteration is flagged.
+package simfix
+
+import "sort"
+
+func mapOrder(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want "map iteration order is randomized"
+		sum += v
+	}
+	return sum
+}
+
+// sortedOrder shows the blessed fix: the key-collection loop is recognized
+// as order-safe and not flagged.
+func sortedOrder(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+func annotated(m map[string]bool) bool {
+	any := false
+	//camlint:allow nodeterminism -- boolean OR is order-independent and nothing else escapes
+	for _, v := range m {
+		any = any || v
+	}
+	return any
+}
+
+// Slices and channels range deterministically; never flagged.
+func negatives(s []int, ch chan int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	for v := range ch {
+		total += v
+	}
+	return total
+}

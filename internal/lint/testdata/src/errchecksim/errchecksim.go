@@ -1,0 +1,39 @@
+// Package errchecksim exercises the dropped-error check against a fake
+// camsim/internal/sim package.
+package errchecksim
+
+import (
+	"fmt"
+
+	"camsim/internal/sim"
+)
+
+func dropped(q *sim.Queue) {
+	sim.Submit(1)       // want "error result of sim.Submit is silently dropped"
+	q.Ring(2)           // want "error result of sim.Ring is silently dropped"
+	go sim.Submit(3)    // want "go statement: error result of sim.Submit"
+	defer sim.Submit(4) // want "deferred call: error result of sim.Submit"
+}
+
+func handled(q *sim.Queue) error {
+	if err := sim.Submit(1); err != nil {
+		return err
+	}
+	// Explicit discard is a deliberate, reviewable decision.
+	_ = q.Ring(2)
+	return nil
+}
+
+func allowed() {
+	sim.Submit(9) //camlint:allow errchecksim -- fixture proves the escape hatch
+}
+
+// Negative cases: infallible sim APIs, non-camsim callees, and local
+// helpers (this fixture package is outside camsim/) are never flagged.
+func negatives(q *sim.Queue) {
+	q.Depth()
+	fmt.Println("std lib errors are errcheck's job, not errchecksim's")
+	localFallible()
+}
+
+func localFallible() error { return nil }

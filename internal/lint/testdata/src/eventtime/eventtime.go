@@ -1,0 +1,23 @@
+// Package eventtime exercises the virtual/wall clock separation check.
+package eventtime
+
+import (
+	"time"
+
+	"camsim/internal/sim"
+)
+
+func conversions(d time.Duration, w time.Time, t sim.Time) {
+	_ = sim.Time(d)      // want "conversion of wall-clock time.Duration to virtual sim.Time"
+	_ = time.Duration(t) // want "conversion of virtual sim.Time to wall-clock time.Duration"
+	_ = sim.Time(d)      //camlint:allow eventtime -- fixture proves the escape hatch
+	_ = t << d           // want "shift mixes virtual sim.Time with wall-clock time"
+}
+
+// Negative cases: conversions from untyped constants and plain integers
+// carry no clock, and sim.Time arithmetic with itself is the normal case.
+func negatives(n int64, t sim.Time) sim.Time {
+	budget := sim.Time(5000)
+	derived := sim.Time(n)
+	return budget + derived + 3*sim.Microsecond + t
+}

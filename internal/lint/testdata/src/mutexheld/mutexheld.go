@@ -1,0 +1,62 @@
+// Package mutexheld exercises the copied-lock check.
+package mutexheld
+
+import "sync"
+
+// Server embeds a lock, so copying a Server copies the lock.
+type Server struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValueParam(s Server) int { // want "function parameter passes Server contains sync.Mutex by value"
+	return s.n
+}
+
+// M's value receiver copies the lock on every call.
+func (s Server) M() {} // want "method receiver passes Server contains sync.Mutex by value"
+
+func lockResult() (m sync.Mutex) { // want "function result passes sync.Mutex by value"
+	return
+}
+
+func copies(list []Server) {
+	var s Server
+	t := s // want "assignment copies Server contains sync.Mutex"
+	_ = t
+
+	var wg sync.WaitGroup
+	wg2 := wg // want "assignment copies sync.WaitGroup"
+	_ = wg2
+
+	for _, srv := range list { // want "range variable copies Server contains sync.Mutex"
+		_ = srv.n
+	}
+
+	use(s) // want "call argument copies Server contains sync.Mutex"
+
+	grandfathered := s //camlint:allow mutexheld -- fixture proves the escape hatch
+	_ = grandfathered
+}
+
+func use(s Server) int { // want "function parameter passes Server contains sync.Mutex by value"
+	return s.n
+}
+
+func returnsCopy(s *Server) Server { // want "function result passes Server contains sync.Mutex by value"
+	return *s
+}
+
+// Negative cases: pointers, fresh composite literals, and lock-free types
+// copy safely.
+func negatives(p *Server, ints []int) *sync.Mutex {
+	fresh := Server{n: 1}
+	_ = fresh
+	q := p
+	_ = q
+	for _, v := range ints {
+		_ = v
+	}
+	var mu sync.Mutex
+	return &mu
+}

@@ -1,0 +1,39 @@
+// Package nodeterminism exercises the wall-clock and math/rand checks.
+// Its import path has no camsim/internal prefix, so map iteration is NOT
+// flagged here (see camsim/internal/simfix for that half).
+package nodeterminism
+
+import (
+	"math/rand" // want "import of math/rand: streams are not stable"
+	"time"
+)
+
+func wallClock() float64 {
+	start := time.Now()                // want "wall-clock time.Now leaks host time"
+	time.Sleep(time.Millisecond)       // want "wall-clock time.Sleep"
+	<-time.After(time.Nanosecond)      // want "wall-clock time.After"
+	return time.Since(start).Seconds() // want "wall-clock time.Since"
+}
+
+func allowed() time.Time {
+	return time.Now() //camlint:allow nodeterminism -- fixture proves the escape hatch
+}
+
+func allowedAbove() time.Time {
+	//camlint:allow nodeterminism -- directive on the preceding line also covers this
+	return time.Now()
+}
+
+func randStream() int {
+	return rand.Int()
+}
+
+// Negative cases: time.Duration as a plain type and map iteration outside
+// the simulation substrate are both fine.
+func negatives(timeout time.Duration, m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total + int(timeout)
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// modulePrefix marks packages whose APIs the suite guards. Fixture packages
+// under testdata/src reuse the prefix so analyzers behave identically there.
+const modulePrefix = "camsim/"
+
+// simCritical reports whether pkgPath is part of the simulation substrate,
+// where map iteration order must never influence behavior. Everything under
+// internal/ qualifies except the lint suite itself (whose diagnostics are
+// explicitly sorted before use).
+func simCritical(pkgPath string) bool {
+	if !strings.HasPrefix(pkgPath, modulePrefix+"internal/") {
+		return false
+	}
+	return !strings.HasPrefix(pkgPath, modulePrefix+"internal/lint")
+}
+
+// calleeFunc resolves the function or method a call statically invokes.
+// It returns nil for conversions, builtins, and calls through func values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isSimTime reports whether t is the virtual-clock type sim.Time (matched
+// structurally by name and package suffix so testdata fixtures using a fake
+// camsim/internal/sim package behave like the real one).
+func isSimTime(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != "Time" || obj.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(obj.Pkg().Path(), "internal/sim")
+}
+
+// isWallClock reports whether t is time.Duration or time.Time.
+func isWallClock(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+		return false
+	}
+	return obj.Name() == "Duration" || obj.Name() == "Time"
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// lockPath reports how t embeds a sync primitive by value: it returns a
+// human-readable path such as "sync.Mutex" or "Server contains sync.Mutex"
+// and true, or "" and false if copying t is lock-safe. Pointers stop the
+// search: copying *sync.Mutex is fine.
+func lockPath(t types.Type) (string, bool) {
+	return lockPathSeen(t, map[types.Type]bool{})
+}
+
+func lockPathSeen(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if seen[t] {
+		return "", false
+	}
+	seen[t] = true
+
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+				return "sync." + obj.Name(), true
+			}
+		}
+		if path, found := lockPathSeen(n.Underlying(), seen); found {
+			if obj.Name() != "" {
+				return obj.Name() + " contains " + path, true
+			}
+			return path, true
+		}
+		return "", false
+	}
+
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if path, found := lockPathSeen(u.Field(i).Type(), seen); found {
+				return path, true
+			}
+		}
+	case *types.Array:
+		return lockPathSeen(u.Elem(), seen)
+	}
+	return "", false
+}
+
+// isExistingValue reports whether e denotes an already-live value (so
+// assigning, passing, or returning it copies state), as opposed to a fresh
+// composite literal, call result, or conversion that the copy initializes.
+func isExistingValue(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}

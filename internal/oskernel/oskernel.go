@@ -14,6 +14,7 @@ package oskernel
 
 import (
 	"fmt"
+	"sort"
 
 	"camsim/internal/cpustat"
 	"camsim/internal/hostmem"
@@ -438,16 +439,21 @@ func (s *Stack) syncIO(p *sim.Proc, op nvme.Opcode, off int64, data []byte) nvme
 // of the paper's four layers (completion folded into Block I/O would hide
 // it, so it is reported separately).
 func (s *Stack) LayerBreakdown() map[string]float64 {
+	layers := make([]string, 0, len(s.LayerTime))
+	for k := range s.LayerTime {
+		layers = append(layers, k)
+	}
+	sort.Strings(layers)
 	var total sim.Time
-	for _, v := range s.LayerTime {
-		total += v
+	for _, k := range layers {
+		total += s.LayerTime[k]
 	}
 	out := make(map[string]float64, len(s.LayerTime))
 	if total == 0 {
 		return out
 	}
-	for k, v := range s.LayerTime {
-		out[k] = float64(v) / float64(total)
+	for _, k := range layers {
+		out[k] = float64(s.LayerTime[k]) / float64(total)
 	}
 	return out
 }

@@ -1,6 +1,9 @@
 package ssd
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // FTL is a page-mapped flash translation layer: the metadata machine a
 // real SSD runs between host LBAs and NAND pages. Writes append to an
@@ -249,7 +252,15 @@ func (f *FTL) migratePage(lpn, oldPPN int64) {
 // the reverse map, and no physical page is double-mapped.
 func (f *FTL) CheckInvariants() error {
 	perBlock := make([]int, len(f.blocks))
-	for lpn, ppn := range f.mapping {
+	// Walk the mapping in sorted LPN order so the first inconsistency
+	// reported is the same on every run.
+	lpns := make([]int64, 0, len(f.mapping))
+	for lpn := range f.mapping {
+		lpns = append(lpns, lpn)
+	}
+	slices.Sort(lpns)
+	for _, lpn := range lpns {
+		ppn := f.mapping[lpn]
 		back, ok := f.rmap[ppn]
 		if !ok || back != lpn {
 			return fmt.Errorf("ftl: mapping %d→%d lacks reverse entry", lpn, ppn)
