@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race vuln check check-fast
+.PHONY: all build test vet lint race vuln check check-fast bench bench-smoke
 
 all: build
 
@@ -38,3 +38,17 @@ check: build vet lint race vuln
 
 # check-fast trades the race detector for speed during local iteration.
 check-fast: build vet lint test
+
+# bench runs the figure reproductions once each under the benchmark
+# harness and records ns/op, allocs/op, sim-ns/op, and the derived
+# simulation rate in the next free BENCH_<n>.json — the repo's perf
+# trajectory, one file per recorded run.
+bench:
+	$(GO) test -run XXX -bench 'BenchmarkFig' -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -o auto
+
+# bench-smoke is the CI variant: same single-iteration benchmark pass,
+# but the JSON goes to stdout (the log) instead of accumulating files.
+bench-smoke:
+	$(GO) test -run XXX -bench . -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -o -

@@ -14,7 +14,10 @@ func benchCfg() harness.RunConfig {
 
 // runExperiment executes one registered reproduction per benchmark
 // iteration and logs its rendered output once, so `go test -bench` both
-// times the experiment and emits the paper's rows/series.
+// times the experiment and emits the paper's rows/series. It also reports
+// sim-ns/op — virtual nanoseconds simulated per iteration — so the bench
+// history tracks the engine's simulation rate (sim-ns/op ÷ ns/op), not
+// just wall time that shifts when workloads are re-scaled.
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
 	e, ok := harness.Get(id)
@@ -22,9 +25,13 @@ func runExperiment(b *testing.B, id string) {
 		b.Fatalf("experiment %s not registered", id)
 	}
 	var out string
+	var simTotal int64
 	for i := 0; i < b.N; i++ {
-		out = e.Run(benchCfg()).String()
+		r := e.Run(benchCfg())
+		simTotal += int64(r.SimElapsed)
+		out = r.String()
 	}
+	b.ReportMetric(float64(simTotal)/float64(b.N), "sim-ns/op")
 	if out != "" {
 		b.Log("\n" + out)
 	}

@@ -1,0 +1,178 @@
+// Command benchjson converts `go test -bench` output on stdin into one
+// JSON document recording the repository's performance trajectory.
+//
+// Usage:
+//
+//	go test -run XXX -bench 'BenchmarkFig' -benchmem -benchtime 1x . | go run ./cmd/benchjson -o auto
+//	... | go run ./cmd/benchjson -o -          # write JSON to stdout
+//	... | go run ./cmd/benchjson -o perf.json  # explicit path
+//
+// With -o auto the tool picks the next free BENCH_<n>.json in the current
+// directory, so successive `make bench` runs accumulate a numbered history
+// (BENCH_1.json, BENCH_2.json, ...) that can be diffed across commits.
+//
+// Each benchmark entry keeps the standard testing metrics (ns/op, B/op,
+// allocs/op) plus the harness's custom sim-ns/op metric and the derived
+// sim_per_wall ratio — virtual nanoseconds simulated per host nanosecond,
+// the engine's simulation rate. That ratio is the number the DES hot-path
+// work moves; wall time alone shifts whenever workloads are re-scaled.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BPerOp     float64 `json:"b_per_op,omitempty"`
+	AllocsOp   float64 `json:"allocs_per_op,omitempty"`
+	SimNsPerOp float64 `json:"sim_ns_per_op,omitempty"`
+	// SimPerWall = sim_ns_per_op / ns_per_op: virtual time simulated per
+	// unit of host time. Higher is a faster engine.
+	SimPerWall float64 `json:"sim_per_wall,omitempty"`
+	// Extra holds any metrics this tool does not model explicitly,
+	// keyed by unit (e.g. "MB/s").
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Generated  string      `json:"generated"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "auto", "output: 'auto' (next free BENCH_<n>.json), '-' (stdout), or a path")
+	flag.Parse()
+
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+
+	path := *out
+	if path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if path == "auto" {
+		path = nextFree()
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), path)
+}
+
+// nextFree picks the first BENCH_<n>.json (n ≥ 1) that does not exist yet.
+func nextFree() string {
+	for n := 1; ; n++ {
+		path := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+	}
+}
+
+// parse consumes `go test -bench` output: `key: value` header lines, then
+// result lines of the form
+//
+//	BenchmarkName-P  iterations  v1 unit1  v2 unit2  ...
+func parse(sc *bufio.Scanner) (*Report, error) {
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	rep := &Report{Generated: time.Now().UTC().Format(time.RFC3339)} //camlint:allow nodeterminism -- records when a host benchmark ran; never feeds the simulation
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("%q: %w", line, err)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	return rep, sc.Err()
+}
+
+func parseLine(line string) (Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed result line")
+	}
+	var b Benchmark
+	b.Name = strings.TrimPrefix(f[0], "Benchmark")
+	b.Procs = 1
+	if i := strings.LastIndexByte(b.Name, '-'); i >= 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Procs = p
+			b.Name = b.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iterations: %w", err)
+	}
+	b.Iterations = iters
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("metric %s: %w", f[i+1], err)
+		}
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BPerOp = v
+		case "allocs/op":
+			b.AllocsOp = v
+		case "sim-ns/op":
+			b.SimNsPerOp = v
+		default:
+			if b.Extra == nil {
+				b.Extra = map[string]float64{}
+			}
+			b.Extra[f[i+1]] = v
+		}
+	}
+	if b.NsPerOp > 0 && b.SimNsPerOp > 0 {
+		b.SimPerWall = b.SimNsPerOp / b.NsPerOp
+	}
+	return b, nil
+}

@@ -6,24 +6,35 @@
 //	cambench -list
 //	cambench -exp fig8            # one experiment at paper scale
 //	cambench -exp all -quick      # everything, scaled down
+//	cambench -exp all -parallel 8 # eight experiments in flight at once
 //	cambench -exp fig9 -csv       # emit tables as CSV
+//	cambench -exp fig8 -cpuprofile fig8.pprof
+//
+// Independent experiments run concurrently in a worker pool (-parallel,
+// default GOMAXPROCS); rendered results appear on stdout in registry order
+// and are byte-identical for any worker count. Host wall-clock timings and
+// completion progress go to stderr, keeping stdout deterministic.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"runtime"
+	"runtime/pprof"
 
 	"camsim/internal/harness"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (fig1..fig16, tab1..tab6) or 'all'")
-		list  = flag.Bool("list", false, "list available experiments")
-		quick = flag.Bool("quick", false, "run scaled-down workloads")
-		csv   = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		exp        = flag.String("exp", "", "experiment id (fig1..fig16, tab1..tab6) or 'all'")
+		list       = flag.Bool("list", false, "list available experiments")
+		quick      = flag.Bool("quick", false, "run scaled-down workloads")
+		csv        = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently (1 = serial)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to `file`")
+		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the runs to `file`")
 	)
 	flag.Parse()
 
@@ -51,9 +62,27 @@ func main() {
 		toRun = []harness.Experiment{e}
 	}
 
-	for _, e := range toRun {
-		start := time.Now() //camlint:allow nodeterminism -- host-side progress reporting; never feeds the simulation
-		r := e.Run(cfg)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cambench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cambench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	progress := func(p harness.Progress) {
+		fmt.Fprintf(os.Stderr, "cambench: %s done in %.1fs wall (%d/%d)\n",
+			p.Result.ID, p.Wall.Seconds(), p.Completed, len(toRun))
+	}
+	results := harness.RunAll(toRun, cfg, *parallel, progress)
+
+	for _, r := range results {
 		if *csv {
 			fmt.Printf("# %s — %s\n", r.ID, r.Title)
 			for _, t := range r.Tables {
@@ -65,12 +94,24 @@ func main() {
 		} else {
 			fmt.Print(r.String())
 		}
-		wall := time.Since(start) //camlint:allow nodeterminism -- host-side progress reporting; never feeds the simulation
 		if r.SimElapsed > 0 {
-			fmt.Printf("(%s simulated %s of virtual time; took %.1fs of host wall-clock, which is not simulation output)\n\n",
-				e.ID, r.SimElapsed, wall.Seconds())
+			fmt.Printf("(%s simulated %s of virtual time)\n\n", r.ID, r.SimElapsed)
 		} else {
-			fmt.Printf("(%s is a static table; took %.1fs of host wall-clock)\n\n", e.ID, wall.Seconds())
+			fmt.Printf("(%s is a static table)\n\n", r.ID)
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cambench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cambench: -memprofile: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

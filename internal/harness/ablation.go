@@ -67,7 +67,7 @@ func runAblDynCores(cfg RunConfig) *Result {
 				coreSecs += float64(mgr.ActiveCores()) * (p.Now() - t0).Seconds()
 			}
 		})
-		end := runEnv(env)
+		end := runEnv(cfg, env)
 		return outcome{elapsed: end, coreSecs: coreSecs, endCores: mgr.ActiveCores()}
 	}
 
@@ -118,7 +118,7 @@ func runAblBatch(cfg RunConfig) *Result {
 				mgr.PrefetchSynchronize(p)
 			}
 		})
-		end := runEnv(env)
+		end := runEnv(cfg, env)
 		s.Add(float64(bs), float64(int64(batches)*int64(bs)*4096)/end.Seconds()/1e9)
 	}
 	r.Figs = append(r.Figs, f)
@@ -138,7 +138,7 @@ func runAblOutstanding(cfg RunConfig) *Result {
 		depths = []int{1, 2, 8}
 	}
 	for _, d := range depths {
-		v, _, _ := camThroughputSmallBatch(12, nvme.OpRead, 4096, d, cfg.Quick)
+		v, _, _ := camThroughputSmallBatch(cfg, 12, nvme.OpRead, 4096, d)
 		s.Add(float64(d), v/1e9)
 	}
 	r.Figs = append(r.Figs, f)
@@ -149,16 +149,16 @@ func runAblOutstanding(cfg RunConfig) *Result {
 
 // camThroughputSmallBatch is camThroughput with a deliberately small batch
 // so pipeline depth matters.
-func camThroughputSmallBatch(ssds int, op nvme.Opcode, gran int64, outstanding int, quick bool) (float64, *platform.Env, *cam.Manager) {
+func camThroughputSmallBatch(cfg RunConfig, ssds int, op nvme.Opcode, gran int64, outstanding int) (float64, *platform.Env, *cam.Manager) {
 	env := platform.New(platform.Options{SSDs: ssds})
-	cfg := cam.DefaultConfig(ssds)
-	cfg.BlockBytes = gran
-	cfg.MaxOutstanding = outstanding + 1
+	ccfg := cam.DefaultConfig(ssds)
+	ccfg.BlockBytes = gran
+	ccfg.MaxOutstanding = outstanding + 1
 	const perBatch = 512
-	cfg.MaxBatch = perBatch
-	mgr := cam.New(env.E, cfg, env.GPU, env.HM, env.Space, env.Fab, env.Devs)
+	ccfg.MaxBatch = perBatch
+	mgr := cam.New(env.E, ccfg, env.GPU, env.HM, env.Space, env.Fab, env.Devs)
 	batches := 64
-	if quick {
+	if cfg.Quick {
 		batches = 32
 	}
 	buf := mgr.Alloc("bench", perBatch*gran*int64(outstanding))
@@ -182,6 +182,6 @@ func camThroughputSmallBatch(ssds int, op nvme.Opcode, gran int64, outstanding i
 			mgr.Synchronize(p, h)
 		}
 	})
-	end := runEnv(env)
+	end := runEnv(cfg, env)
 	return float64(int64(batches)*perBatch*gran) / end.Seconds(), env, mgr
 }

@@ -50,7 +50,7 @@ func runAblCache(cfg RunConfig) *Result {
 				arr.Gather(p, blocks, dst, 0)
 			}
 		})
-		end := runEnv(env)
+		end := runEnv(cfg, env)
 		gbps = float64(batches*perBatch) * blockBytes / end.Seconds() / 1e9
 		if c != nil {
 			hitRate = c.Stats().HitRate()
@@ -74,7 +74,7 @@ func runAblCache(cfg RunConfig) *Result {
 				mgr.PrefetchSynchronize(p)
 			}
 		})
-		end := runEnv(env)
+		end := runEnv(cfg, env)
 		return float64(batches*perBatch) * blockBytes / end.Seconds() / 1e9
 	}
 

@@ -43,7 +43,7 @@ func runAblFanin(cfg RunConfig) *Result {
 				panic(err)
 			}
 		})
-		runEnv(env)
+		runEnv(cfg, env)
 		t.AddRow(fanin, st.Passes, float64(st.BytesMoved)/float64(1<<30), st.Elapsed.Seconds()*1000)
 	}
 	r.Tables = append(r.Tables, t)

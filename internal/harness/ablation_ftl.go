@@ -64,7 +64,7 @@ func runAblFTL(cfg RunConfig) *Result {
 					p.Wait(q.Done)
 				}
 			})
-			end := runEnv(env)
+			end := runEnv(cfg, env)
 			return float64(writes) * 4096 / end.Seconds(), env.Devs[0].FTL().Stats()
 		}
 		plain, st := measure(false)

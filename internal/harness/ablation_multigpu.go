@@ -61,7 +61,7 @@ func runAblMultiGPU(cfg RunConfig) *Result {
 				done[gi] = p.Now()
 			})
 		}
-		end := runEnv(env)
+		end := runEnv(cfg, env)
 		_ = end
 		total := 0.0
 		for _, t := range done {

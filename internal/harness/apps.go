@@ -46,7 +46,7 @@ func runFig1(cfg RunConfig) *Result {
 		tr := gnn.NewGIDSTrainer(env, d, m, tcfg, sys)
 		var b gnn.Breakdown
 		env.E.Go("t", func(p *sim.Proc) { b = tr.RunIterations(p, iters) })
-		runEnv(env)
+		runEnv(cfg, env)
 		s, e, tn := b.Fractions()
 		t.AddRow(m.Name, 100*s, 100*e, 100*tn)
 	}
@@ -70,7 +70,7 @@ func runFig9(cfg RunConfig) *Result {
 			gt := gnn.NewGIDSTrainer(gEnv, d, m, tcfg, sys)
 			var gb gnn.Breakdown
 			gEnv.E.Go("t", func(p *sim.Proc) { gb = gt.RunIterations(p, iters) })
-			runEnv(gEnv)
+			runEnv(cfg, gEnv)
 
 			cEnv := platform.New(platform.Options{SSDs: 12})
 			ccfg := cam.DefaultConfig(12)
@@ -80,7 +80,7 @@ func runFig9(cfg RunConfig) *Result {
 			ct := gnn.NewCAMTrainer(cEnv, d, m, tcfg, mgr)
 			var cb gnn.Breakdown
 			cEnv.E.Go("t", func(p *sim.Proc) { cb = ct.RunIterations(p, iters) })
-			runEnv(cEnv)
+			runEnv(cfg, cEnv)
 
 			gms := gb.Total.Seconds() * 1000 / float64(gb.Iters)
 			cms := cb.Total.Seconds() * 1000 / float64(cb.Iters)
@@ -136,7 +136,7 @@ func runFig10a(cfg RunConfig) *Result {
 					panic(err)
 				}
 			})
-			runEnv(env)
+			runEnv(cfg, env)
 			series[sys].Add(float64(n), st.Elapsed.Seconds()*1000)
 		}
 	}
@@ -174,7 +174,7 @@ func runFig10bc(cfg RunConfig) *Result {
 			m.FillInputs(p, 5)
 			st = m.Run(p)
 		})
-		runEnv(env)
+		runEnv(cfg, env)
 		t.AddRow(sys, st.Throughput/1e9, st.Elapsed.Seconds()*1000)
 	}
 	r.Tables = append(r.Tables, t)

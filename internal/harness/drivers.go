@@ -37,34 +37,34 @@ func reqBudget(gran int64, quick bool) int64 {
 // camThroughput measures CAM batch throughput. cores<=0 uses the default
 // (one per two SSDs). outstanding is the number of batches in flight
 // (1 = the synchronous prefetch/synchronize pattern).
-func camThroughput(ssds int, op nvme.Opcode, gran int64, cores, outstanding int, quick bool, envOpts platform.Options) (float64, *platform.Env, *cam.Manager) {
+func camThroughput(cfg RunConfig, ssds int, op nvme.Opcode, gran int64, cores, outstanding int, envOpts platform.Options) (float64, *platform.Env, *cam.Manager) {
 	envOpts.SSDs = ssds
 	env := platform.New(envOpts)
 	blockBytes := gran
 	if blockBytes > spdk.MaxTransfer() {
 		blockBytes = spdk.MaxTransfer()
 	}
-	cfg := cam.DefaultConfig(ssds)
-	cfg.BlockBytes = blockBytes
+	ccfg := cam.DefaultConfig(ssds)
+	ccfg.BlockBytes = blockBytes
 	if cores > 0 {
-		cfg.Cores = cores
+		ccfg.Cores = cores
 	}
 	if outstanding <= 0 {
 		outstanding = 1
 	}
-	cfg.MaxOutstanding = outstanding + 1
+	ccfg.MaxOutstanding = outstanding + 1
 	perBatch := 4096
 	if int64(perBatch)*blockBytes > 64<<20 {
 		perBatch = int(64 << 20 / blockBytes)
 	}
-	cfg.MaxBatch = perBatch
-	mgr := cam.New(env.E, cfg, env.GPU, env.HM, env.Space, env.Fab, env.Devs)
+	ccfg.MaxBatch = perBatch
+	mgr := cam.New(env.E, ccfg, env.GPU, env.HM, env.Space, env.Fab, env.Devs)
 
 	// The workload volume is set by the NVMe command size (CAM splits
 	// granules larger than the MDTS into blockBytes commands, so its
 	// behavior is granularity-insensitive above 128 KiB — the point of
 	// Fig 16).
-	reqs := reqBudget(blockBytes, quick)
+	reqs := reqBudget(blockBytes, cfg.Quick)
 	batches := int(reqs) / perBatch
 	if batches < 2 {
 		batches = 2
@@ -100,13 +100,13 @@ func camThroughput(ssds int, op nvme.Opcode, gran int64, cores, outstanding int,
 			mgr.Synchronize(p, h)
 		}
 	})
-	end := runEnv(env)
+	end := runEnv(cfg, env)
 	return float64(total) / end.Seconds(), env, mgr
 }
 
 // bamThroughput measures BaM array throughput (and leaves the GPU's SM
 // accounting behind for inspection).
-func bamThroughput(ssds int, op nvme.Opcode, gran int64, quick bool) (float64, *platform.Env) {
+func bamThroughput(cfg RunConfig, ssds int, op nvme.Opcode, gran int64) (float64, *platform.Env) {
 	env := platform.New(platform.Options{SSDs: ssds})
 	sys := newBaM(env)
 	blockBytes := gran
@@ -114,7 +114,7 @@ func bamThroughput(ssds int, op nvme.Opcode, gran int64, quick bool) (float64, *
 		blockBytes = spdk.MaxTransfer()
 	}
 	arr := sys.NewArray(blockBytes)
-	reqs := reqBudget(gran, quick) * (gran / blockBytes)
+	reqs := reqBudget(gran, cfg.Quick) * (gran / blockBytes)
 	perBatch := int64(4096)
 	if perBatch*blockBytes > 64<<20 {
 		perBatch = 64 << 20 / blockBytes
@@ -139,7 +139,7 @@ func bamThroughput(ssds int, op nvme.Opcode, gran int64, quick bool) (float64, *
 			}
 		}
 	})
-	end := runEnv(env)
+	end := runEnv(cfg, env)
 	return float64(total) / end.Seconds(), env
 }
 
@@ -148,7 +148,7 @@ func bamThroughput(ssds int, op nvme.Opcode, gran int64, quick bool) (float64, *
 // region and one cudaMemcpyAsync moves each filled region, double-buffered
 // so the copy overlaps the next region's fill. This is the configuration
 // of Figures 8, 14 and 15.
-func spdkContigThroughput(ssds int, op nvme.Opcode, gran int64, quick bool, envOpts platform.Options) (float64, *platform.Env, *spdk.Driver) {
+func spdkContigThroughput(cfg RunConfig, ssds int, op nvme.Opcode, gran int64, envOpts platform.Options) (float64, *platform.Env, *spdk.Driver) {
 	envOpts.SSDs = ssds
 	env := platform.New(envOpts)
 	d := spdk.New(env.E, spdk.DefaultConfig(), env.HM, env.Space, env.Devs, (ssds+1)/2)
@@ -165,7 +165,7 @@ func spdkContigThroughput(ssds int, op nvme.Opcode, gran int64, quick bool, envO
 	// crossings behind it) finished — the reuse pacing that makes the
 	// memory-channel experiments bite. Three slots hide the copy latency
 	// completely at full rate.
-	reqs := reqBudget(gran, quick) * (gran / blockBytes)
+	reqs := reqBudget(gran, cfg.Quick) * (gran / blockBytes)
 	perRegion := region / blockBytes
 	regions := reqs / perRegion
 	if regions < 6 {
@@ -231,19 +231,19 @@ func spdkContigThroughput(ssds int, op nvme.Opcode, gran int64, quick bool, envO
 		p.Wait(copySig[last])
 		p.SleepUntil(copyEnd[last])
 	})
-	end := runEnv(env)
+	end := runEnv(cfg, env)
 	return float64(total) / end.Seconds(), env, d
 }
 
 // kernelThroughput measures a kernel I/O stack with parallel workers (the
 // paper's fio-style load) and reports bytes/s.
-func kernelThroughput(kind oskernel.StackKind, ssds int, op nvme.Opcode, gran int64, quick bool) (float64, *oskernel.Stack) {
+func kernelThroughput(cfg RunConfig, kind oskernel.StackKind, ssds int, op nvme.Opcode, gran int64) (float64, *oskernel.Stack) {
 	env := platform.New(platform.Options{SSDs: ssds})
 	st := oskernel.NewStack(env.E, kind, oskernel.DefaultConfig(kind), env.HM, env.Devs)
 	env.StartDevices()
 	workers := 32
-	per := int(reqBudget(gran, quick)) / workers
-	if quick {
+	per := int(reqBudget(gran, cfg.Quick)) / workers
+	if cfg.Quick {
 		per /= 2
 	}
 	if per < 20 {
@@ -267,19 +267,19 @@ func kernelThroughput(kind oskernel.StackKind, ssds int, op nvme.Opcode, gran in
 			}
 		})
 	}
-	end := creditSim(env.E.Run())
+	end := runEnv(cfg, env)
 	return float64(total) / end.Seconds(), st
 }
 
 // spdkRawThroughput drives the raw asynchronous SPDK API to host memory at
 // high queue depth (the "SPDK async" line of Fig 11 and the cost baseline
 // of Fig 13).
-func spdkRawThroughput(ssds int, op nvme.Opcode, gran int64, quick bool) (float64, *spdk.Driver, *platform.Env) {
+func spdkRawThroughput(cfg RunConfig, ssds int, op nvme.Opcode, gran int64) (float64, *spdk.Driver, *platform.Env) {
 	env := platform.New(platform.Options{SSDs: ssds})
 	d := spdk.New(env.E, spdk.DefaultConfig(), env.HM, env.Space, env.Devs, (ssds+1)/2)
 	d.Start()
 	buf := env.HM.Alloc("raw", gran)
-	reqs := reqBudget(gran, quick)
+	reqs := reqBudget(gran, cfg.Quick)
 	rng := sim.NewRNG(13)
 	depth := 64 * ssds
 	env.E.Go("bench", func(p *sim.Proc) {
@@ -302,7 +302,7 @@ func spdkRawThroughput(ssds int, op nvme.Opcode, gran int64, quick bool) (float6
 			done++
 		}
 	})
-	end := runEnv(env)
+	end := runEnv(cfg, env)
 	return float64(int64(reqs)*gran) / end.Seconds(), d, env
 }
 

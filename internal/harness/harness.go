@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync/atomic"
 
 	"camsim/internal/metrics"
 	"camsim/internal/platform"
@@ -21,6 +20,19 @@ type RunConfig struct {
 	// Quick shrinks sweeps and workload sizes for CI; Full (-quick=false)
 	// is paper scale.
 	Quick bool
+
+	// acct collects per-run virtual-time accounting and the engines to
+	// tear down when the experiment finishes. The registry wrapper
+	// installs a fresh one per Run call, which is what makes concurrent
+	// experiment runs (RunAll) safe: there is no shared mutable state
+	// between two in-flight experiments.
+	acct *runAcct
+}
+
+// runAcct is one experiment run's bookkeeping.
+type runAcct struct {
+	elapsed int64 // summed virtual ns across every engine run
+	envs    []*platform.Env
 }
 
 // Result is one experiment's rendered output.
@@ -65,22 +77,17 @@ type Experiment struct {
 
 var registry = map[string]Experiment{}
 
-// virtualElapsed accumulates the virtual time of every engine run driven by
-// the experiment currently executing; register's wrapper resets it before
-// the experiment starts and harvests it into Result.SimElapsed after.
-var virtualElapsed atomic.Int64
-
-// creditSim records one completed engine run's final virtual time.
-func creditSim(end sim.Time) sim.Time {
-	virtualElapsed.Add(int64(end))
-	return end
-}
-
 // runEnv drives env to quiescence, crediting the simulated span to the
-// running experiment's virtual-time accounting. Experiment code should call
+// running experiment's virtual-time accounting and registering the engine
+// for teardown when the experiment completes. Experiment code should call
 // this instead of env.Run directly.
-func runEnv(env *platform.Env) sim.Time {
-	return creditSim(env.Run())
+func runEnv(cfg RunConfig, env *platform.Env) sim.Time {
+	end := env.Run()
+	if cfg.acct != nil {
+		cfg.acct.elapsed += int64(end)
+		cfg.acct.envs = append(cfg.acct.envs, env)
+	}
+	return end
 }
 
 func register(id, title string, run func(cfg RunConfig) *Result) {
@@ -88,9 +95,17 @@ func register(id, title string, run func(cfg RunConfig) *Result) {
 		panic("harness: duplicate experiment " + id)
 	}
 	wrapped := func(cfg RunConfig) *Result {
-		virtualElapsed.Store(0)
+		acct := &runAcct{}
+		cfg.acct = acct
 		r := run(cfg)
-		r.SimElapsed = sim.Time(virtualElapsed.Load())
+		r.SimElapsed = sim.Time(acct.elapsed)
+		// Experiments reach quiescence with controller and poller
+		// processes still blocked on doorbells that will never ring;
+		// releasing them here is what lets a worker pool run thousands
+		// of experiment engines without accumulating goroutines.
+		for _, env := range acct.envs {
+			env.E.Shutdown()
+		}
 		return r
 	}
 	registry[id] = Experiment{ID: id, Title: title, Run: wrapped}

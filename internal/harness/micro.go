@@ -30,8 +30,8 @@ func runFig2(cfg RunConfig) *Result {
 	r := &Result{ID: "fig2", Title: "Kernel-stack 4 KiB random throughput, one SSD"}
 	t := metrics.NewTable("Fig 2: 4KB random IOPS (1 SSD)", "stack", "read KIOPS", "write KIOPS")
 	for _, k := range oskernel.Kinds() {
-		rd, _ := kernelThroughput(k, 1, nvme.OpRead, 4096, cfg.Quick)
-		wr, _ := kernelThroughput(k, 1, nvme.OpWrite, 4096, cfg.Quick)
+		rd, _ := kernelThroughput(cfg, k, 1, nvme.OpRead, 4096)
+		wr, _ := kernelThroughput(cfg, k, 1, nvme.OpWrite, 4096)
 		t.AddRow(k.String(), rd/4096/1000, wr/4096/1000)
 	}
 	dc := ssd.DefaultConfig()
@@ -49,7 +49,7 @@ func runFig3(cfg RunConfig) *Result {
 		t := metrics.NewTable(fmt.Sprintf("Fig 3 (%s): layer fractions", op),
 			"stack", "user", "filesystem", "iomap", "blockio", "completion", "fs+iomap")
 		for _, k := range oskernel.Kinds() {
-			_, st := kernelThroughput(k, 1, op, 4096, true)
+			_, st := kernelThroughput(RunConfig{Quick: true, acct: cfg.acct}, k, 1, op, 4096)
 			bd := st.LayerBreakdown()
 			row := []any{k.String()}
 			for _, l := range layers {
@@ -90,16 +90,16 @@ func runFig8(cfg RunConfig) *Result {
 	point := func(sys string, ssds int, op nvme.Opcode, gran int64) float64 {
 		switch sys {
 		case "CAM":
-			v, _, _ := camThroughput(ssds, op, gran, 0, 2, cfg.Quick, platform.Options{})
+			v, _, _ := camThroughput(cfg, ssds, op, gran, 0, 2, platform.Options{})
 			return v
 		case "BaM":
-			v, _ := bamThroughput(ssds, op, gran, cfg.Quick)
+			v, _ := bamThroughput(cfg, ssds, op, gran)
 			return v
 		case "SPDK":
-			v, _, _ := spdkContigThroughput(ssds, op, gran, cfg.Quick, platform.Options{})
+			v, _, _ := spdkContigThroughput(cfg, ssds, op, gran, platform.Options{})
 			return v
 		case "POSIX":
-			v, _ := kernelThroughput(oskernel.POSIX, ssds, op, gran, cfg.Quick)
+			v, _ := kernelThroughput(cfg, oskernel.POSIX, ssds, op, gran)
 			return v
 		}
 		panic("unknown system")
@@ -148,9 +148,9 @@ func runFig11(cfg RunConfig) *Result {
 	sAsync := f.NewSeries("CAM-Async")
 	sSPDK := f.NewSeries("SPDK-async")
 	for _, n := range sweep {
-		v1, _, _ := camThroughput(n, nvme.OpRead, 4096, 0, 1, cfg.Quick, platform.Options{})
-		v2, _, _ := camThroughput(n, nvme.OpRead, 4096, 0, 4, cfg.Quick, platform.Options{})
-		v3, _, _ := spdkRawThroughput(n, nvme.OpRead, 4096, cfg.Quick)
+		v1, _, _ := camThroughput(cfg, n, nvme.OpRead, 4096, 0, 1, platform.Options{})
+		v2, _, _ := camThroughput(cfg, n, nvme.OpRead, 4096, 0, 4, platform.Options{})
+		v3, _, _ := spdkRawThroughput(cfg, n, nvme.OpRead, 4096)
 		sSync.Add(float64(n), v1/1e9)
 		sAsync.Add(float64(n), v2/1e9)
 		sSPDK.Add(float64(n), v3/1e9)
@@ -169,8 +169,8 @@ func runFig12(cfg RunConfig) *Result {
 	pts := []pt{{1, 12}, {2, 6}, {3, 4}, {4, 3}}
 	var base float64
 	for _, q := range pts {
-		rd, _, _ := camThroughput(12, nvme.OpRead, 4096, q.threads, 2, cfg.Quick, platform.Options{})
-		wr, _, _ := camThroughput(12, nvme.OpWrite, 4096, q.threads, 2, cfg.Quick, platform.Options{})
+		rd, _, _ := camThroughput(cfg, 12, nvme.OpRead, 4096, q.threads, 2, platform.Options{})
+		wr, _, _ := camThroughput(cfg, 12, nvme.OpWrite, 4096, q.threads, 2, platform.Options{})
 		if q.perThread == 1 {
 			base = rd
 		}
@@ -193,11 +193,11 @@ func runFig13(cfg RunConfig) *Result {
 	}
 	var rows []row
 	for _, op := range []nvme.Opcode{nvme.OpRead, nvme.OpWrite} {
-		_, _, mgr := camThroughput(4, op, 4096, 4, 2, cfg.Quick, platform.Options{})
+		_, _, mgr := camThroughput(cfg, 4, op, 4096, 4, 2, platform.Options{})
 		rows = append(rows, row{"CAM", op, mgr.BackendStats()})
-		_, d, _ := spdkRawThroughput(4, op, 4096, cfg.Quick)
+		_, d, _ := spdkRawThroughput(cfg, 4, op, 4096)
 		rows = append(rows, row{"SPDK", op, d.Stats()})
-		_, st := kernelThroughput(oskernel.Libaio, 4, op, 4096, cfg.Quick)
+		_, st := kernelThroughput(cfg, oskernel.Libaio, 4, op, 4096)
 		rows = append(rows, row{"libaio", op, st.Stat})
 	}
 	for _, x := range rows {
@@ -217,10 +217,10 @@ func runFig14(cfg RunConfig) *Result {
 	t := metrics.NewTable("Fig 14: DRAM traffic during full-speed I/O (12 SSDs, 64KB)",
 		"system", "op", "SSD GB/s", "DRAM GB/s", "DRAM/SSD ratio")
 	for _, op := range []nvme.Opcode{nvme.OpRead, nvme.OpWrite} {
-		v, env, _ := camThroughput(12, op, gran, 0, 2, cfg.Quick, platform.Options{})
+		v, env, _ := camThroughput(cfg, 12, op, gran, 0, 2, platform.Options{})
 		dram := env.HM.AchievedBandwidth()
 		t.AddRow("CAM", op.String(), v/1e9, dram/1e9, dram/v)
-		v2, env2, _ := spdkContigThroughput(12, op, gran, cfg.Quick, platform.Options{})
+		v2, env2, _ := spdkContigThroughput(cfg, 12, op, gran, platform.Options{})
 		dram2 := env2.HM.AchievedBandwidth()
 		t.AddRow("SPDK", op.String(), v2/1e9, dram2/1e9, dram2/v2)
 	}
@@ -239,11 +239,11 @@ func runFig15(cfg RunConfig) *Result {
 		for _, sys := range []string{"CAM", "SPDK"} {
 			var full, lim float64
 			if sys == "CAM" {
-				full, _, _ = camThroughput(12, op, gran, 0, 2, cfg.Quick, platform.Options{MemoryChannels: 16})
-				lim, _, _ = camThroughput(12, op, gran, 0, 2, cfg.Quick, platform.Options{MemoryChannels: 2})
+				full, _, _ = camThroughput(cfg, 12, op, gran, 0, 2, platform.Options{MemoryChannels: 16})
+				lim, _, _ = camThroughput(cfg, 12, op, gran, 0, 2, platform.Options{MemoryChannels: 2})
 			} else {
-				full, _, _ = spdkContigThroughput(12, op, gran, cfg.Quick, platform.Options{MemoryChannels: 16})
-				lim, _, _ = spdkContigThroughput(12, op, gran, cfg.Quick, platform.Options{MemoryChannels: 2})
+				full, _, _ = spdkContigThroughput(cfg, 12, op, gran, platform.Options{MemoryChannels: 16})
+				lim, _, _ = spdkContigThroughput(cfg, 12, op, gran, platform.Options{MemoryChannels: 2})
 			}
 			t.AddRow(sys, op.String(), full/1e9, lim/1e9, 100*(1-lim/full))
 		}
@@ -265,9 +265,9 @@ func runFig16(cfg RunConfig) *Result {
 	sCAM := f.NewSeries("CAM")
 	sSPDK := f.NewSeries("SPDK")
 	for _, g := range grans {
-		v, _, _ := camThroughput(12, nvme.OpRead, g, 0, 2, cfg.Quick, platform.Options{})
+		v, _, _ := camThroughput(cfg, 12, nvme.OpRead, g, 0, 2, platform.Options{})
 		sCAM.Add(float64(g), v/1e9)
-		v2 := spdkScatteredThroughput(12, g, cfg.Quick)
+		v2 := spdkScatteredThroughput(cfg, 12, g)
 		sSPDK.Add(float64(g), v2/1e9)
 	}
 	r.Figs = append(r.Figs, f)
@@ -282,7 +282,7 @@ func runFig16(cfg RunConfig) *Result {
 // its own cudaMemcpyAsync. Granules are double-buffered so the copy of one
 // overlaps the fill of the next — exactly the overlap SPDK can offer, and
 // still not enough at small granularity.
-func spdkScatteredThroughput(ssds int, gran int64, quick bool) float64 {
+func spdkScatteredThroughput(cfg RunConfig, ssds int, gran int64) float64 {
 	env := platform.New(platform.Options{SSDs: ssds})
 	d := spdkDriverForBench(env, ssds)
 	// Concurrency: enough granules in flight to hide SSD latency at small
@@ -294,7 +294,7 @@ func spdkScatteredThroughput(ssds int, gran int64, quick bool) float64 {
 	if workers < 2 {
 		workers = 2
 	}
-	granules := reqBudget(4096, quick) * 4096 / gran
+	granules := reqBudget(4096, cfg.Quick) * 4096 / gran
 	if granules < 4*workers {
 		granules = 4 * workers
 	}
@@ -345,6 +345,6 @@ func spdkScatteredThroughput(ssds int, gran int64, quick bool) float64 {
 			}
 		})
 	}
-	end := runEnv(env)
+	end := runEnv(cfg, env)
 	return float64(total) / end.Seconds()
 }

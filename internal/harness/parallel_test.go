@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// testSubset is a cheap cross-section of the registry for runner tests:
+// enough distinct experiments to exercise real work-stealing interleavings
+// under -parallel 8 without paying for the whole suite under -race.
+func testSubset(t *testing.T) []Experiment {
+	t.Helper()
+	var exps []Experiment
+	for _, id := range []string{"fig2", "fig3", "fig11", "fig13"} {
+		e, ok := Get(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		exps = append(exps, e)
+	}
+	return exps
+}
+
+// render flattens results the way cambench writes them to stdout, so the
+// comparison below is exactly the byte-identity the CLI promises.
+func render(results []*Result) string {
+	var out string
+	for _, r := range results {
+		out += r.String()
+		out += "(" + r.SimElapsed.String() + ")\n"
+	}
+	return out
+}
+
+// TestRunAllParallelDeterminism is the runner half of the determinism gate:
+// the same experiments run through RunAll with 8 workers must produce
+// byte-identical rendered output — and identical per-experiment virtual
+// time — to a serial run. This is what licenses `cambench -exp all
+// -parallel N` to any N.
+func TestRunAllParallelDeterminism(t *testing.T) {
+	exps := testSubset(t)
+	cfg := RunConfig{Quick: true}
+
+	serial := RunAll(exps, cfg, 1, nil)
+	parallel := RunAll(exps, cfg, 8, nil)
+
+	if len(serial) != len(exps) || len(parallel) != len(exps) {
+		t.Fatalf("result counts = %d serial, %d parallel, want %d",
+			len(serial), len(parallel), len(exps))
+	}
+	for i := range exps {
+		if serial[i].ID != exps[i].ID || parallel[i].ID != exps[i].ID {
+			t.Fatalf("result %d out of input order: serial %s, parallel %s, want %s",
+				i, serial[i].ID, parallel[i].ID, exps[i].ID)
+		}
+	}
+	if a, b := render(serial), render(parallel); a != b {
+		t.Errorf("parallel run rendered different output than serial:\nserial:\n%s\nparallel:\n%s", a, b)
+	}
+}
+
+// TestRunAllProgress checks the observer contract: one callback per
+// experiment, serialized, with a monotonically increasing completion count.
+func TestRunAllProgress(t *testing.T) {
+	exps := testSubset(t)
+	var seen []Progress
+	RunAll(exps, RunConfig{Quick: true}, 4, func(p Progress) {
+		seen = append(seen, p)
+	})
+	if len(seen) != len(exps) {
+		t.Fatalf("progress callbacks = %d, want %d", len(seen), len(exps))
+	}
+	indexSeen := map[int]bool{}
+	for i, p := range seen {
+		if p.Completed != i+1 {
+			t.Errorf("callback %d reported Completed=%d, want %d", i, p.Completed, i+1)
+		}
+		if p.Index < 0 || p.Index >= len(exps) || indexSeen[p.Index] {
+			t.Errorf("callback %d reported bad or duplicate Index=%d", i, p.Index)
+		}
+		indexSeen[p.Index] = true
+		if p.Result == nil || p.Result.ID != exps[p.Index].ID {
+			t.Errorf("callback %d carries wrong result for index %d", i, p.Index)
+		}
+	}
+}
+
+// TestRunAllReleasesGoroutines verifies the registry wrapper's engine
+// teardown end to end: after a parallel batch completes, every simulation
+// engine the experiments built has been Shutdown, so the process goroutine
+// count returns to (near) its pre-batch level instead of accumulating one
+// goroutine per blocked controller across thousands of runs.
+func TestRunAllReleasesGoroutines(t *testing.T) {
+	exps := testSubset(t)
+	RunAll(exps, RunConfig{Quick: true}, 4, nil) // warm up lazy init
+	before := runtime.NumGoroutine()
+	RunAll(exps, RunConfig{Quick: true}, 4, nil)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+4 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines = %d long after RunAll, baseline %d (engines not shut down?)",
+				runtime.NumGoroutine(), before)
+		}
+		runtime.Gosched()
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -10,10 +10,15 @@
 // per-process channels: the engine resumes a process, the process runs until
 // it blocks (Sleep, Wait, Acquire, ...) or returns, and control passes back
 // to the engine. Virtual time only advances between events.
+//
+// The engine's hot path is allocation-free in steady state: events live by
+// value in a 4-ary heap (no boxing), the dominant "resume process p at time
+// t" event carries the process pointer instead of a closure, and finished
+// process goroutines park on a free list for reuse by the next Go call. See
+// DESIGN.md §7 for the profile that motivated each of these.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -52,46 +57,25 @@ func (t Time) String() string {
 	}
 }
 
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return
-}
-
 // Engine owns the virtual clock and the pending-event queue.
 // Engines are not safe for concurrent use from multiple OS threads; all
 // interaction must come from the driving goroutine (before Run) or from
-// within simulation processes and callbacks (during Run).
+// within simulation processes and callbacks (during Run). Distinct engines
+// are fully independent and may run on concurrent goroutines.
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events eventQueue
 	// current is the process whose code is executing right now, nil while
 	// the engine itself (or a plain callback) runs.
 	current *Proc
 	// yield is the rendezvous channel processes use to hand control back.
 	yield chan struct{}
-	procs int // live (started, not finished) processes
+	// live holds every started-but-unfinished process (order is
+	// insertion order with swap-removal; Shutdown's kill order follows it).
+	live []*Proc
+	// free parks finished process goroutines for reuse by the next Go.
+	free []*Proc
 
 	stopped bool
 }
@@ -110,21 +94,38 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 	if delay < 0 {
 		delay = 0
 	}
-	e.scheduleAt(e.now+delay, fn)
+	e.seq++
+	e.events.push(event{at: e.now + delay, seq: e.seq, fn: fn})
 }
 
-func (e *Engine) scheduleAt(at Time, fn func()) {
+// scheduleResume queues the allocation-free fast-path event that hands
+// control to p at now+delay. Every internal wakeup (Sleep, Signal.Fire,
+// Store.Put, Resource.Release, Go) goes through here instead of boxing a
+// fresh closure per event.
+func (e *Engine) scheduleResume(p *Proc, delay Time) {
+	if delay < 0 {
+		delay = 0
+	}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	e.events.push(event{at: e.now + delay, seq: e.seq, p: p})
 }
+
+// killSignal is the panic value used to unwind a process goroutine during
+// Shutdown. It is recovered by the process loop and never escapes.
+type killSignal struct{}
 
 // Proc is a simulation process: a goroutine interleaved with the engine so
-// that exactly one process runs at a time.
+// that exactly one process runs at a time. Finished processes are recycled:
+// a *Proc handle is only valid until its function returns.
 type Proc struct {
 	e      *Engine
 	name   string
 	resume chan struct{}
+	fn     func(p *Proc)
 	done   bool
+	killed bool
+	// liveIdx is this process's index in e.live, -1 when not live.
+	liveIdx int
 }
 
 // Name reports the name the process was started with.
@@ -139,17 +140,76 @@ func (p *Proc) Now() Time { return p.e.now }
 // Go starts fn as a new simulation process. The process begins executing at
 // the current virtual time, after already-queued events at that time.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{e: e, name: name, resume: make(chan struct{})}
-	e.procs++
-	go func() {
-		<-p.resume
-		fn(p)
-		p.done = true
-		e.procs--
-		e.yield <- struct{}{}
-	}()
-	e.Schedule(0, func() { e.runProc(p) })
+	var p *Proc
+	if n := len(e.free); n > 0 {
+		p = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		p.name = name
+		p.done = false
+	} else {
+		p = &Proc{e: e, name: name, resume: make(chan struct{})}
+		go p.loop()
+	}
+	p.fn = fn
+	e.addLive(p)
+	e.scheduleResume(p, 0)
 	return p
+}
+
+// loop is the body of every process goroutine: run one process function per
+// wakeup, then park on the engine's free list until Go hands out this
+// goroutine again. A kill wakeup (Shutdown) exits the loop instead.
+func (p *Proc) loop() {
+	e := p.e
+	for {
+		<-p.resume
+		if p.killed {
+			break
+		}
+		p.invoke()
+		if p.killed {
+			break
+		}
+		p.fn = nil
+		p.done = true
+		e.unlive(p)
+		e.free = append(e.free, p)
+		e.yield <- struct{}{}
+	}
+	e.unlive(p)
+	e.yield <- struct{}{}
+}
+
+// invoke runs the process function, absorbing the Shutdown unwind panic.
+func (p *Proc) invoke() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, kill := r.(killSignal); kill && p.killed {
+				return
+			}
+			panic(r)
+		}
+	}()
+	p.fn(p)
+}
+
+func (e *Engine) addLive(p *Proc) {
+	p.liveIdx = len(e.live)
+	e.live = append(e.live, p)
+}
+
+func (e *Engine) unlive(p *Proc) {
+	i := p.liveIdx
+	if i < 0 {
+		return
+	}
+	last := len(e.live) - 1
+	e.live[i] = e.live[last]
+	e.live[i].liveIdx = i
+	e.live[last] = nil
+	e.live = e.live[:last]
+	p.liveIdx = -1
 }
 
 // runProc transfers control to p and waits for it to block or finish.
@@ -164,17 +224,22 @@ func (e *Engine) runProc(p *Proc) {
 // block suspends the calling process until something resumes it.
 // Must only be called from within that process.
 func (p *Proc) block() {
+	if p.killed {
+		// Deferred cleanup running during a Shutdown unwind must not
+		// re-enter the scheduler; keep unwinding instead.
+		panic(killSignal{})
+	}
 	p.e.yield <- struct{}{}
 	<-p.resume
+	if p.killed {
+		panic(killSignal{})
+	}
 }
 
 // Sleep suspends the process for d of virtual time (d<=0 is a yield to
 // events already queued at the current instant).
 func (p *Proc) Sleep(d Time) {
-	if d < 0 {
-		d = 0
-	}
-	p.e.Schedule(d, func() { p.e.runProc(p) })
+	p.e.scheduleResume(p, d)
 	p.block()
 }
 
@@ -200,16 +265,19 @@ func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
 // deadline remain queued; the clock is left at min(deadline, last event).
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		ev := e.events[0]
-		if ev.at > deadline {
+	for e.events.len() > 0 && !e.stopped {
+		if e.events.ev[0].at > deadline {
 			break
 		}
-		heap.Pop(&e.events)
+		ev := e.events.pop()
 		if ev.at > e.now {
 			e.now = ev.at
 		}
-		ev.fn()
+		if ev.p != nil {
+			e.runProc(ev.p)
+		} else {
+			ev.fn()
+		}
 	}
 	return e.now
 }
@@ -218,11 +286,49 @@ func (e *Engine) RunUntil(deadline Time) Time {
 // Pending events stay queued, so Run can be called again to continue.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Shutdown releases every process goroutine the engine still owns: processes
+// left blocked when the run reached quiescence (a controller waiting on a
+// doorbell that will never ring) and finished processes parked on the free
+// list. Each is woken with a kill flag and unwinds via panic/recover, running
+// its deferred cleanup on the way out; pending events are then discarded.
+//
+// Call it after Run returns, never from inside a running simulation. The
+// engine is spent afterwards: metrics and state remain readable, but no new
+// processes or events should be added. Without Shutdown an abandoned engine
+// leaks one goroutine per blocked or parked process until process exit —
+// harmless for a handful of engines, fatal for a harness that builds
+// thousands.
+func (e *Engine) Shutdown() {
+	if e.current != nil {
+		panic("sim: Shutdown called from inside a running simulation")
+	}
+	// Killed processes may spawn or finish others from deferred cleanup;
+	// both loops re-check length every iteration to absorb that.
+	for len(e.live) > 0 {
+		e.kill(e.live[len(e.live)-1])
+	}
+	for len(e.free) > 0 {
+		p := e.free[len(e.free)-1]
+		e.free[len(e.free)-1] = nil
+		e.free = e.free[:len(e.free)-1]
+		e.kill(p)
+	}
+	e.events = eventQueue{}
+}
+
+// kill wakes p with the killed flag set and waits for its goroutine to
+// unwind and exit.
+func (e *Engine) kill(p *Proc) {
+	p.killed = true
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.events.len() }
 
 // Live reports the number of started-but-unfinished processes.
-func (e *Engine) Live() int { return e.procs }
+func (e *Engine) Live() int { return len(e.live) }
 
 // Signal is a one-shot event: processes Wait on it, someone Fires it. After
 // firing, Wait returns immediately. Fire is idempotent.
@@ -248,12 +354,13 @@ func (s *Signal) Fire() {
 		return
 	}
 	s.fired = true
-	waiters := s.waiters
-	s.waiters = nil
-	for _, p := range waiters {
-		p := p
-		s.e.Schedule(0, func() { s.e.runProc(p) })
+	for i, p := range s.waiters {
+		s.waiters[i] = nil
+		s.e.scheduleResume(p, 0)
 	}
+	// Keep the backing array: a signal that is re-armed with Reset and
+	// waited on again reuses it instead of growing a fresh one.
+	s.waiters = s.waiters[:0]
 }
 
 // Reset re-arms a fired signal so it can be waited on and fired again.
@@ -313,10 +420,16 @@ func (p *Proc) WaitTimeout(s *Signal, d Time) bool {
 
 // blockNoted blocks like block, but if resumed by a Signal.Fire (rather than
 // the timeout callback) it records that by setting *fired. Fire path: the
-// process is scheduled via runProc without expired set.
+// process is scheduled via scheduleResume without expired set.
 func (p *Proc) blockNoted(fired, expired *bool) {
+	if p.killed {
+		panic(killSignal{})
+	}
 	p.e.yield <- struct{}{}
 	<-p.resume
+	if p.killed {
+		panic(killSignal{})
+	}
 	if !*expired {
 		*fired = true
 	}

@@ -1,0 +1,85 @@
+package sim
+
+// event is one pending queue entry, stored by value: the common resume case
+// (p != nil) carries the process to hand control to with no closure and no
+// heap allocation; the general case (p == nil) carries an arbitrary callback.
+type event struct {
+	at  Time
+	seq uint64
+	p   *Proc  // fast-path: resume this process (nil → run fn)
+	fn  func() // general callback path
+}
+
+// less orders events by (time, insertion sequence): a strict total order, so
+// the dispatch sequence is identical for any heap shape.
+func (ev *event) less(other *event) bool {
+	if ev.at != other.at {
+		return ev.at < other.at
+	}
+	return ev.seq < other.seq
+}
+
+// eventQueue is a value-typed 4-ary min-heap. Compared to the previous
+// container/heap of *event it performs no interface boxing and no per-event
+// allocation (Push/Pop each cost one amortized slice append), and the wider
+// fan-out halves the tree depth, trading a few extra comparisons per level
+// for far fewer cache-missing element moves — the right trade when siftDown
+// dominates, as it does in a DES where Pop count equals Push count.
+type eventQueue struct {
+	ev []event
+}
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+// push inserts ev and restores the heap property.
+func (q *eventQueue) push(ev event) {
+	q.ev = append(q.ev, ev)
+	i := len(q.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q.ev[i].less(&q.ev[parent]) {
+			break
+		}
+		q.ev[i], q.ev[parent] = q.ev[parent], q.ev[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event. It zeroes the vacated tail
+// slot so the queue never pins a dead callback or process.
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	q.ev[0] = q.ev[n]
+	q.ev[n] = event{}
+	q.ev = q.ev[:n]
+	if n > 1 {
+		q.siftDown(0)
+	}
+	return top
+}
+
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.ev)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.ev[c].less(&q.ev[min]) {
+				min = c
+			}
+		}
+		if !q.ev[min].less(&q.ev[i]) {
+			return
+		}
+		q.ev[i], q.ev[min] = q.ev[min], q.ev[i]
+		i = min
+	}
+}

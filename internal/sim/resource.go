@@ -7,7 +7,9 @@ type Resource struct {
 	name     string
 	capacity int64
 	inUse    int64
-	waiters  []*resWaiter
+	// waiters is a ring of value-typed records (no per-Acquire allocation;
+	// released slots are zeroed so blocked processes are never pinned).
+	waiters ring[resWaiter]
 
 	// usage integration for utilization reporting
 	lastChange Time
@@ -37,7 +39,7 @@ func (r *Resource) InUse() int64 { return r.inUse }
 func (r *Resource) Available() int64 { return r.capacity - r.inUse }
 
 // QueueLen reports how many processes are blocked in Acquire.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return r.waiters.len() }
 
 // integrate accrues usage·time up to now; call before every inUse change.
 func (r *Resource) integrate() {
@@ -71,12 +73,12 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 	if n > r.capacity {
 		panic("sim: Acquire larger than capacity on " + r.name)
 	}
-	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+	if r.waiters.len() == 0 && r.inUse+n <= r.capacity {
 		r.integrate()
 		r.inUse += n
 		return
 	}
-	r.waiters = append(r.waiters, &resWaiter{p: p, n: n})
+	r.waiters.pushBack(resWaiter{p: p, n: n})
 	p.block()
 }
 
@@ -86,7 +88,7 @@ func (r *Resource) TryAcquire(n int64) bool {
 	if n <= 0 {
 		return true
 	}
-	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+	if r.waiters.len() == 0 && r.inUse+n <= r.capacity {
 		r.integrate()
 		r.inUse += n
 		return true
@@ -104,16 +106,15 @@ func (r *Resource) Release(n int64) {
 	if r.inUse < 0 {
 		panic("sim: Release below zero on " + r.name)
 	}
-	for len(r.waiters) > 0 {
-		w := r.waiters[0]
+	for r.waiters.len() > 0 {
+		w := r.waiters.front()
 		if r.inUse+w.n > r.capacity {
 			break
 		}
 		r.integrate()
 		r.inUse += w.n
-		r.waiters = r.waiters[1:]
-		p := w.p
-		r.e.Schedule(0, func() { r.e.runProc(p) })
+		r.e.scheduleResume(w.p, 0)
+		r.waiters.popFront()
 	}
 }
 

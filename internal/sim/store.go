@@ -3,11 +3,17 @@ package sim
 // Store is an unbounded FIFO mailbox between simulation processes, the
 // channel analogue inside virtual time. Producers never block; consumers
 // block until an item arrives.
+//
+// Items and blocked getters both live in ring buffers whose released slots
+// are zeroed, so the store never pins dequeued elements, and getter records
+// recycle through a free list, so a Put/Get cycle is allocation-free in
+// steady state.
 type Store[T any] struct {
 	e       *Engine
 	name    string
-	items   []T
-	getters []*storeGetter[T]
+	items   ring[T]
+	getters ring[*storeGetter[T]]
+	free    []*storeGetter[T]
 	closed  bool
 }
 
@@ -24,7 +30,25 @@ func NewStore[T any](e *Engine, name string) *Store[T] {
 }
 
 // Len reports the number of queued items.
-func (s *Store[T]) Len() int { return len(s.items) }
+func (s *Store[T]) Len() int { return s.items.len() }
+
+// getter returns a recycled (or fresh) blocked-consumer record.
+func (s *Store[T]) getter(p *Proc) *storeGetter[T] {
+	if n := len(s.free); n > 0 {
+		g := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		g.p = p
+		return g
+	}
+	return &storeGetter[T]{p: p}
+}
+
+// release zeroes g and parks it for reuse once its value has been consumed.
+func (s *Store[T]) release(g *storeGetter[T]) {
+	*g = storeGetter[T]{}
+	s.free = append(s.free, g)
+}
 
 // Put enqueues v, waking the oldest blocked getter if any. Put after Close
 // panics.
@@ -32,42 +56,38 @@ func (s *Store[T]) Put(v T) {
 	if s.closed {
 		panic("sim: Put on closed store " + s.name)
 	}
-	if len(s.getters) > 0 {
-		g := s.getters[0]
-		s.getters = s.getters[1:]
+	if s.getters.len() > 0 {
+		g := s.getters.popFront()
 		g.v, g.ok = v, true
-		p := g.p
-		s.e.Schedule(0, func() { s.e.runProc(p) })
+		s.e.scheduleResume(g.p, 0)
 		return
 	}
-	s.items = append(s.items, v)
+	s.items.pushBack(v)
 }
 
 // Get blocks until an item is available and returns it; ok is false only if
 // the store is closed and drained.
 func (s *Store[T]) Get(p *Proc) (v T, ok bool) {
-	if len(s.items) > 0 {
-		v = s.items[0]
-		s.items = s.items[1:]
-		return v, true
+	if s.items.len() > 0 {
+		return s.items.popFront(), true
 	}
 	if s.closed {
 		return v, false
 	}
-	g := &storeGetter[T]{p: p}
-	s.getters = append(s.getters, g)
+	g := s.getter(p)
+	s.getters.pushBack(g)
 	p.block()
-	return g.v, g.ok
+	v, ok = g.v, g.ok
+	s.release(g)
+	return v, ok
 }
 
 // TryGet dequeues an item if one is queued.
 func (s *Store[T]) TryGet() (v T, ok bool) {
-	if len(s.items) == 0 {
+	if s.items.len() == 0 {
 		return v, false
 	}
-	v = s.items[0]
-	s.items = s.items[1:]
-	return v, true
+	return s.items.popFront(), true
 }
 
 // Close marks the store closed: queued items can still be drained, blocked
@@ -77,11 +97,9 @@ func (s *Store[T]) Close() {
 		return
 	}
 	s.closed = true
-	getters := s.getters
-	s.getters = nil
-	for _, g := range getters {
-		g := g
-		s.e.Schedule(0, func() { s.e.runProc(g.p) })
+	for s.getters.len() > 0 {
+		g := s.getters.popFront()
+		s.e.scheduleResume(g.p, 0)
 	}
 }
 

@@ -132,13 +132,16 @@ type Device struct {
 	stats Stats
 
 	// submitTime tracks outstanding command submission instants for
-	// latency accounting, keyed by (qp index, CID).
-	submitTime map[cmdKey]sim.Time
+	// latency accounting, keyed by cmdKey(qp index, CID). The packed
+	// integer key hashes with a single word instead of a struct hash —
+	// this map is touched twice per command on the hottest device path.
+	submitTime map[uint32]sim.Time
 }
 
-type cmdKey struct {
-	qp  int
-	cid uint16
+// cmdKey packs (qp index, CID) into one map key. Queue-pair counts are
+// tiny (≤ hundreds), so 16 bits each is far more than enough.
+func cmdKey(qp int, cid uint16) uint32 {
+	return uint32(qp)<<16 | uint32(cid)
 }
 
 // New creates a device attached to the fabric and address space.
@@ -161,7 +164,7 @@ func New(e *sim.Engine, name string, cfg Config, fab *pcie.Fabric, space *mem.Sp
 		ftl:         NewFTL(DefaultFTLConfig(cfg.CapacityBytes, op)),
 		rng:         sim.NewRNG(cfg.Seed),
 		anyDoorbell: e.NewSignal(name + ".anydb"),
-		submitTime:  make(map[cmdKey]sim.Time),
+		submitTime:  make(map[uint32]sim.Time),
 	}
 }
 
@@ -273,8 +276,7 @@ func (d *Device) execute(qi int, qp *nvme.QueuePair, sqe nvme.SQE) {
 	if d.stats.currInFlight > d.stats.MaxInFlight {
 		d.stats.MaxInFlight = d.stats.currInFlight
 	}
-	key := cmdKey{qi, sqe.CID}
-	d.submitTime[key] = d.e.Now()
+	d.submitTime[cmdKey(qi, sqe.CID)] = d.e.Now()
 
 	fail := func(status nvme.Status) {
 		d.stats.ErrCmds++
@@ -364,7 +366,7 @@ func (d *Device) execute(qi int, qp *nvme.QueuePair, sqe nvme.SQE) {
 
 // complete posts the CQE and records latency.
 func (d *Device) complete(qi int, qp *nvme.QueuePair, sqe nvme.SQE, status nvme.Status) {
-	key := cmdKey{qi, sqe.CID}
+	key := cmdKey(qi, sqe.CID)
 	if t0, ok := d.submitTime[key]; ok {
 		lat := d.e.Now() - t0
 		switch sqe.Opcode {

@@ -12,17 +12,60 @@ const extentBytes = 64 << 10
 
 const lbasPerExtent = extentBytes / nvme.LBASize
 
+// slabExtents is how many extents one backing allocation carves. Large
+// slabs amortize allocator metadata and let fresh pages arrive pre-zeroed
+// from the OS instead of being cleared extent by extent.
+const slabExtents = 128
+
 // Store is the sparse flash backing store: real bytes addressed by LBA.
 // Unwritten blocks read as zeros, like a freshly formatted namespace.
+//
+// Extents are carved sequentially out of multi-megabyte slabs (allocating
+// one 64 KiB extent at a time made Store.WriteLBA the top allocation site
+// of the whole benchmark suite), and the last extent touched is cached to
+// short-circuit the map lookup on sequential and strided access runs.
 type Store struct {
 	capacityLBAs uint64
 	extents      map[uint64][]byte
+	slab         []byte // remaining tail of the current slab
+	lastExt      uint64 // most recently resolved extent index
+	lastData     []byte // its bytes; nil until the first lookup
 	writtenLBAs  uint64 // approximate footprint accounting (extent-granular)
 }
 
 // NewStore creates a store of the given capacity in logical blocks.
 func NewStore(capacityLBAs uint64) *Store {
 	return &Store{capacityLBAs: capacityLBAs, extents: make(map[uint64][]byte)}
+}
+
+// lookup resolves an extent for reading, nil if never written.
+func (s *Store) lookup(ext uint64) []byte {
+	if s.lastData != nil && s.lastExt == ext {
+		return s.lastData
+	}
+	data, ok := s.extents[ext]
+	if !ok {
+		return nil
+	}
+	s.lastExt, s.lastData = ext, data
+	return data
+}
+
+// materialize resolves an extent for writing, carving a fresh zeroed one
+// from the current slab on first touch.
+func (s *Store) materialize(ext uint64) []byte {
+	if data := s.lookup(ext); data != nil {
+		return data
+	}
+	if len(s.slab) < extentBytes {
+		s.slab = make([]byte, slabExtents*extentBytes)
+	}
+	data := s.slab[:extentBytes:extentBytes]
+	s.slab = s.slab[extentBytes:]
+	s.extents[ext] = data
+	s.writtenLBAs += lbasPerExtent
+	s.lastExt, s.lastData = ext, data
+	return data
 }
 
 // CapacityLBAs reports the namespace size in logical blocks.
@@ -53,10 +96,10 @@ func (s *Store) ReadLBA(slba uint64, nlb uint32, dst []byte) error {
 		if chunk > n-done {
 			chunk = n - done
 		}
-		if data, ok := s.extents[ext]; ok {
+		if data := s.lookup(ext); data != nil {
 			copy(dst[done:done+chunk], data[extOff:extOff+chunk])
 		} else {
-			zero(dst[done : done+chunk])
+			clear(dst[done : done+chunk])
 		}
 		done += chunk
 	}
@@ -80,12 +123,7 @@ func (s *Store) WriteLBA(slba uint64, nlb uint32, src []byte) error {
 		if chunk > n-done {
 			chunk = n - done
 		}
-		data, ok := s.extents[ext]
-		if !ok {
-			data = make([]byte, extentBytes)
-			s.extents[ext] = data
-			s.writtenLBAs += lbasPerExtent
-		}
+		data := s.materialize(ext)
 		copy(data[extOff:extOff+chunk], src[done:done+chunk])
 		done += chunk
 	}
@@ -94,9 +132,3 @@ func (s *Store) WriteLBA(slba uint64, nlb uint32, src []byte) error {
 
 // AllocatedBytes reports the resident footprint of the sparse store.
 func (s *Store) AllocatedBytes() int64 { return int64(len(s.extents)) * extentBytes }
-
-func zero(b []byte) {
-	for i := range b {
-		b[i] = 0
-	}
-}
