@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race vuln check check-fast bench bench-smoke
+.PHONY: all build test vet lint race vuln check check-fast bench bench-smoke bench-diff
 
 all: build
 
@@ -49,6 +49,27 @@ bench:
 
 # bench-smoke is the CI variant: same single-iteration benchmark pass,
 # but the JSON goes to stdout (the log) instead of accumulating files.
+# It then diffs the fresh run against the latest committed BENCH_<n>.json
+# and warns (without failing) when any figure's simulation rate drops by
+# more than 20%.
 bench-smoke:
 	$(GO) test -run XXX -bench . -benchmem -benchtime 1x . \
-		| $(GO) run ./cmd/benchjson -o -
+		| $(GO) run ./cmd/benchjson -o bench-smoke.json
+	@base=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1); \
+	if [ -n "$$base" ]; then \
+		$(GO) run ./cmd/benchjson -diff -warn-sim-regress 20 "$$base" bench-smoke.json; \
+	else \
+		echo "bench-smoke: no committed BENCH_<n>.json baseline, skipping diff"; \
+	fi
+	@rm -f bench-smoke.json
+
+# bench-diff compares the two most recent BENCH_<n>.json snapshots,
+# printing per-benchmark percentage deltas (ns/op, allocs/op, and the
+# sim_per_wall simulation rate).
+bench-diff:
+	@set -- $$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -2); \
+	if [ $$# -lt 2 ]; then \
+		echo "bench-diff: need at least two BENCH_<n>.json snapshots (run make bench)"; \
+		exit 1; \
+	fi; \
+	$(GO) run ./cmd/benchjson -diff "$$1" "$$2"

@@ -11,6 +11,17 @@
 // directory, so successive `make bench` runs accumulate a numbered history
 // (BENCH_1.json, BENCH_2.json, ...) that can be diffed across commits.
 //
+// Diff mode compares two such snapshots:
+//
+//	go run ./cmd/benchjson -diff BENCH_1.json BENCH_2.json
+//	go run ./cmd/benchjson -diff -warn-sim-regress 20 old.json new.json
+//
+// printing per-benchmark percentage deltas for ns/op, allocs/op, and
+// sim_per_wall. With -warn-sim-regress N it additionally prints a warning
+// to stderr for every benchmark whose sim_per_wall dropped by more than
+// N percent; the exit status stays 0 so CI can surface regressions
+// without failing the build.
+//
 // Each benchmark entry keeps the standard testing metrics (ns/op, B/op,
 // allocs/op) plus the harness's custom sim-ns/op metric and the derived
 // sim_per_wall ratio — virtual nanoseconds simulated per host nanosecond,
@@ -58,7 +69,21 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "auto", "output: 'auto' (next free BENCH_<n>.json), '-' (stdout), or a path")
+	diffMode := flag.Bool("diff", false, "compare two snapshots: benchjson -diff old.json new.json")
+	warnPct := flag.Float64("warn-sim-regress", 0, "with -diff: warn on stderr when sim_per_wall drops by more than this percent")
 	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		if err := runDiff(flag.Arg(0), flag.Arg(1), *warnPct); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -90,6 +115,72 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), path)
+}
+
+// runDiff prints per-benchmark percentage deltas between two snapshots.
+func runDiff(oldPath, newPath string, warnPct float64) error {
+	oldRep, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]Benchmark, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+
+	fmt.Printf("%s → %s\n", oldPath, newPath)
+	fmt.Printf("%-36s %12s %12s %14s\n", "benchmark", "ns/op", "allocs/op", "sim_per_wall")
+	seen := make(map[string]bool, len(newRep.Benchmarks))
+	for _, nb := range newRep.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Printf("%-36s %41s\n", nb.Name, "(new benchmark)")
+			continue
+		}
+		fmt.Printf("%-36s %12s %12s %14s\n", nb.Name,
+			pctDelta(ob.NsPerOp, nb.NsPerOp),
+			pctDelta(ob.AllocsOp, nb.AllocsOp),
+			pctDelta(ob.SimPerWall, nb.SimPerWall))
+		if warnPct > 0 && ob.SimPerWall > 0 && nb.SimPerWall > 0 {
+			drop := (ob.SimPerWall - nb.SimPerWall) / ob.SimPerWall * 100
+			if drop > warnPct {
+				fmt.Fprintf(os.Stderr, "benchjson: WARNING: %s sim_per_wall regressed %.1f%% (%.2f → %.2f, threshold %.0f%%)\n",
+					nb.Name, drop, ob.SimPerWall, nb.SimPerWall, warnPct)
+			}
+		}
+	}
+	for _, ob := range oldRep.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Printf("%-36s %41s\n", ob.Name, "(removed)")
+		}
+	}
+	return nil
+}
+
+// load reads one snapshot written by this tool.
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// pctDelta renders the old→new change as a signed percentage.
+func pctDelta(old, new float64) string {
+	if old == 0 || new == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
 }
 
 // nextFree picks the first BENCH_<n>.json (n ≥ 1) that does not exist yet.

@@ -61,13 +61,47 @@ type System struct {
 	devs []*ssd.Device
 	qps  []*nvme.QueuePair // one per device (first queue of each set)
 
-	slots  []*sim.Resource
-	flight []map[uint16]*request
+	slots []*sim.Resource
+	// flight maps [device][CID] to the batch fan-in the command belongs
+	// to; a flat slice sized to the queue depth replaces the per-device
+	// map this used to be.
+	flight [][]*fanin
 	next   []uint16
+	// faninFree recycles batch fan-in counters (and their signals).
+	faninFree []*fanin
 }
 
-type request struct {
-	done *sim.Signal
+// fanin is one synchronous batch's completion counter: every submitted
+// command points back to it through the flight table, and the signal fires
+// when the last command completes — one wakeup per batch instead of one
+// signal, one map entry, and one wakeup per block.
+type fanin struct {
+	remaining int
+	done      *sim.Signal
+}
+
+// getFanin takes a counter from the pool, re-armed.
+func (s *System) getFanin() *fanin {
+	if n := len(s.faninFree); n > 0 {
+		f := s.faninFree[n-1]
+		s.faninFree[n-1] = nil
+		s.faninFree = s.faninFree[:n-1]
+		f.done.Reset()
+		f.remaining = 0
+		return f
+	}
+	return &fanin{done: s.e.NewSignal("bam.batch")}
+}
+
+// putFanin recycles a finished counter.
+func (s *System) putFanin(f *fanin) { s.faninFree = append(s.faninFree, f) }
+
+// faninRef adjusts a fan-in count, firing completion at zero.
+func (s *System) faninRef(f *fanin, delta int) {
+	f.remaining += delta
+	if f.remaining == 0 {
+		f.done.Fire()
+	}
 }
 
 // New builds the system; queue rings are allocated in GPU memory, which is
@@ -83,7 +117,7 @@ func New(e *sim.Engine, cfg Config, g *gpu.GPU, devs []*ssd.Device) *System {
 		qp := d.CreateQueuePair("bam", sqMem.Data, cqMem.Data, cfg.QueueDepth)
 		s.qps = append(s.qps, qp)
 		s.slots = append(s.slots, e.NewResource(fmt.Sprintf("bam.slots%d", i), int64(cfg.QueueDepth)-1))
-		s.flight = append(s.flight, make(map[uint16]*request))
+		s.flight = append(s.flight, make([]*fanin, cfg.QueueDepth))
 		s.next = append(s.next, 0)
 		// One completion-delivery process per device (stands in for the
 		// per-warp pollers whose thread cost is modeled by PinThreads).
@@ -124,6 +158,13 @@ type Array struct {
 	cache      *gpucache.Cache
 	// CacheHitCost is the GPU time to serve one block from the cache.
 	CacheHitCost sim.Time
+	// CoalesceLimit caps how many stripe-contiguous blocks one batch
+	// merges into a single multi-block NVMe command (bounded by the queue
+	// ring's MDTS-equivalent; 0 or 1 keeps one command per block, the
+	// published figure configuration — see cam.Config.CoalesceLimit for
+	// the rationale). Cache-fronted arrays never coalesce: hit checks are
+	// per block.
+	CoalesceLimit int
 }
 
 // AttachCache fronts the array with a GPU-memory cache (line size must
@@ -182,15 +223,29 @@ func (a *Array) batch(p *sim.Proc, op nvme.Opcode, blocks []uint64, buf *gpu.Buf
 	_ = held
 	defer release()
 
-	sigs := make([]*sim.Signal, 0, len(blocks))
+	// Hold the fan-in above zero until every command is submitted:
+	// submission can block on queue slots, so early completions may race
+	// the rest of the batch.
+	fan := s.getFanin()
+	fan.remaining = 1
+	limit := 1
+	if a.cache == nil && a.CoalesceLimit > 1 {
+		limit = a.CoalesceLimit
+		if max := int((spdkMDTS) / a.BlockBytes); limit > max {
+			limit = max
+		}
+	}
+	ndev := uint64(len(s.devs))
 	var missIdx []int
 	var hitTime sim.Time
-	for i, b := range blocks {
-		dst := buf.Data[off+int64(i)*a.BlockBytes:]
+	for i := 0; i < len(blocks); {
+		b := blocks[i]
 		if a.cache != nil && op == nvme.OpRead {
+			dst := buf.Data[off+int64(i)*a.BlockBytes:]
 			if data, hit := a.cache.Lookup(b); hit {
 				copy(dst[:a.BlockBytes], data)
 				hitTime += a.CacheHitCost
+				i++
 				continue
 			}
 			missIdx = append(missIdx, i)
@@ -198,16 +253,25 @@ func (a *Array) batch(p *sim.Proc, op nvme.Opcode, blocks []uint64, buf *gpu.Buf
 		if a.cache != nil && op == nvme.OpWrite {
 			a.cache.Invalidate(b)
 		}
+		// Extend a stripe-contiguous run (same device, consecutive LBAs;
+		// batch order makes destinations contiguous).
+		run := 1
+		for run < limit && i+run < len(blocks) {
+			if blocks[i+run] != b+uint64(run)*ndev {
+				break
+			}
+			run++
+		}
 		dev, lba := a.locate(b)
 		addr := buf.Addr + mem.Addr(off) + mem.Addr(int64(i)*a.BlockBytes)
-		sigs = append(sigs, s.submit(p, op, dev, lba, uint32(a.BlockBytes/nvme.LBASize), addr))
+		s.submit(p, op, dev, lba, uint32(int64(run)*a.BlockBytes/nvme.LBASize), addr, fan)
+		i += run
 	}
 	if hitTime > 0 {
 		p.Sleep(hitTime)
 	}
-	for _, sig := range sigs {
-		p.Wait(sig)
-	}
+	s.faninRef(fan, -1) // release the publishing hold
+	p.Wait(fan.done)
 	// Fill the cache with the freshly fetched blocks.
 	if a.cache != nil && op == nvme.OpRead {
 		for _, i := range missIdx {
@@ -216,15 +280,21 @@ func (a *Array) batch(p *sim.Proc, op nvme.Opcode, blocks []uint64, buf *gpu.Buf
 			copy(line, src[:a.BlockBytes])
 		}
 	}
+	s.putFanin(fan)
 }
 
+// spdkMDTS mirrors the device's maximum data transfer size per command
+// (spdk.MaxTransfer; duplicated to avoid an import cycle with the CAM
+// backend packages).
+const spdkMDTS = 128 << 10
+
 // submit pushes one SQE from the GPU side; the submitting warp is
-// serialized on the doorbell for SubmitLatency.
-func (s *System) submit(p *sim.Proc, op nvme.Opcode, dev int, lba uint64, nlb uint32, addr mem.Addr) *sim.Signal {
+// serialized on the doorbell for SubmitLatency. The command joins fan.
+func (s *System) submit(p *sim.Proc, op nvme.Opcode, dev int, lba uint64, nlb uint32, addr mem.Addr, fan *fanin) {
 	s.slots[dev].Acquire(p, 1)
 	cid := s.allocCID(dev)
-	req := &request{done: s.e.NewSignal("bamreq")}
-	s.flight[dev][cid] = req
+	fan.remaining++
+	s.flight[dev][cid] = fan
 	sqe := nvme.SQE{Opcode: op, CID: cid, NSID: 1, PRP1: uint64(addr), SLBA: lba, NLB: nlb}
 	if err := s.qps[dev].SQ.Push(sqe); err != nil {
 		panic("bam: SQ overflow despite slot limiter: " + err.Error())
@@ -233,14 +303,14 @@ func (s *System) submit(p *sim.Proc, op nvme.Opcode, dev int, lba uint64, nlb ui
 	// Warp-serialized submission cost; amortized across the batch by
 	// submitting from many warps in reality — charge a fraction.
 	p.Sleep(s.cfg.SubmitLatency / 8)
-	return req.done
 }
 
 func (s *System) allocCID(dev int) uint16 {
 	depth := uint16(s.cfg.QueueDepth)
+	fl := s.flight[dev]
 	for i := uint16(0); i < depth; i++ {
 		cid := (s.next[dev] + i) % depth
-		if _, busy := s.flight[dev][cid]; !busy {
+		if fl[cid] == nil {
 			s.next[dev] = cid + 1
 			return cid
 		}
@@ -248,7 +318,7 @@ func (s *System) allocCID(dev int) uint16 {
 	panic("bam: no free CID despite slot limiter")
 }
 
-// completionLoop fires request signals as CQEs arrive.
+// completionLoop folds arriving CQEs into their batch fan-ins.
 func (s *System) completionLoop(p *sim.Proc, dev int) {
 	qp := s.qps[dev]
 	for {
@@ -260,12 +330,12 @@ func (s *System) completionLoop(p *sim.Proc, dev int) {
 			qp.CQ.OnPost.Reset()
 			continue
 		}
-		req := s.flight[dev][cqe.CID]
-		if req == nil {
+		fan := s.flight[dev][cqe.CID]
+		if fan == nil {
 			panic("bam: completion for unknown CID")
 		}
-		delete(s.flight[dev], cqe.CID)
+		s.flight[dev][cqe.CID] = nil
 		s.slots[dev].Release(1)
-		req.done.Fire()
+		s.faninRef(fan, -1)
 	}
 }

@@ -1,0 +1,131 @@
+package cam
+
+import (
+	"bytes"
+	"testing"
+
+	"camsim/internal/sim"
+)
+
+// Coalescing tests: with CoalesceLimit enabled, the polling thread must
+// merge runs of stripe-contiguous blocks (blocks[i+1] == blocks[i] + nDevs,
+// i.e. consecutive LBAs on one device) into single multi-block NVMe
+// commands, and must split at stripe boundaries, gaps, the configured
+// limit, and the device's MDTS. The figure suite keeps CoalesceLimit at 0
+// (one command per block) — see DESIGN.md §8.
+
+// coalesceRig builds a 3-SSD manager with coalescing enabled.
+func coalesceRig(limit int) *rig {
+	cfg := DefaultConfig(3)
+	cfg.CoalesceLimit = limit
+	return newRig(3, cfg)
+}
+
+// stripeRun returns n consecutive blocks on one device of a 3-way stripe,
+// starting at block first (first % 3 selects the device).
+func stripeRun(first uint64, n int) []uint64 {
+	b := make([]uint64, n)
+	for i := range b {
+		b[i] = first + uint64(i)*3
+	}
+	return b
+}
+
+func prefetchBlocks(t *testing.T, r *rig, blocks []uint64) {
+	t.Helper()
+	dst := r.m.Alloc("dst", int64(len(blocks))*4096)
+	r.e.Go("kernel", func(p *sim.Proc) {
+		r.m.Prefetch(p, blocks, dst, 0)
+		r.m.PrefetchSynchronize(p)
+	})
+	r.e.Run()
+}
+
+func TestCoalesceMergesStripeRun(t *testing.T) {
+	r := coalesceRig(8)
+	prefetchBlocks(t, r, stripeRun(0, 4)) // 0,3,6,9 — all on nvme0
+	st := r.m.Stats()
+	if st.Requests != 4 {
+		t.Fatalf("requests = %d, want 4", st.Requests)
+	}
+	if st.Commands != 1 {
+		t.Fatalf("commands = %d, want 1 (4-block run should coalesce)", st.Commands)
+	}
+}
+
+func TestCoalesceSplitsAtStripeBoundary(t *testing.T) {
+	r := coalesceRig(8)
+	// 0,1,2 are consecutive app blocks but land on three devices: no pair
+	// is stripe-contiguous, so nothing merges.
+	prefetchBlocks(t, r, []uint64{0, 1, 2})
+	if c := r.m.Stats().Commands; c != 3 {
+		t.Fatalf("commands = %d, want 3 (stripe boundary must split)", c)
+	}
+}
+
+func TestCoalesceSplitsOnGap(t *testing.T) {
+	r := coalesceRig(8)
+	// Same device (nvme0) but non-consecutive LBAs: 0, then 6 skips 3.
+	prefetchBlocks(t, r, []uint64{0, 6})
+	if c := r.m.Stats().Commands; c != 2 {
+		t.Fatalf("commands = %d, want 2 (LBA gap must split)", c)
+	}
+}
+
+func TestCoalesceHonorsLimit(t *testing.T) {
+	r := coalesceRig(2)
+	prefetchBlocks(t, r, stripeRun(0, 4)) // one 4-run, limit 2 → 2 commands
+	if c := r.m.Stats().Commands; c != 2 {
+		t.Fatalf("commands = %d, want 2 (CoalesceLimit=2)", c)
+	}
+}
+
+func TestCoalesceCappedByMDTS(t *testing.T) {
+	r := coalesceRig(1000)
+	// 40 consecutive blocks on nvme0; MDTS (128 KiB) caps a 4 KiB-block
+	// run at 32, so the 40-run splits 32+8.
+	prefetchBlocks(t, r, stripeRun(0, 40))
+	if c := r.m.Stats().Commands; c != 2 {
+		t.Fatalf("commands = %d, want 2 (MDTS caps runs at 32 blocks)", c)
+	}
+}
+
+func TestCoalesceMixedRunsPerDevice(t *testing.T) {
+	r := coalesceRig(8)
+	// Two interleaved runs: {1,4} on nvme1 and {2,5} on nvme2, submitted
+	// in batch order 1,4,2,5 → two 2-block commands.
+	prefetchBlocks(t, r, []uint64{1, 4, 2, 5})
+	if c := r.m.Stats().Commands; c != 2 {
+		t.Fatalf("commands = %d, want 2", c)
+	}
+}
+
+func TestCoalescedRoundTripData(t *testing.T) {
+	r := coalesceRig(8)
+	// Mix of runs and singletons; write back then prefetch and compare.
+	blocks := []uint64{0, 3, 6, 1, 2, 5, 10}
+	n := len(blocks)
+	src := r.m.Alloc("src", int64(n)*4096)
+	dst := r.m.Alloc("dst", int64(n)*4096)
+	rng := sim.NewRNG(33)
+	for i := range src.Data {
+		src.Data[i] = byte(rng.Uint64())
+	}
+	r.e.Go("kernel", func(p *sim.Proc) {
+		r.m.WriteBack(p, blocks, src, 0)
+		r.m.WriteBackSynchronize(p)
+		r.m.Prefetch(p, blocks, dst, 0)
+		r.m.PrefetchSynchronize(p)
+	})
+	r.e.Run()
+	if !bytes.Equal(src.Data, dst.Data) {
+		t.Fatal("coalesced write_back → prefetch round trip mismatch")
+	}
+	st := r.m.Stats()
+	if st.FailedRequests != 0 {
+		t.Fatalf("failed requests = %d", st.FailedRequests)
+	}
+	if st.Commands >= st.Requests {
+		t.Fatalf("commands = %d not below requests = %d", st.Commands, st.Requests)
+	}
+}

@@ -98,6 +98,25 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 	e.events.push(event{at: e.now + delay, seq: e.seq, fn: fn})
 }
 
+// Callback is a pre-built scheduled action. Objects that run through many
+// scheduled phases (an SSD command moving media → DMA → completion)
+// implement it once and reschedule themselves, so the event queue carries a
+// two-word interface instead of a freshly boxed closure per phase.
+type Callback interface {
+	Run()
+}
+
+// ScheduleCallback runs cb.Run at now+delay. It is the allocation-free
+// sibling of Schedule: storing an interface whose dynamic type is a pointer
+// allocates nothing.
+func (e *Engine) ScheduleCallback(delay Time, cb Callback) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	e.events.push(event{at: e.now + delay, seq: e.seq, cb: cb})
+}
+
 // scheduleResume queues the allocation-free fast-path event that hands
 // control to p at now+delay. Every internal wakeup (Sleep, Signal.Fire,
 // Store.Put, Resource.Release, Go) goes through here instead of boxing a
@@ -273,9 +292,12 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		if ev.at > e.now {
 			e.now = ev.at
 		}
-		if ev.p != nil {
+		switch {
+		case ev.p != nil:
 			e.runProc(ev.p)
-		} else {
+		case ev.cb != nil:
+			ev.cb.Run()
+		default:
 			ev.fn()
 		}
 	}

@@ -2,12 +2,15 @@ package sim
 
 // event is one pending queue entry, stored by value: the common resume case
 // (p != nil) carries the process to hand control to with no closure and no
-// heap allocation; the general case (p == nil) carries an arbitrary callback.
+// heap allocation; cb carries a pre-built Callback object (pooled command
+// state machines schedule themselves this way without boxing a closure per
+// phase); the general case carries an arbitrary fn closure.
 type event struct {
 	at  Time
 	seq uint64
-	p   *Proc  // fast-path: resume this process (nil → run fn)
-	fn  func() // general callback path
+	p   *Proc    // fast-path: resume this process
+	cb  Callback // pooled-callback path (nil → run fn)
+	fn  func()   // general callback path
 }
 
 // less orders events by (time, insertion sequence): a strict total order, so

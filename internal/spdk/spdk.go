@@ -64,6 +64,15 @@ func DefaultConfig() Config {
 	}
 }
 
+// Completion receives request completions in reactor context. Batch
+// clients (CAM) implement it to fan a run of completions into one counter
+// without allocating a closure or a signal per request. RequestDone must
+// copy out any fields it needs: a pooled request is recycled as soon as it
+// returns.
+type Completion interface {
+	RequestDone(r *Request)
+}
+
 // Request is one asynchronous NVMe command through the driver.
 type Request struct {
 	Op   nvme.Opcode
@@ -73,35 +82,51 @@ type Request struct {
 	// Addr is the data buffer's physical address (host DRAM for the
 	// classic SPDK flow; CAM passes pinned GPU HBM here).
 	Addr mem.Addr
+	// Blocks is the number of application blocks a coalesced command
+	// carries (0 and 1 both mean a single block).
+	Blocks int
 
 	Status nvme.Status
-	Done   *sim.Signal
+	// Done is the completion signal for callers that block on individual
+	// requests. Submit allocates it lazily — only when no Sink is set.
+	Done *sim.Signal
 	// OnDone, if set, runs in reactor context right before Done fires;
-	// batch-oriented clients (CAM) use it to avoid one waiter process per
+	// batch-oriented clients use it to avoid one waiter process per
 	// request.
 	OnDone func()
+	// Sink, if set, replaces Done/OnDone: the reactor calls RequestDone
+	// and then recycles the request if it came from the driver pool.
+	Sink Completion
+	// Tag carries the submitter's per-request context (a batch handle)
+	// through to Sink.RequestDone.
+	Tag any
 
-	cid uint16
+	cid    uint16
+	pooled bool
 }
 
 // Bytes reports the transfer size.
 func (r *Request) Bytes() int64 { return int64(r.NLB) * nvme.LBASize }
 
 // Reactor is one polling CPU thread owning queue pairs for its devices.
+// Per-device state is indexed by device number in flat slices (nil/zero for
+// devices this reactor does not own): command dispatch touches no maps.
 type Reactor struct {
 	id     int
 	d      *Driver
 	devs   []int // device indices owned by this reactor
-	qps    map[int]*nvme.QueuePair
+	qps    []*nvme.QueuePair
 	queue  *sim.Store[*Request]
-	slots  map[int]*sim.Resource
-	flight map[int]map[uint16]*Request
-	next   map[int]uint16
+	slots  []*sim.Resource
+	flight [][]*Request // [device][CID] → in-flight request
+	next   []uint16
 
 	// pending holds requests deferred because their queue pair was full.
 	pending []*Request
 	// submitWaiters are idle-wake signals armed by waitForWork.
 	submitWaiters []*sim.Signal
+	// wakeName is the pre-formatted name for idle-wake signals.
+	wakeName string
 
 	Stat cpustat.Counters
 }
@@ -117,7 +142,9 @@ type Driver struct {
 	// devOwner maps device index → owning reactor index; CAM's dynamic
 	// core adjustment rewrites it between batches.
 	devOwner []int
-	started  bool
+	// reqFree recycles Sink-completed requests issued via GetRequest.
+	reqFree []*Request
+	started bool
 }
 
 // New builds a driver with nThreads reactor threads; devices are assigned
@@ -136,13 +163,14 @@ func New(e *sim.Engine, cfg Config, hm *hostmem.Memory, space *mem.Space, devs [
 	d := &Driver{e: e, cfg: cfg, hm: hm, space: space, devs: devs}
 	for i := 0; i < nThreads; i++ {
 		r := &Reactor{
-			id:     i,
-			d:      d,
-			qps:    make(map[int]*nvme.QueuePair),
-			queue:  sim.NewStore[*Request](e, fmt.Sprintf("spdk.r%d", i)),
-			slots:  make(map[int]*sim.Resource),
-			flight: make(map[int]map[uint16]*Request),
-			next:   make(map[int]uint16),
+			id:       i,
+			d:        d,
+			qps:      make([]*nvme.QueuePair, len(devs)),
+			queue:    sim.NewStore[*Request](e, fmt.Sprintf("spdk.r%d", i)),
+			slots:    make([]*sim.Resource, len(devs)),
+			flight:   make([][]*Request, len(devs)),
+			next:     make([]uint16, len(devs)),
+			wakeName: fmt.Sprintf("spdk.wake%d", i),
 		}
 		d.reactors = append(d.reactors, r)
 	}
@@ -154,9 +182,28 @@ func New(e *sim.Engine, cfg Config, hm *hostmem.Memory, space *mem.Space, devs [
 		cqMem := hm.Alloc(fmt.Sprintf("spdk.cq.%d.%d", r.id, di), int64(cfg.QueueDepth)*nvme.CQESize)
 		r.qps[di] = dev.CreateQueuePair(fmt.Sprintf("spdk-r%d", r.id), sqMem.Data, cqMem.Data, cfg.QueueDepth)
 		r.slots[di] = e.NewResource(fmt.Sprintf("spdk.slots.%d", di), int64(cfg.QueueDepth)-1)
-		r.flight[di] = make(map[uint16]*Request)
+		r.flight[di] = make([]*Request, cfg.QueueDepth)
 	}
 	return d
+}
+
+// GetRequest takes a zeroed request from the driver's free list (allocating
+// on pool miss). Pooled requests are recycled automatically after their
+// Sink runs; they must not be retained past RequestDone.
+func (d *Driver) GetRequest() *Request {
+	if n := len(d.reqFree); n > 0 {
+		r := d.reqFree[n-1]
+		d.reqFree[n-1] = nil
+		d.reqFree = d.reqFree[:n-1]
+		return r
+	}
+	return &Request{pooled: true}
+}
+
+// putRequest clears and recycles a pooled request.
+func (d *Driver) putRequest(r *Request) {
+	*r = Request{pooled: true}
+	d.reqFree = append(d.reqFree, r)
 }
 
 // ActiveReactors reports how many reactors currently own devices.
@@ -183,7 +230,7 @@ func (d *Driver) SetActiveReactors(n int) {
 			continue
 		}
 		from, to := d.reactors[oldOwner], d.reactors[newOwner]
-		if len(from.flight[di]) != 0 || len(from.pending) != 0 || from.queue.Len() != 0 {
+		if from.inFlight(di) != 0 || len(from.pending) != 0 || from.queue.Len() != 0 {
 			panic("spdk: SetActiveReactors with in-flight or queued commands on moved device")
 		}
 		// Move ownership of the device's queue pair and bookkeeping.
@@ -191,10 +238,10 @@ func (d *Driver) SetActiveReactors(n int) {
 		to.slots[di] = from.slots[di]
 		to.flight[di] = from.flight[di]
 		to.next[di] = from.next[di]
-		delete(from.qps, di)
-		delete(from.slots, di)
-		delete(from.flight, di)
-		delete(from.next, di)
+		from.qps[di] = nil
+		from.slots[di] = nil
+		from.flight[di] = nil
+		from.next[di] = 0
 		for i, v := range from.devs {
 			if v == di {
 				from.devs = append(from.devs[:i], from.devs[i+1:]...)
@@ -204,6 +251,17 @@ func (d *Driver) SetActiveReactors(n int) {
 		to.devs = append(to.devs, di)
 		d.devOwner[di] = newOwner
 	}
+}
+
+// inFlight counts outstanding commands on device di.
+func (r *Reactor) inFlight(di int) int {
+	n := 0
+	for _, req := range r.flight[di] {
+		if req != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Start launches the reactor processes. Devices must be Started separately.
@@ -249,7 +307,11 @@ func (d *Driver) Submit(r *Request) {
 	if r.Dev < 0 || r.Dev >= len(d.devs) {
 		panic("spdk: bad device index")
 	}
-	r.Done = d.e.NewSignal("spdkreq")
+	// Sink-driven requests fan completions into the submitter's counter;
+	// everyone else gets a per-request signal to block on.
+	if r.Sink == nil {
+		r.Done = d.e.NewSignal("spdkreq")
+	}
 	rc := d.reactorFor(r.Dev)
 	rc.queue.Put(r)
 	// Wake the reactor if it is idle-sleeping.
@@ -349,7 +411,7 @@ func (r *Reactor) waitForWork(p *sim.Proc) {
 // wakeSignal returns a signal that fires on the next submission or
 // completion for this reactor.
 func (r *Reactor) wakeSignal() *sim.Signal {
-	sig := r.d.e.NewSignal(fmt.Sprintf("spdk.wake%d", r.id))
+	sig := r.d.e.NewSignal(r.wakeName)
 	// Watch the app queue by draining into it via a helper goroutine-free
 	// trick: Store has no signal, so poll it with CQ OnPost signals plus
 	// a queue watcher process is overkill — instead we piggyback: Submit
@@ -412,14 +474,16 @@ func (r *Reactor) submit(p *sim.Proc, req *Request) {
 	r.d.devs[di].Ring(qp)
 }
 
-// complete reaps one CQE (reactor CPU time) and fires the request signal.
+// complete reaps one CQE (reactor CPU time) and delivers the completion:
+// Sink callback, then OnDone, then the Done signal; pooled requests recycle
+// immediately after.
 func (r *Reactor) complete(p *sim.Proc, di int, cqe nvme.CQE) {
 	cfg := r.d.cfg
 	req := r.flight[di][cqe.CID]
 	if req == nil {
 		panic("spdk: completion for unknown CID")
 	}
-	delete(r.flight[di], cqe.CID)
+	r.flight[di][cqe.CID] = nil
 	p.Sleep(cfg.CompleteCost)
 	r.Stat.Charge(cfg.CompleteInstr, cfg.IPC)
 	// Reads that landed in host DRAM cost one DRAM write crossing.
@@ -429,10 +493,18 @@ func (r *Reactor) complete(p *sim.Proc, di int, cqe nvme.CQE) {
 	req.Status = cqe.Status
 	r.Stat.Done(1)
 	r.slots[di].Release(1)
+	if req.Sink != nil {
+		req.Sink.RequestDone(req)
+	}
 	if req.OnDone != nil {
 		req.OnDone()
 	}
-	req.Done.Fire()
+	if req.Done != nil {
+		req.Done.Fire()
+	}
+	if req.pooled {
+		r.d.putRequest(req)
+	}
 	// Admit a deferred request if any.
 	if len(r.pending) > 0 {
 		next := r.pending[0]
@@ -443,9 +515,10 @@ func (r *Reactor) complete(p *sim.Proc, di int, cqe nvme.CQE) {
 
 func (r *Reactor) allocCID(di int) uint16 {
 	depth := uint16(r.d.cfg.QueueDepth)
+	fl := r.flight[di]
 	for i := uint16(0); i < depth; i++ {
 		cid := (r.next[di] + i) % depth
-		if _, busy := r.flight[di][cid]; !busy {
+		if fl[cid] == nil {
 			r.next[di] = cid + 1
 			return cid
 		}

@@ -198,7 +198,7 @@ func (d *Device) adminCreateSQ(a nvme.AdminSQE) nvme.Status {
 	}
 	delete(d.admin.pendingCQs, a.CQID)
 	d.admin.ioQueues[a.QID] = qp
-	d.qps = append(d.qps, qp)
+	d.addQP(qp, uint32(a.QSize))
 	// The controller must notice submissions on the new queue.
 	qid := a.QID
 	d.e.Go(fmt.Sprintf("%s.ioq%d.db", d.Name, qid), func(p *sim.Proc) {
@@ -211,11 +211,13 @@ func (d *Device) adminCreateSQ(a nvme.AdminSQE) nvme.Status {
 	return nvme.StatusSuccess
 }
 
-// removeQP drops a queue pair from the controller's poll set.
+// removeQP drops a queue pair from the controller's poll set (and its
+// parallel CID submission-time slots).
 func (d *Device) removeQP(qp *nvme.QueuePair) {
 	for i, q := range d.qps {
 		if q == qp {
 			d.qps = append(d.qps[:i], d.qps[i+1:]...)
+			d.submitAt = append(d.submitAt[:i], d.submitAt[i+1:]...)
 			return
 		}
 	}

@@ -16,13 +16,32 @@ import (
 // embody steady-state GC. Setting ChargeGC adds the migration time to the
 // controller frontend explicitly, which exposes the classic random-write
 // cliff as device utilization grows (see the abl-ftl experiment).
+//
+// Both translation directions are flat tables rather than Go maps, the
+// way a real controller lays them out in DRAM. The forward table is a
+// lazily allocated segment directory (dense LPN ranges cost one slice
+// each, untouched ranges cost a nil pointer); LPNs beyond flatLimit —
+// far past the drive's physical capacity — spill into a sparse overflow
+// map so pathological offsets stay correct without reserving address
+// space for them. The reverse table grows in lockstep with the physical
+// blocks and is indexed directly by PPN. -1 marks an unmapped entry in
+// both directions.
 type FTL struct {
 	cfg FTLConfig
 
-	// mapping: logical page number → physical page number (sparse).
-	mapping map[int64]int64
-	// rmap: physical page number → logical page number for valid pages.
-	rmap map[int64]int64
+	// mapSegs is the forward directory: mapSegs[lpn>>mapSegBits][lpn&mapSegMask]
+	// holds the PPN for lpn, or -1. Segments allocate on first write.
+	mapSegs [][]int64
+	// overflow holds mappings for LPNs at or beyond flatLimit.
+	overflow map[int64]int64
+	// flatLimit is the first LPN served by the overflow map.
+	flatLimit int64
+	// mapped counts currently valid logical pages (== former len(mapping)).
+	mapped int64
+
+	// rmap: physical page number → logical page number for valid pages,
+	// -1 otherwise. len(rmap) == len(blocks)*PagesPerBlock always.
+	rmap []int64
 
 	blocks    []ftlBlock
 	active    int   // index of the block receiving writes
@@ -31,6 +50,24 @@ type FTL struct {
 
 	stats FTLStats
 }
+
+const (
+	// mapSegBits sizes forward-table segments: 1<<13 entries = 64 KiB of
+	// PPNs covering 32 MiB of logical space per segment.
+	mapSegBits = 13
+	mapSegSize = 1 << mapSegBits
+	mapSegMask = mapSegSize - 1
+	// maxFlatPages caps the flat directory's reach. A real controller
+	// keeps ~1 GB of mapping DRAM per TB of flash; the simulator must not
+	// charge the host that for every short-lived device instance, so only
+	// the first 1 GiB of logical span (256 Ki pages → at most 32
+	// segments, 2 MB fully dense) is flat and everything beyond falls
+	// back to the sparse overflow map. Workloads that hammer the FTL
+	// (abl-ftl: 8 MiB namespaces with GC charging) fit entirely below
+	// this; multi-TB namespaces touched sparsely pay map cost only for
+	// the pages they actually write, as before.
+	maxFlatPages = 1 << 18
+)
 
 type ftlBlock struct {
 	valid    int // valid pages in this block
@@ -94,22 +131,64 @@ func NewFTL(cfg FTLConfig) *FTL {
 	}
 	f := &FTL{
 		cfg:       cfg,
-		mapping:   make(map[int64]int64),
-		rmap:      make(map[int64]int64),
+		overflow:  make(map[int64]int64),
+		flatLimit: min(4*int64(cfg.Blocks)*int64(cfg.PagesPerBlock), maxFlatPages),
 		nextFresh: cfg.Blocks,
 	}
 	f.active = f.takeBlock()
 	return f
 }
 
+// mapGet reads the forward table.
+func (f *FTL) mapGet(lpn int64) (int64, bool) {
+	if lpn >= f.flatLimit {
+		ppn, ok := f.overflow[lpn]
+		return ppn, ok
+	}
+	seg := lpn >> mapSegBits
+	if seg >= int64(len(f.mapSegs)) {
+		return 0, false
+	}
+	s := f.mapSegs[seg]
+	if s == nil {
+		return 0, false
+	}
+	if ppn := s[lpn&mapSegMask]; ppn >= 0 {
+		return ppn, true
+	}
+	return 0, false
+}
+
+// mapSet writes the forward table, allocating its segment on first use.
+func (f *FTL) mapSet(lpn, ppn int64) {
+	if lpn >= f.flatLimit {
+		f.overflow[lpn] = ppn
+		return
+	}
+	seg := lpn >> mapSegBits
+	for int64(len(f.mapSegs)) <= seg {
+		f.mapSegs = append(f.mapSegs, nil)
+	}
+	s := f.mapSegs[seg]
+	if s == nil {
+		s = make([]int64, mapSegSize)
+		for i := range s {
+			s[i] = -1
+		}
+		f.mapSegs[seg] = s
+	}
+	s[lpn&mapSegMask] = ppn
+}
+
 // Stats returns a snapshot.
 func (f *FTL) Stats() FTLStats {
 	s := f.stats
-	s.MappedPages = int64(len(f.mapping))
+	s.MappedPages = f.mapped
 	return s
 }
 
-// takeBlock hands out an erased block, preferring recycled ones.
+// takeBlock hands out an erased block, preferring recycled ones. Fresh
+// blocks extend the reverse map in lockstep.
 func (f *FTL) takeBlock() int {
 	if n := len(f.freeList); n > 0 {
 		b := f.freeList[n-1]
@@ -121,6 +200,11 @@ func (f *FTL) takeBlock() int {
 	}
 	f.nextFresh--
 	f.blocks = append(f.blocks, ftlBlock{})
+	start := len(f.rmap)
+	f.rmap = append(f.rmap, make([]int64, f.cfg.PagesPerBlock)...)
+	for i := start; i < len(f.rmap); i++ {
+		f.rmap[i] = -1
+	}
 	return len(f.blocks) - 1
 }
 
@@ -168,13 +252,15 @@ func (f *FTL) allocPage() int64 {
 // free blocks fall to the watermark.
 func (f *FTL) writePage(lpn int64) (programs int64) {
 	// Invalidate the previous location.
-	if old, ok := f.mapping[lpn]; ok {
+	if old, ok := f.mapGet(lpn); ok {
 		blk := int(old) / f.cfg.PagesPerBlock
 		f.blocks[blk].valid--
-		delete(f.rmap, old)
+		f.rmap[old] = -1
+	} else {
+		f.mapped++
 	}
 	ppn := f.allocPage()
-	f.mapping[lpn] = ppn
+	f.mapSet(lpn, ppn)
 	f.rmap[ppn] = lpn
 	f.stats.HostPages++
 	f.stats.NANDPages++
@@ -188,8 +274,7 @@ func (f *FTL) writePage(lpn int64) (programs int64) {
 
 // Lookup reports the physical page holding lpn.
 func (f *FTL) Lookup(lpn int64) (ppn int64, ok bool) {
-	ppn, ok = f.mapping[lpn]
-	return
+	return f.mapGet(lpn)
 }
 
 // collect runs one GC pass: pick the fully-written block with the fewest
@@ -220,8 +305,8 @@ func (f *FTL) collect() (migrated int64) {
 	base := int64(victim) * int64(f.cfg.PagesPerBlock)
 	for p := int64(0); p < int64(f.cfg.PagesPerBlock) && vb.valid > 0; p++ {
 		ppn := base + p
-		lpn, ok := f.rmap[ppn]
-		if !ok {
+		lpn := f.rmap[ppn]
+		if lpn < 0 {
 			continue
 		}
 		f.migratePage(lpn, ppn)
@@ -239,10 +324,9 @@ func (f *FTL) collect() (migrated int64) {
 func (f *FTL) migratePage(lpn, oldPPN int64) {
 	blk := int(oldPPN) / f.cfg.PagesPerBlock
 	f.blocks[blk].valid--
-	delete(f.rmap, oldPPN)
-	delete(f.mapping, lpn)
+	f.rmap[oldPPN] = -1
 	ppn := f.allocPage()
-	f.mapping[lpn] = ppn
+	f.mapSet(lpn, ppn)
 	f.rmap[ppn] = lpn
 	f.stats.NANDPages++ // a GC copy programs NAND but is not a host write
 }
@@ -252,19 +336,8 @@ func (f *FTL) migratePage(lpn, oldPPN int64) {
 // the reverse map, and no physical page is double-mapped.
 func (f *FTL) CheckInvariants() error {
 	perBlock := make([]int, len(f.blocks))
-	// Walk the mapping in sorted LPN order so the first inconsistency
-	// reported is the same on every run.
-	lpns := make([]int64, 0, len(f.mapping))
-	for lpn := range f.mapping {
-		lpns = append(lpns, lpn)
-	}
-	slices.Sort(lpns)
-	for _, lpn := range lpns {
-		ppn := f.mapping[lpn]
-		back, ok := f.rmap[ppn]
-		if !ok || back != lpn {
-			return fmt.Errorf("ftl: mapping %d→%d lacks reverse entry", lpn, ppn)
-		}
+	var mapped int64
+	check := func(lpn, ppn int64) error {
 		blk := int(ppn) / f.cfg.PagesPerBlock
 		if blk >= len(f.blocks) {
 			return fmt.Errorf("ftl: ppn %d beyond allocated blocks", ppn)
@@ -272,10 +345,50 @@ func (f *FTL) CheckInvariants() error {
 		if int(ppn)%f.cfg.PagesPerBlock >= f.blocks[blk].written {
 			return fmt.Errorf("ftl: ppn %d beyond block %d write pointer", ppn, blk)
 		}
+		if back := f.rmap[ppn]; back != lpn {
+			return fmt.Errorf("ftl: mapping %d→%d lacks reverse entry", lpn, ppn)
+		}
 		perBlock[blk]++
+		mapped++
+		return nil
 	}
-	if len(f.rmap) != len(f.mapping) {
-		return fmt.Errorf("ftl: rmap size %d != mapping size %d", len(f.rmap), len(f.mapping))
+	// Walk flat segments in index order, then overflow entries in sorted
+	// LPN order, so the first inconsistency reported is the same on every
+	// run.
+	for si, s := range f.mapSegs {
+		if s == nil {
+			continue
+		}
+		for i, ppn := range s {
+			if ppn < 0 {
+				continue
+			}
+			if err := check(int64(si)<<mapSegBits+int64(i), ppn); err != nil {
+				return err
+			}
+		}
+	}
+	oflpns := make([]int64, 0, len(f.overflow))
+	for lpn := range f.overflow {
+		oflpns = append(oflpns, lpn)
+	}
+	slices.Sort(oflpns)
+	for _, lpn := range oflpns {
+		if err := check(lpn, f.overflow[lpn]); err != nil {
+			return err
+		}
+	}
+	if mapped != f.mapped {
+		return fmt.Errorf("ftl: mapped counter %d but %d table entries", f.mapped, mapped)
+	}
+	var rvalid int64
+	for _, lpn := range f.rmap {
+		if lpn >= 0 {
+			rvalid++
+		}
+	}
+	if rvalid != mapped {
+		return fmt.Errorf("ftl: rmap size %d != mapping size %d", rvalid, mapped)
 	}
 	for i, b := range f.blocks {
 		if perBlock[i] != b.valid {

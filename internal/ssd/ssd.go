@@ -131,17 +131,17 @@ type Device struct {
 
 	stats Stats
 
-	// submitTime tracks outstanding command submission instants for
-	// latency accounting, keyed by cmdKey(qp index, CID). The packed
-	// integer key hashes with a single word instead of a struct hash —
-	// this map is touched twice per command on the hottest device path.
-	submitTime map[uint32]sim.Time
-}
+	// submitAt tracks outstanding command submission instants for latency
+	// accounting, indexed [queue pair][CID]. CIDs are host-chosen and
+	// usually dense (drivers recycle them below the queue depth), so a
+	// flat slice replaces the map this used to be: no hashing on the
+	// hottest device path, -1 marks an idle slot. Slots grow on demand to
+	// the highest CID a host ever submits.
+	submitAt [][]sim.Time
 
-// cmdKey packs (qp index, CID) into one map key. Queue-pair counts are
-// tiny (≤ hundreds), so 16 bits each is far more than enough.
-func cmdKey(qp int, cid uint16) uint32 {
-	return uint32(qp)<<16 | uint32(cid)
+	// cmdFree recycles ioCmd execution states; one command allocates at
+	// most once per high-water mark of concurrent commands.
+	cmdFree []*ioCmd
 }
 
 // New creates a device attached to the fabric and address space.
@@ -164,7 +164,6 @@ func New(e *sim.Engine, name string, cfg Config, fab *pcie.Fabric, space *mem.Sp
 		ftl:         NewFTL(DefaultFTLConfig(cfg.CapacityBytes, op)),
 		rng:         sim.NewRNG(cfg.Seed),
 		anyDoorbell: e.NewSignal(name + ".anydb"),
-		submitTime:  make(map[uint32]sim.Time),
 	}
 }
 
@@ -186,8 +185,19 @@ func (d *Device) Stats() Stats { return d.stats }
 // Must be called before Start or between runs.
 func (d *Device) CreateQueuePair(name string, sqMem, cqMem []byte, depth uint32) *nvme.QueuePair {
 	qp := nvme.NewQueuePair(d.e, fmt.Sprintf("%s.%s", d.Name, name), sqMem, cqMem, depth)
-	d.qps = append(d.qps, qp)
+	d.addQP(qp, depth)
 	return qp
+}
+
+// addQP registers a queue pair with the controller, pre-sizing its CID
+// submission-time slots to the queue depth.
+func (d *Device) addQP(qp *nvme.QueuePair, depth uint32) {
+	d.qps = append(d.qps, qp)
+	at := make([]sim.Time, depth)
+	for i := range at {
+		at[i] = -1
+	}
+	d.submitAt = append(d.submitAt, at)
 }
 
 // Ring publishes new submissions on qp to the controller. Hosts call this
@@ -268,6 +278,84 @@ func (d *Device) mediaLatency(op nvme.Opcode) sim.Time {
 	return sim.Time(float64(base) * j)
 }
 
+// ioCmd is the pooled execution state of one in-flight read/write command.
+// It is its own sim.Callback: each pipeline phase reschedules the same
+// object, so a command crosses media latency and the DMA engine without
+// boxing a closure per phase. States recycle through Device.cmdFree.
+type ioCmd struct {
+	d     *Device
+	qi    int
+	qp    *nvme.QueuePair
+	sqe   nvme.SQE
+	buf   []byte
+	n     int
+	phase uint8
+}
+
+// ioCmd phases.
+const (
+	cmdMediaDone uint8 = iota // media latency elapsed → reserve DMA
+	cmdDMADone                // DMA finished → move bytes, post CQE
+	cmdFlushDone              // flush frontend slot drained → post CQE
+)
+
+// Run advances the command one phase (engine-callback context).
+func (c *ioCmd) Run() {
+	d := c.d
+	switch c.phase {
+	case cmdMediaDone:
+		// DMA phase: move the bytes across the fabric.
+		dmaDone := d.fab.ReserveDMA(int64(c.n))
+		c.phase = cmdDMADone
+		d.e.ScheduleCallback(dmaDone-d.e.Now(), c)
+	case cmdDMADone:
+		var status nvme.Status
+		switch c.sqe.Opcode {
+		case nvme.OpRead:
+			if err := d.store.ReadLBA(c.sqe.SLBA, c.sqe.NLB, c.buf); err != nil {
+				status = nvme.StatusDMAError
+			}
+			d.stats.ReadCmds++
+			d.stats.ReadBytes += int64(c.n)
+		case nvme.OpWrite:
+			if err := d.store.WriteLBA(c.sqe.SLBA, c.sqe.NLB, c.buf); err != nil {
+				status = nvme.StatusDMAError
+			}
+			d.stats.WriteCmds++
+			d.stats.WriteBytes += int64(c.n)
+		}
+		if status != nvme.StatusSuccess {
+			d.stats.ErrCmds++
+		}
+		d.finish(c, status)
+	case cmdFlushDone:
+		d.stats.FlushCmds++
+		d.finish(c, nvme.StatusSuccess)
+	}
+}
+
+// newCmd takes a command state from the pool (or allocates the pool's
+// high-water-mark growth).
+func (d *Device) newCmd(qi int, qp *nvme.QueuePair, sqe nvme.SQE) *ioCmd {
+	var c *ioCmd
+	if n := len(d.cmdFree); n > 0 {
+		c = d.cmdFree[n-1]
+		d.cmdFree[n-1] = nil
+		d.cmdFree = d.cmdFree[:n-1]
+	} else {
+		c = &ioCmd{d: d}
+	}
+	c.qi, c.qp, c.sqe = qi, qp, sqe
+	return c
+}
+
+// finish completes a pooled command and recycles its state.
+func (d *Device) finish(c *ioCmd, status nvme.Status) {
+	d.complete(c.qi, c.qp, c.sqe, status)
+	c.qp, c.buf = nil, nil
+	d.cmdFree = append(d.cmdFree, c)
+}
+
 // execute runs one command to completion using engine callbacks (no
 // per-command process), so any number of commands overlap in the latency
 // pipeline while the frontend serializer enforces throughput.
@@ -276,12 +364,7 @@ func (d *Device) execute(qi int, qp *nvme.QueuePair, sqe nvme.SQE) {
 	if d.stats.currInFlight > d.stats.MaxInFlight {
 		d.stats.MaxInFlight = d.stats.currInFlight
 	}
-	d.submitTime[cmdKey(qi, sqe.CID)] = d.e.Now()
-
-	fail := func(status nvme.Status) {
-		d.stats.ErrCmds++
-		d.complete(qi, qp, sqe, status)
-	}
+	d.noteSubmit(qi, sqe.CID)
 
 	switch sqe.Opcode {
 	case nvme.OpFlush:
@@ -290,26 +373,27 @@ func (d *Device) execute(qi int, qp *nvme.QueuePair, sqe nvme.SQE) {
 			start = d.frontBusyUntil
 		}
 		d.frontBusyUntil = start + d.serviceTime(nvme.OpFlush, 0)
-		done := d.frontBusyUntil
-		d.e.Schedule(done-d.e.Now(), func() {
-			d.stats.FlushCmds++
-			d.complete(qi, qp, sqe, nvme.StatusSuccess)
-		})
+		c := d.newCmd(qi, qp, sqe)
+		c.phase = cmdFlushDone
+		d.e.ScheduleCallback(d.frontBusyUntil-d.e.Now(), c)
 		return
 	case nvme.OpRead, nvme.OpWrite:
 	default:
-		fail(nvme.StatusInvalidOpcode)
+		d.stats.ErrCmds++
+		d.complete(qi, qp, sqe, nvme.StatusInvalidOpcode)
 		return
 	}
 
 	if !d.store.InRange(sqe.SLBA, sqe.NLB) {
-		fail(nvme.StatusLBAOutOfRange)
+		d.stats.ErrCmds++
+		d.complete(qi, qp, sqe, nvme.StatusLBAOutOfRange)
 		return
 	}
 	n := int(sqe.Bytes())
 	buf, kind, err := d.space.Resolve(mem.Addr(sqe.PRP1), n)
 	if err != nil {
-		fail(nvme.StatusDMAError)
+		d.stats.ErrCmds++
+		d.complete(qi, qp, sqe, nvme.StatusDMAError)
 		return
 	}
 	_ = kind // callers charge DRAM traffic on their own staging paths
@@ -337,37 +421,41 @@ func (d *Device) execute(qi int, qp *nvme.QueuePair, sqe nvme.SQE) {
 	// Media latency pipeline (unbounded overlap).
 	mediaDone := serviceDone + d.mediaLatency(sqe.Opcode)
 
-	d.e.Schedule(mediaDone-d.e.Now(), func() {
-		// DMA phase: move the bytes across the fabric.
-		dmaDone := d.fab.ReserveDMA(int64(n))
-		d.e.Schedule(dmaDone-d.e.Now(), func() {
-			var status nvme.Status
-			switch sqe.Opcode {
-			case nvme.OpRead:
-				if err := d.store.ReadLBA(sqe.SLBA, sqe.NLB, buf); err != nil {
-					status = nvme.StatusDMAError
-				}
-				d.stats.ReadCmds++
-				d.stats.ReadBytes += int64(n)
-			case nvme.OpWrite:
-				if err := d.store.WriteLBA(sqe.SLBA, sqe.NLB, buf); err != nil {
-					status = nvme.StatusDMAError
-				}
-				d.stats.WriteCmds++
-				d.stats.WriteBytes += int64(n)
-			}
-			if status != nvme.StatusSuccess {
-				d.stats.ErrCmds++
-			}
-			d.complete(qi, qp, sqe, status)
-		})
-	})
+	c := d.newCmd(qi, qp, sqe)
+	c.buf, c.n, c.phase = buf, n, cmdMediaDone
+	d.e.ScheduleCallback(mediaDone-d.e.Now(), c)
 }
 
-// complete posts the CQE and records latency.
+// noteSubmit records a command's submission instant, growing the CID slot
+// slice if the host uses identifiers beyond the queue depth.
+func (d *Device) noteSubmit(qi int, cid uint16) {
+	at := d.submitAt[qi]
+	if int(cid) >= len(at) {
+		grown := make([]sim.Time, int(cid)+1)
+		copy(grown, at)
+		for i := len(at); i < len(grown); i++ {
+			grown[i] = -1
+		}
+		at = grown
+		d.submitAt[qi] = at
+	}
+	at[cid] = d.e.Now()
+}
+
+// complete posts the CQE and records latency. The bounds guard covers a
+// queue pair deleted (admin) while its last commands drain: latency simply
+// goes unattributed, as with the map this used to be.
 func (d *Device) complete(qi int, qp *nvme.QueuePair, sqe nvme.SQE, status nvme.Status) {
-	key := cmdKey(qi, sqe.CID)
-	if t0, ok := d.submitTime[key]; ok {
+	if qi < len(d.submitAt) && int(sqe.CID) < len(d.submitAt[qi]) && d.qps[qi] == qp {
+		d.recordLatency(qi, sqe)
+	}
+	d.stats.currInFlight--
+	qp.CQ.Post(nvme.CQE{CID: sqe.CID, SQHead: uint16(qp.SQ.Head()), Status: status})
+}
+
+// recordLatency folds one command's submit-to-complete latency into stats.
+func (d *Device) recordLatency(qi int, sqe nvme.SQE) {
+	if t0 := d.submitAt[qi][sqe.CID]; t0 >= 0 {
 		lat := d.e.Now() - t0
 		switch sqe.Opcode {
 		case nvme.OpRead:
@@ -375,8 +463,6 @@ func (d *Device) complete(qi int, qp *nvme.QueuePair, sqe nvme.SQE, status nvme.
 		case nvme.OpWrite:
 			d.stats.WriteLatSum += lat
 		}
-		delete(d.submitTime, key)
+		d.submitAt[qi][sqe.CID] = -1
 	}
-	d.stats.currInFlight--
-	qp.CQ.Post(nvme.CQE{CID: sqe.CID, SQHead: uint16(qp.SQ.Head()), Status: status})
 }

@@ -135,3 +135,26 @@ func TestKindStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestAllocsPerEmit pins the hot-path guarantee the harness relies on:
+// once the ring reaches capacity, Emit stores by value into pre-reserved
+// storage and never allocates — tracing a multi-million-event run costs
+// no GC pressure beyond the fixed ring. Same style as the sim/store
+// ceilings: prewarm past one-time growth, then assert a small absolute
+// ceiling on a measured batch.
+func TestAllocsPerEmit(t *testing.T) {
+	const batch = 100
+	e := sim.New()
+	tr := New(e, 64) // smaller than batch: exercises the wrapped path too
+	warm := func() {
+		for i := 0; i < batch; i++ {
+			tr.Emit(IOSubmit, "dev0", "read", int64(i))
+		}
+	}
+	warm()
+	avg := testing.AllocsPerRun(20, warm)
+	if avg > 1 {
+		t.Fatalf("allocs per %d-emit batch = %.1f, want <= 1 (%.3f/event)",
+			batch, avg, avg/batch)
+	}
+}
