@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race vuln check check-fast bench bench-smoke bench-diff
+.PHONY: all build test vet lint race vuln check check-fast bench bench-smoke bench-diff cover cover-smoke
 
 all: build
 
@@ -62,6 +62,32 @@ bench-smoke:
 		echo "bench-smoke: no committed BENCH_<n>.json baseline, skipping diff"; \
 	fi
 	@rm -f bench-smoke.json
+
+# cover profiles the fault-critical data plane — the packages the fault
+# injection and recovery machinery runs through — and prints per-function
+# plus total statement coverage. The profile lands in cover.out for
+# `go tool cover -html=cover.out` spelunking.
+COVER_PKGS = ./internal/ssd ./internal/cam ./internal/bam ./internal/spdk ./internal/fault
+
+cover:
+	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
+	@$(GO) tool cover -func=cover.out | tail -1
+
+# cover-smoke is the CI variant: same profile, then a diff of the total
+# against the committed COVERAGE_BASELINE.txt that warns (without failing)
+# when statement coverage drops by more than one point — the coverage
+# sibling of bench-smoke's sim-rate warning.
+cover-smoke: cover
+	@cur=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
+	if [ -f COVERAGE_BASELINE.txt ]; then \
+		base=$$(cat COVERAGE_BASELINE.txt); \
+		echo "cover-smoke: total $$cur% (baseline $$base%)"; \
+		awk -v c="$$cur" -v b="$$base" 'BEGIN { if (c + 1.0 < b) \
+			printf("::warning::coverage dropped: %.1f%% vs baseline %.1f%%\n", c, b) }'; \
+	else \
+		echo "cover-smoke: no COVERAGE_BASELINE.txt baseline, skipping diff"; \
+	fi
+	@rm -f cover.out
 
 # bench-diff compares the two most recent BENCH_<n>.json snapshots,
 # printing per-benchmark percentage deltas (ns/op, allocs/op, and the

@@ -8,6 +8,7 @@
 //	cambench -exp all -quick      # everything, scaled down
 //	cambench -exp all -parallel 8 # eight experiments in flight at once
 //	cambench -exp fig9 -csv       # emit tables as CSV
+//	cambench -exp abl-faults -faults 7:1e-4  # inject media errors at 1e-4
 //	cambench -exp fig8 -cpuprofile fig8.pprof
 //
 // Independent experiments run concurrently in a worker pool (-parallel,
@@ -23,6 +24,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"camsim/internal/fault"
 	"camsim/internal/harness"
 )
 
@@ -35,8 +37,19 @@ func main() {
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently (1 = serial)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to `file`")
 		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the runs to `file`")
+		faults     = flag.String("faults", "", "fault injection `spec`: seed:rate shorthand or key=val,... (seed, rate, drop, slow, slowx, progfail, faildev, failat); empty or 'off' disables")
 	)
 	flag.Parse()
+
+	plan, err := fault.ParseSpec(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cambench: -faults: %v\n", err)
+		os.Exit(1)
+	}
+	// Installed before any experiment is constructed: platform.New wires
+	// injectors and the driver DefaultConfigs arm their recovery timers off
+	// this plan.
+	fault.SetDefault(plan)
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"camsim/internal/bam"
+	"camsim/internal/fault"
 	"camsim/internal/gemmx"
 	"camsim/internal/metrics"
 	"camsim/internal/platform"
@@ -26,8 +27,16 @@ func main() {
 		backend = flag.String("backend", "cam", "cam | bam | gds | spdk")
 		ssds    = flag.Int("ssds", 12, "number of simulated SSDs")
 		verify  = flag.Bool("verify", false, "compute real float32 math and verify (small sizes)")
+		faults  = flag.String("faults", "", "fault injection `spec`: seed:rate shorthand or key=val,... (see cambench -h); empty or 'off' disables")
 	)
 	flag.Parse()
+
+	plan, err := fault.ParseSpec(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "camgemm: -faults: %v\n", err)
+		os.Exit(1)
+	}
+	fault.SetDefault(plan)
 
 	cfg := gemmx.Config{N: *n, K: *n, M: *n, Tile: *tile, ComputeRate: 100e12, RealMath: *verify}
 	env := platform.New(platform.Options{SSDs: *ssds})
@@ -76,5 +85,15 @@ func main() {
 		metrics.GBps(st.Throughput))
 	if *verify {
 		fmt.Println("  verification: matches dense reference exactly")
+	}
+	if plan.Enabled() {
+		fs := env.FaultStats()
+		fmt.Printf("  faults:     injected err=%d drop=%d slow=%d dead=%d\n",
+			fs.Errors, fs.Drops, fs.Slows, fs.DeadDrops)
+		if c, ok := b.(*xfer.CAMBackend); ok {
+			rec := c.M.Driver().Recovery()
+			fmt.Printf("  recovery:   timeouts=%d retries=%d recovered=%d failed=%d devfail=%d\n",
+				rec.Timeouts, rec.Retries, rec.Recovered, rec.FailedRequests, rec.DeviceFailures)
+		}
 	}
 }

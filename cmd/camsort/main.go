@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"camsim/internal/bam"
+	"camsim/internal/fault"
 	"camsim/internal/metrics"
 	"camsim/internal/platform"
 	"camsim/internal/sim"
@@ -26,8 +27,16 @@ func main() {
 		backend = flag.String("backend", "cam", "cam | spdk | posix | bam")
 		ssds    = flag.Int("ssds", 12, "number of simulated SSDs")
 		seed    = flag.Uint64("seed", 1, "key-generation seed")
+		faults  = flag.String("faults", "", "fault injection `spec`: seed:rate shorthand or key=val,... (see cambench -h); empty or 'off' disables")
 	)
 	flag.Parse()
+
+	plan, err := fault.ParseSpec(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "camsort: -faults: %v\n", err)
+		os.Exit(1)
+	}
+	fault.SetDefault(plan)
 
 	if *runKeys == 0 {
 		*runKeys = *keys / 4
@@ -79,4 +88,14 @@ func main() {
 	fmt.Printf("  total:       %v  (%s effective)\n", st.Elapsed,
 		metrics.GBps(float64(st.BytesMoved)/st.Elapsed.Seconds()))
 	fmt.Println("  verification: sorted order and input permutation OK")
+	if plan.Enabled() {
+		fs := env.FaultStats()
+		fmt.Printf("  faults:      injected err=%d drop=%d slow=%d dead=%d\n",
+			fs.Errors, fs.Drops, fs.Slows, fs.DeadDrops)
+		if c, ok := b.(*xfer.CAMBackend); ok {
+			rec := c.M.Driver().Recovery()
+			fmt.Printf("  recovery:    timeouts=%d retries=%d recovered=%d failed=%d devfail=%d\n",
+				rec.Timeouts, rec.Retries, rec.Recovered, rec.FailedRequests, rec.DeviceFailures)
+		}
+	}
 }

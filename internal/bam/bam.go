@@ -16,12 +16,14 @@ package bam
 import (
 	"fmt"
 
+	"camsim/internal/fault"
 	"camsim/internal/gpu"
 	"camsim/internal/gpucache"
 	"camsim/internal/mem"
 	"camsim/internal/nvme"
 	"camsim/internal/sim"
 	"camsim/internal/ssd"
+	"camsim/internal/trace"
 )
 
 // Config calibrates the BaM baseline.
@@ -41,16 +43,35 @@ type Config struct {
 	// SubmitLatency is the GPU-side cost to build and publish one SQE
 	// from a thread (warp-serialized doorbell write).
 	SubmitLatency sim.Time
+
+	// CmdTimeout is the per-command completion deadline for the GPU
+	// pollers; 0 (the default) disables timeout handling entirely.
+	// DefaultConfig arms it when a fault plan is installed. BaM has no
+	// retry path — the polling warps spin on CQs with no management
+	// thread to re-drive a command — so a timed-out command just counts
+	// its blocks as failed. The CPU-managed design recovers instead (see
+	// internal/spdk); the asymmetry is the point of the comparison.
+	CmdTimeout sim.Time
 }
 
 // DefaultConfig matches the paper's BaM evaluation settings.
 func DefaultConfig() Config {
-	return Config{
+	cfg := Config{
 		ThreadsPerSSD: 44_000,
 		QueueDepth:    1024,
 		QueuesPerSSD:  1,
 		SubmitLatency: 400 * sim.Nanosecond,
 	}
+	if fault.Default().Enabled() {
+		cfg.CmdTimeout = 25 * sim.Millisecond
+	}
+	return cfg
+}
+
+// Stats counts BaM-side error handling.
+type Stats struct {
+	Timeouts     uint64 // commands abandoned after CmdTimeout
+	FailedBlocks uint64 // blocks whose command completed with an error
 }
 
 // System is a BaM instance: GPU-resident queue pairs over a set of SSDs.
@@ -62,21 +83,34 @@ type System struct {
 	qps  []*nvme.QueuePair // one per device (first queue of each set)
 
 	slots []*sim.Resource
-	// flight maps [device][CID] to the batch fan-in the command belongs
-	// to; a flat slice sized to the queue depth replaces the per-device
-	// map this used to be.
-	flight [][]*fanin
+	// flight maps [device][CID] to the in-flight command's batch fan-in,
+	// block count, and deadline; a flat slice sized to the queue depth
+	// replaces the per-device map this used to be (fan == nil marks a
+	// free slot).
+	flight [][]flightEntry
 	next   []uint16
 	// faninFree recycles batch fan-in counters (and their signals).
 	faninFree []*fanin
+
+	stats Stats
+	tr    *trace.Tracer
+}
+
+// flightEntry is one in-flight command's completion routing.
+type flightEntry struct {
+	fan      *fanin
+	blocks   int
+	deadline sim.Time
 }
 
 // fanin is one synchronous batch's completion counter: every submitted
 // command points back to it through the flight table, and the signal fires
 // when the last command completes — one wakeup per batch instead of one
-// signal, one map entry, and one wakeup per block.
+// signal, one map entry, and one wakeup per block. errors accumulates the
+// failed-block count the batch reports.
 type fanin struct {
 	remaining int
+	errors    int
 	done      *sim.Signal
 }
 
@@ -88,10 +122,23 @@ func (s *System) getFanin() *fanin {
 		s.faninFree = s.faninFree[:n-1]
 		f.done.Reset()
 		f.remaining = 0
+		f.errors = 0
 		return f
 	}
 	return &fanin{done: s.e.NewSignal("bam.batch")}
 }
+
+// SetTracer attaches a tracer for timeout events (nil disables) and
+// propagates it to the devices for injected-fault events.
+func (s *System) SetTracer(tr *trace.Tracer) {
+	s.tr = tr
+	for _, d := range s.devs {
+		d.SetTracer(tr)
+	}
+}
+
+// Stats returns a snapshot of the error-handling counters.
+func (s *System) Stats() Stats { return s.stats }
 
 // putFanin recycles a finished counter.
 func (s *System) putFanin(f *fanin) { s.faninFree = append(s.faninFree, f) }
@@ -117,7 +164,7 @@ func New(e *sim.Engine, cfg Config, g *gpu.GPU, devs []*ssd.Device) *System {
 		qp := d.CreateQueuePair("bam", sqMem.Data, cqMem.Data, cfg.QueueDepth)
 		s.qps = append(s.qps, qp)
 		s.slots = append(s.slots, e.NewResource(fmt.Sprintf("bam.slots%d", i), int64(cfg.QueueDepth)-1))
-		s.flight = append(s.flight, make([]*fanin, cfg.QueueDepth))
+		s.flight = append(s.flight, make([]flightEntry, cfg.QueueDepth))
 		s.next = append(s.next, 0)
 		// One completion-delivery process per device (stands in for the
 		// per-warp pollers whose thread cost is modeled by PinThreads).
@@ -201,21 +248,23 @@ func (a *Array) locate(block uint64) (dev int, lba uint64) {
 }
 
 // Gather synchronously reads the given blocks into dst (block i of the
-// batch lands at offset i*BlockBytes). The calling kernel's I/O warps pin
+// batch lands at offset i*BlockBytes) and reports how many blocks failed
+// (0 when every command succeeded). The calling kernel's I/O warps pin
 // ThreadsNeeded(len(devs)) thread slots for the whole batch — if the GPU is
 // busy, the batch waits; while the batch runs, compute kernels starve.
-func (a *Array) Gather(p *sim.Proc, blocks []uint64, dst *gpu.Buffer, dstOff int64) {
-	a.batch(p, nvme.OpRead, blocks, dst, dstOff)
+func (a *Array) Gather(p *sim.Proc, blocks []uint64, dst *gpu.Buffer, dstOff int64) int {
+	return a.batch(p, nvme.OpRead, blocks, dst, dstOff)
 }
 
-// Scatter synchronously writes the given blocks from src.
-func (a *Array) Scatter(p *sim.Proc, blocks []uint64, src *gpu.Buffer, srcOff int64) {
-	a.batch(p, nvme.OpWrite, blocks, src, srcOff)
+// Scatter synchronously writes the given blocks from src, reporting the
+// failed-block count.
+func (a *Array) Scatter(p *sim.Proc, blocks []uint64, src *gpu.Buffer, srcOff int64) int {
+	return a.batch(p, nvme.OpWrite, blocks, src, srcOff)
 }
 
-func (a *Array) batch(p *sim.Proc, op nvme.Opcode, blocks []uint64, buf *gpu.Buffer, off int64) {
+func (a *Array) batch(p *sim.Proc, op nvme.Opcode, blocks []uint64, buf *gpu.Buffer, off int64) int {
 	if len(blocks) == 0 {
-		return
+		return 0
 	}
 	s := a.s
 	need := s.ThreadsNeeded(len(s.devs))
@@ -255,16 +304,10 @@ func (a *Array) batch(p *sim.Proc, op nvme.Opcode, blocks []uint64, buf *gpu.Buf
 		}
 		// Extend a stripe-contiguous run (same device, consecutive LBAs;
 		// batch order makes destinations contiguous).
-		run := 1
-		for run < limit && i+run < len(blocks) {
-			if blocks[i+run] != b+uint64(run)*ndev {
-				break
-			}
-			run++
-		}
+		run := coalesceRun(blocks, i, limit, ndev)
 		dev, lba := a.locate(b)
 		addr := buf.Addr + mem.Addr(off) + mem.Addr(int64(i)*a.BlockBytes)
-		s.submit(p, op, dev, lba, uint32(int64(run)*a.BlockBytes/nvme.LBASize), addr, fan)
+		s.submit(p, op, dev, lba, uint32(int64(run)*a.BlockBytes/nvme.LBASize), addr, run, fan)
 		i += run
 	}
 	if hitTime > 0 {
@@ -272,8 +315,10 @@ func (a *Array) batch(p *sim.Proc, op nvme.Opcode, blocks []uint64, buf *gpu.Buf
 	}
 	s.faninRef(fan, -1) // release the publishing hold
 	p.Wait(fan.done)
-	// Fill the cache with the freshly fetched blocks.
-	if a.cache != nil && op == nvme.OpRead {
+	errs := fan.errors
+	// Fill the cache with the freshly fetched blocks. With any failures
+	// the batch's data is suspect — do not cache possibly-bad lines.
+	if a.cache != nil && op == nvme.OpRead && errs == 0 {
 		for _, i := range missIdx {
 			src := buf.Data[off+int64(i)*a.BlockBytes:]
 			line := a.cache.Insert(blocks[i])
@@ -281,6 +326,22 @@ func (a *Array) batch(p *sim.Proc, op nvme.Opcode, blocks []uint64, buf *gpu.Buf
 		}
 	}
 	s.putFanin(fan)
+	return errs
+}
+
+// coalesceRun reports the length of the stripe-contiguous run starting at
+// index i: successive block ids must grow by the device count (same device,
+// next LBA), capped by limit.
+func coalesceRun(blocks []uint64, i, limit int, ndev uint64) int {
+	b := blocks[i]
+	run := 1
+	for run < limit && i+run < len(blocks) {
+		if blocks[i+run] != b+uint64(run)*ndev {
+			break
+		}
+		run++
+	}
+	return run
 }
 
 // spdkMDTS mirrors the device's maximum data transfer size per command
@@ -289,17 +350,29 @@ func (a *Array) batch(p *sim.Proc, op nvme.Opcode, blocks []uint64, buf *gpu.Buf
 const spdkMDTS = 128 << 10
 
 // submit pushes one SQE from the GPU side; the submitting warp is
-// serialized on the doorbell for SubmitLatency. The command joins fan.
-func (s *System) submit(p *sim.Proc, op nvme.Opcode, dev int, lba uint64, nlb uint32, addr mem.Addr, fan *fanin) {
+// serialized on the doorbell for SubmitLatency. The command joins fan and
+// carries blocks application blocks.
+func (s *System) submit(p *sim.Proc, op nvme.Opcode, dev int, lba uint64, nlb uint32, addr mem.Addr, blocks int, fan *fanin) {
 	s.slots[dev].Acquire(p, 1)
 	cid := s.allocCID(dev)
 	fan.remaining++
-	s.flight[dev][cid] = fan
+	ent := flightEntry{fan: fan, blocks: blocks}
+	if s.cfg.CmdTimeout > 0 {
+		ent.deadline = p.Now() + s.cfg.CmdTimeout
+	}
+	s.flight[dev][cid] = ent
 	sqe := nvme.SQE{Opcode: op, CID: cid, NSID: 1, PRP1: uint64(addr), SLBA: lba, NLB: nlb}
 	if err := s.qps[dev].SQ.Push(sqe); err != nil {
 		panic("bam: SQ overflow despite slot limiter: " + err.Error())
 	}
 	s.devs[dev].Ring(s.qps[dev])
+	if s.cfg.CmdTimeout > 0 {
+		// A poller parked on a plain Wait before this command was armed
+		// would sleep through its deadline if the device silently drops
+		// it (no CQE ever fires OnPost). Nudge it so it re-arms its
+		// sleep against the new deadline.
+		s.qps[dev].CQ.OnPost.Fire()
+	}
 	// Warp-serialized submission cost; amortized across the batch by
 	// submitting from many warps in reality — charge a fraction.
 	p.Sleep(s.cfg.SubmitLatency / 8)
@@ -310,7 +383,7 @@ func (s *System) allocCID(dev int) uint16 {
 	fl := s.flight[dev]
 	for i := uint16(0); i < depth; i++ {
 		cid := (s.next[dev] + i) % depth
-		if fl[cid] == nil {
+		if fl[cid].fan == nil {
 			s.next[dev] = cid + 1
 			return cid
 		}
@@ -318,24 +391,81 @@ func (s *System) allocCID(dev int) uint16 {
 	panic("bam: no free CID despite slot limiter")
 }
 
-// completionLoop folds arriving CQEs into their batch fan-ins.
+// completionLoop folds arriving CQEs into their batch fan-ins, counting
+// failed commands' blocks into the batch error tally, and — when CmdTimeout
+// is armed — abandons commands whose deadline passed so a lost command
+// fails the batch instead of hanging it.
 func (s *System) completionLoop(p *sim.Proc, dev int) {
 	qp := s.qps[dev]
 	for {
 		cqe, ok := qp.CQ.Poll()
-		if !ok {
-			if !qp.CQ.OnPost.Fired() {
-				p.Wait(qp.CQ.OnPost)
+		if ok {
+			ent := s.flight[dev][cqe.CID]
+			if ent.fan == nil {
+				panic("bam: completion for unknown CID")
 			}
-			qp.CQ.OnPost.Reset()
+			if cqe.Status != nvme.StatusSuccess {
+				ent.fan.errors += ent.blocks
+				s.stats.FailedBlocks += uint64(ent.blocks)
+			}
+			s.flight[dev][cqe.CID] = flightEntry{}
+			s.slots[dev].Release(1)
+			s.faninRef(ent.fan, -1)
 			continue
 		}
-		fan := s.flight[dev][cqe.CID]
-		if fan == nil {
-			panic("bam: completion for unknown CID")
+		if s.cfg.CmdTimeout > 0 && s.expire(p, dev) {
+			continue
 		}
-		s.flight[dev][cqe.CID] = nil
-		s.slots[dev].Release(1)
-		s.faninRef(fan, -1)
+		if !qp.CQ.OnPost.Fired() {
+			if next := s.earliestDeadline(dev); next > 0 {
+				if !p.WaitTimeout(qp.CQ.OnPost, next-p.Now()) {
+					continue // deadline reached; expire on the next pass
+				}
+			} else {
+				p.Wait(qp.CQ.OnPost)
+			}
+		}
+		qp.CQ.OnPost.Reset()
 	}
+}
+
+// expire abandons commands on dev whose deadline passed: the device-side
+// abort suppresses any late CQE, the blocks count as failed, and the batch
+// completes instead of hanging. Reports whether anything expired.
+func (s *System) expire(p *sim.Proc, dev int) bool {
+	now := p.Now()
+	progressed := false
+	for cid := range s.flight[dev] {
+		ent := s.flight[dev][cid]
+		if ent.fan == nil || ent.deadline == 0 || now < ent.deadline {
+			continue
+		}
+		if s.devs[dev].Abort(s.qps[dev], uint16(cid)) == ssd.AbortNotFound {
+			continue // CQE already posted; the poll loop reaps it
+		}
+		s.stats.Timeouts++
+		s.stats.FailedBlocks += uint64(ent.blocks)
+		s.tr.Emit(trace.IOTimeout, s.devs[dev].Name, "bam abandon", int64(cid))
+		ent.fan.errors += ent.blocks
+		s.flight[dev][cid] = flightEntry{}
+		s.slots[dev].Release(1)
+		s.faninRef(ent.fan, -1)
+		progressed = true
+	}
+	return progressed
+}
+
+// earliestDeadline reports the soonest in-flight deadline on dev (0 when
+// nothing armed is in flight).
+func (s *System) earliestDeadline(dev int) sim.Time {
+	var min sim.Time
+	for _, ent := range s.flight[dev] {
+		if ent.fan == nil || ent.deadline == 0 {
+			continue
+		}
+		if min == 0 || ent.deadline < min {
+			min = ent.deadline
+		}
+	}
+	return min
 }

@@ -1,0 +1,109 @@
+package bam
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"camsim/internal/sim"
+)
+
+// FuzzCoalesce drives the BaM-side run detector with arbitrary block lists
+// and geometry: runs must respect the coalesce limit and MDTS, stay
+// stripe-contiguous (one device, consecutive LBAs), stop only at genuine
+// breaks, and partition the list.
+func FuzzCoalesce(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0}, uint16(8), uint8(2), uint8(3))
+	f.Add(make([]byte, 64), uint16(4), uint8(0), uint8(3)) // all-zero ids: duplicates
+	f.Add([]byte{1, 2, 3}, uint16(8), uint8(5), uint8(0))  // trailing partial word
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255}, uint16(2), uint8(11), uint8(8))
+	f.Fuzz(func(t *testing.T, data []byte, climit uint16, ndevRaw, bbRaw uint8) {
+		count := len(data) / 8
+		if count == 0 {
+			return
+		}
+		ndev := uint64(ndevRaw%12) + 1
+		blockBytes := int64(512) << (bbRaw % 9) // 512 B .. 128 KiB
+		// Mirror Array.batch's limit arming: 0/1 keeps one command per
+		// block; larger limits are capped by MDTS.
+		limit := 1
+		if cl := int(climit % 512); cl > 1 {
+			limit = cl
+			if max := int(spdkMDTS / blockBytes); limit > max {
+				limit = max
+			}
+		}
+		blocks := make([]uint64, count)
+		for i := range blocks {
+			blocks[i] = binary.LittleEndian.Uint64(data[i*8:])
+		}
+		covered := 0
+		for i := 0; i < count; {
+			run := coalesceRun(blocks, i, limit, ndev)
+			if run < 1 || run > limit || i+run > count {
+				t.Fatalf("run %d at index %d (count %d, limit %d)", run, i, count, limit)
+			}
+			if int64(run)*blockBytes > spdkMDTS {
+				t.Fatalf("run %d × %d B exceeds MDTS %d", run, blockBytes, int64(spdkMDTS))
+			}
+			if blocks[i] <= math.MaxUint64-uint64(run)*ndev {
+				dev, lba := blocks[i]%ndev, blocks[i]/ndev
+				for k := 1; k < run; k++ {
+					b := blocks[i+k]
+					if b != blocks[i]+uint64(k)*ndev {
+						t.Fatalf("run at %d coalesced non-contiguous block %d (k=%d)", i, b, k)
+					}
+					if b%ndev != dev || b/ndev != lba+uint64(k) {
+						t.Fatalf("run at %d crosses stripe: block %d on dev %d lba %d, run dev %d lba %d+%d",
+							i, b, b%ndev, b/ndev, dev, lba, k)
+					}
+				}
+				if run < limit && i+run < count && blocks[i+run] == blocks[i]+uint64(run)*ndev {
+					t.Fatalf("run at %d stopped at %d with contiguous block ahead (limit %d)", i, run, limit)
+				}
+			}
+			covered += run
+			i += run
+		}
+		if covered != count {
+			t.Fatalf("runs covered %d of %d blocks", covered, count)
+		}
+		roundTripBaM(t, blocks)
+	})
+}
+
+// roundTripBaM scatters small fuzzed block lists through a real array with
+// coalescing armed and gathers them back: bytes must survive unchanged.
+func roundTripBaM(t *testing.T, blocks []uint64) {
+	if len(blocks) > 32 {
+		return
+	}
+	r := newRig(3, DefaultConfig())
+	arr := r.sys.NewArray(4096)
+	arr.CoalesceLimit = 8
+	seen := make(map[uint64]bool)
+	var uniq []uint64
+	for _, b := range blocks {
+		b %= 1 << 20 // stay well inside device capacity
+		if !seen[b] {
+			seen[b] = true
+			uniq = append(uniq, b)
+		}
+	}
+	n := len(uniq)
+	src := r.g.Alloc("src", int64(n)*4096)
+	dst := r.g.Alloc("dst", int64(n)*4096)
+	rng := sim.NewRNG(37)
+	for i := range src.Data {
+		src.Data[i] = byte(rng.Uint64())
+	}
+	r.e.Go("kernel", func(p *sim.Proc) {
+		arr.Scatter(p, uniq, src, 0)
+		arr.Gather(p, uniq, dst, 0)
+	})
+	r.e.Run()
+	if !bytes.Equal(src.Data, dst.Data) {
+		t.Fatalf("coalesced scatter/gather corrupted data for blocks %v", uniq)
+	}
+}

@@ -164,6 +164,7 @@ type Stats struct {
 	Requests       uint64 // logical blocks processed
 	Commands       uint64 // NVMe commands issued (≤ Requests when coalescing)
 	FailedRequests uint64
+	FailedBatches  uint64 // batches that completed with >= 1 failed block
 	BytesRead      int64
 	BytesWritten   int64
 	CoreAdjustUp   uint64
@@ -296,8 +297,16 @@ func (m *Manager) Devices() int { return len(m.devs) }
 // BlockBytes reports the configured access granularity.
 func (m *Manager) BlockBytes() int64 { return m.cfg.BlockBytes }
 
-// SetTracer attaches an event tracer (nil disables tracing).
-func (m *Manager) SetTracer(t *trace.Tracer) { m.tracer = t }
+// SetTracer attaches an event tracer (nil disables tracing) and propagates
+// it to the backend driver and devices, so injected faults and recovery
+// decisions land on the same timeline as batch events.
+func (m *Manager) SetTracer(t *trace.Tracer) {
+	m.tracer = t
+	m.drv.SetTracer(t)
+	for _, d := range m.devs {
+		d.SetTracer(t)
+	}
+}
 
 // ActiveCores reports the reactor threads currently managing SSDs (the
 // polling thread is additional and not counted, matching §IV-H).
@@ -475,19 +484,10 @@ func (m *Manager) pollingThread(p *sim.Proc) {
 		// Hold the fan-in counter above zero until every command of the
 		// batch is submitted, then drop the hold.
 		b.remaining = 1
+		lbaArr := m.region1.Data[slotBase:]
 		for i := 0; i < count; {
-			blk := binary.LittleEndian.Uint64(m.region1.Data[slotBase+int64(i)*8:])
-			// Extend the run while the next block is stripe-contiguous:
-			// the same device, the next LBA. Batch order already makes
-			// destination addresses contiguous.
-			run := 1
-			for run < limit && i+run < count {
-				nb := binary.LittleEndian.Uint64(m.region1.Data[slotBase+int64(i+run)*8:])
-				if nb != blk+uint64(run)*ndev {
-					break
-				}
-				run++
-			}
+			blk := binary.LittleEndian.Uint64(lbaArr[i*8:])
+			run := coalesceRun(lbaArr, i, count, limit, ndev)
 			dev, lba := m.locate(blk)
 			req := m.drv.GetRequest()
 			req.Op, req.Dev, req.SLBA = nvop, dev, lba
@@ -511,6 +511,25 @@ func (m *Manager) pollingThread(p *sim.Proc) {
 		}
 		m.batchRef(b, -1) // release the publishing hold
 	}
+}
+
+// coalesceRun reports the length of the stripe-contiguous run starting at
+// block index i of the count blocks encoded in data (8 bytes each,
+// little-endian): successive entries must land on the same device at the
+// next LBA, which with round-robin striping means each block id grows by
+// the device count. The run never exceeds limit (already bounded by MDTS
+// via runLimit).
+func coalesceRun(data []byte, i, count, limit int, ndev uint64) int {
+	blk := binary.LittleEndian.Uint64(data[i*8:])
+	run := 1
+	for run < limit && i+run < count {
+		nb := binary.LittleEndian.Uint64(data[(i+run)*8:])
+		if nb != blk+uint64(run)*ndev {
+			break
+		}
+		run++
+	}
+	return run
 }
 
 // runLimit caps a coalesced run: the configured limit bounded by how many
@@ -557,6 +576,9 @@ func (m *Manager) finishBatch(b *Batch) {
 	m.inFlight--
 	if m.inFlight == 0 {
 		m.markIdle(m.e.Now())
+	}
+	if b.errors > 0 {
+		m.stats.FailedBatches++
 	}
 	b.completed = m.e.Now() + m.fab.MMIODelay()
 	// Region 4 carries the highest completed sequence; batches can finish

@@ -64,6 +64,17 @@ const (
 	StatusInvalidOpcode
 	StatusLBAOutOfRange
 	StatusDMAError
+	// StatusMediaError is an unrecovered media error (spec: media and data
+	// integrity class); the command moved no data. Transient in this model:
+	// injected per-command, so a retry may succeed.
+	StatusMediaError
+	// StatusCmdTimeout is host-synthesized, never posted by a controller:
+	// the driver gave up waiting for a CQE and aborted the command.
+	StatusCmdTimeout
+	// StatusDevFailed is host-synthesized: the device was declared dead
+	// after repeated timeouts and the command failed fast without reaching
+	// hardware.
+	StatusDevFailed
 )
 
 func (s Status) String() string {
@@ -76,9 +87,22 @@ func (s Status) String() string {
 		return "LBAOutOfRange"
 	case StatusDMAError:
 		return "DMAError"
+	case StatusMediaError:
+		return "MediaError"
+	case StatusCmdTimeout:
+		return "CmdTimeout"
+	case StatusDevFailed:
+		return "DevFailed"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
 	}
+}
+
+// Retryable reports whether a failed command is worth re-submitting:
+// transient media errors and timeouts are; structural errors (bad opcode,
+// out-of-range LBA, unresolvable DMA address) and dead devices are not.
+func (s Status) Retryable() bool {
+	return s == StatusMediaError || s == StatusCmdTimeout
 }
 
 // SQE is a submission queue entry.

@@ -8,6 +8,7 @@ package platform
 import (
 	"fmt"
 
+	"camsim/internal/fault"
 	"camsim/internal/gpu"
 	"camsim/internal/hostmem"
 	"camsim/internal/mem"
@@ -33,6 +34,11 @@ type Options struct {
 	PCIe pcie.Config
 	// Seed perturbs every device's private jitter stream.
 	Seed uint64
+	// Faults, when set, installs a per-device fault injector derived from
+	// the plan (see internal/fault). When nil, the process-wide plan from
+	// fault.SetDefault (the cambench -faults flag) applies; with neither,
+	// every command succeeds.
+	Faults *fault.Plan
 }
 
 // Env is one simulated machine.
@@ -80,12 +86,29 @@ func New(o Options) *Env {
 		GPU:   gpu.New(e, "gpu0", o.GPU, space),
 		CE:    gpu.NewCopyEngine(e, "h2d", gpu.DefaultCopyEngineConfig()),
 	}
+	plan := o.Faults
+	if plan == nil {
+		plan = fault.Default()
+	}
 	for i := 0; i < o.SSDs; i++ {
 		cfg := o.SSD
 		cfg.Seed = o.Seed*1000 + uint64(i) + 1
-		env.Devs = append(env.Devs, ssd.New(e, fmt.Sprintf("nvme%d", i), cfg, env.Fab, space))
+		d := ssd.New(e, fmt.Sprintf("nvme%d", i), cfg, env.Fab, space)
+		if plan.Enabled() {
+			d.SetFaultInjector(plan.Injector(i))
+		}
+		env.Devs = append(env.Devs, d)
 	}
 	return env
+}
+
+// FaultStats sums injected-fault counters across every device.
+func (env *Env) FaultStats() fault.Stats {
+	var s fault.Stats
+	for _, d := range env.Devs {
+		s.Add(d.Injector().Stats())
+	}
+	return s
 }
 
 // StartDevices launches every SSD controller. Safe to call once, after all

@@ -117,6 +117,39 @@ func (e *Engine) ScheduleCallback(delay Time, cb Callback) {
 	e.events.push(event{at: e.now + delay, seq: e.seq, cb: cb})
 }
 
+// Timer is a cancellable scheduled callback. A Cancel before the due time
+// makes the engine discard the event without running it — and without
+// advancing the virtual clock to its timestamp, so an engine whose only
+// remaining events are dead timers quiesces at the time of its last real
+// event. Recovery deadlines lean on this: most command timeouts are armed
+// and then beaten by the completion, and the abandoned timer must not
+// stretch the measured run.
+type Timer struct {
+	fn   func()
+	dead bool
+}
+
+// Run implements Callback; it is invoked by the engine, not by users.
+func (t *Timer) Run() {
+	if !t.dead {
+		t.fn()
+	}
+}
+
+// Cancel discards the timer. Safe to call more than once, and after firing.
+func (t *Timer) Cancel() {
+	t.dead = true
+	t.fn = nil
+}
+
+// ScheduleTimer runs fn at now+delay unless the returned timer is canceled
+// first. A negative delay is treated as zero.
+func (e *Engine) ScheduleTimer(delay Time, fn func()) *Timer {
+	t := &Timer{fn: fn}
+	e.ScheduleCallback(delay, t)
+	return t
+}
+
 // scheduleResume queues the allocation-free fast-path event that hands
 // control to p at now+delay. Every internal wakeup (Sleep, Signal.Fire,
 // Store.Put, Resource.Release, Go) goes through here instead of boxing a
@@ -289,6 +322,9 @@ func (e *Engine) RunUntil(deadline Time) Time {
 			break
 		}
 		ev := e.events.pop()
+		if t, ok := ev.cb.(*Timer); ok && t.dead {
+			continue // canceled: discard without advancing the clock
+		}
 		if ev.at > e.now {
 			e.now = ev.at
 		}
@@ -415,28 +451,28 @@ func (p *Proc) WaitTimeout(s *Signal, d Time) bool {
 	}
 	expired := false
 	fired := false
-	// The timer and the signal race; whichever runs first resumes p and
-	// disarms the other by flipping the shared flags.
+	// The timer and the signal race; the timer only acts if p still waits
+	// on s (Fire removes waiters synchronously, so at an exact tie the
+	// already-processed Fire wins and the timer becomes a no-op instead of
+	// resuming p a second time).
 	s.waiters = append(s.waiters, p)
-	p.e.Schedule(d, func() {
-		if fired || expired {
-			return
-		}
-		expired = true
-		// Remove p from the signal's waiters so Fire will not resume it
-		// a second time.
+	t := p.e.ScheduleTimer(d, func() {
 		for i, w := range s.waiters {
 			if w == p {
 				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
-				break
+				expired = true
+				p.e.runProc(p)
+				return
 			}
 		}
-		p.e.runProc(p)
 	})
 	// Wrap the resume from Fire: mark fired before control returns.
 	// Fire resumes p directly; detect which path ran via flags set above
 	// or below.
 	p.blockNoted(&fired, &expired)
+	if fired {
+		t.Cancel()
+	}
 	return fired
 }
 

@@ -17,11 +17,13 @@ import (
 	"fmt"
 
 	"camsim/internal/cpustat"
+	"camsim/internal/fault"
 	"camsim/internal/hostmem"
 	"camsim/internal/mem"
 	"camsim/internal/nvme"
 	"camsim/internal/sim"
 	"camsim/internal/ssd"
+	"camsim/internal/trace"
 )
 
 // Config calibrates the driver.
@@ -43,6 +45,22 @@ type Config struct {
 	// IPC is the poll-mode instructions-per-cycle (high: hot loop, warm
 	// cache).
 	IPC float64
+
+	// CmdTimeout is the per-command completion deadline measured from SQE
+	// push. 0 (the default) disables the entire timeout/retry/fail-fast
+	// machinery — no deadline bookkeeping, no extra events — so fault-free
+	// runs replay byte-identically to builds without it. DefaultConfig
+	// arms it automatically when a fault plan is installed.
+	CmdTimeout sim.Time
+	// MaxRetries bounds re-submissions of a retryable failed command
+	// (media error or timeout); structural errors never retry.
+	MaxRetries int
+	// RetryBackoff delays the first retry; it doubles per attempt.
+	RetryBackoff sim.Time
+	// FailThreshold consecutive timeouts on one device (with no
+	// intervening completion) declare the device dead: its in-flight and
+	// future commands fail fast with StatusDevFailed. 0 never declares.
+	FailThreshold int
 }
 
 // DefaultConfig calibrates to the paper's Figure 12: one reactor sustains
@@ -52,7 +70,7 @@ type Config struct {
 // thread sits right at the knee, and four per thread (≈1.71 M demanded)
 // delivers ≈75 %.
 func DefaultConfig() Config {
-	return Config{
+	cfg := Config{
 		QueueDepth:    256,
 		SubmitCost:    410 * sim.Nanosecond,
 		CompleteCost:  370 * sim.Nanosecond,
@@ -62,6 +80,36 @@ func DefaultConfig() Config {
 		PollIterInstr: 45,
 		IPC:           2.6,
 	}
+	// A process-wide fault plan arms recovery: the deadline comfortably
+	// clears worst-case queueing plus a 16× latency spike, so only
+	// genuinely lost commands time out.
+	if fault.Default().Enabled() {
+		cfg.CmdTimeout = 25 * sim.Millisecond
+		cfg.MaxRetries = 3
+		cfg.RetryBackoff = 100 * sim.Microsecond
+		cfg.FailThreshold = 4
+	}
+	return cfg
+}
+
+// RecoveryStats counts the driver's error-recovery actions.
+type RecoveryStats struct {
+	Timeouts       uint64 // command deadlines expired (command aborted)
+	Retries        uint64 // re-submissions of retryable failures
+	Recovered      uint64 // commands that succeeded after >= 1 retry
+	FailedRequests uint64 // requests delivered with a non-success status
+	FastFails      uint64 // requests failed without reaching a dead device
+	DeviceFailures uint64 // devices declared dead
+}
+
+// Add folds o into s.
+func (s *RecoveryStats) Add(o RecoveryStats) {
+	s.Timeouts += o.Timeouts
+	s.Retries += o.Retries
+	s.Recovered += o.Recovered
+	s.FailedRequests += o.FailedRequests
+	s.FastFails += o.FastFails
+	s.DeviceFailures += o.DeviceFailures
 }
 
 // Completion receives request completions in reactor context. Batch
@@ -103,7 +151,15 @@ type Request struct {
 
 	cid    uint16
 	pooled bool
+	// deadline is the absolute completion deadline (0 when recovery is
+	// disarmed); attempts counts submissions (1 = first try).
+	deadline sim.Time
+	attempts int
 }
+
+// Attempts reports how many times the request was submitted to hardware
+// (1 for a first-try success; retries increment it).
+func (r *Request) Attempts() int { return r.attempts }
 
 // Bytes reports the transfer size.
 func (r *Request) Bytes() int64 { return int64(r.NLB) * nvme.LBASize }
@@ -128,7 +184,20 @@ type Reactor struct {
 	// wakeName is the pre-formatted name for idle-wake signals.
 	wakeName string
 
+	// retries holds failed requests waiting out their backoff; drained by
+	// the run loop once due. Only populated when recovery is armed.
+	retries []retryEntry
+	// consecTO counts consecutive timeouts per device (reset by any
+	// completion); crossing Config.FailThreshold declares the device dead.
+	consecTO []int
+
 	Stat cpustat.Counters
+}
+
+// retryEntry is one backoff-delayed re-submission.
+type retryEntry struct {
+	req *Request
+	at  sim.Time
 }
 
 // Driver is an SPDK instance over a set of SSDs.
@@ -145,6 +214,13 @@ type Driver struct {
 	// reqFree recycles Sink-completed requests issued via GetRequest.
 	reqFree []*Request
 	started bool
+
+	// failed marks devices declared dead after repeated timeouts.
+	failed []bool
+	// rec aggregates recovery actions across reactors.
+	rec RecoveryStats
+	// tr records timeout/retry/device-fail events; nil-safe.
+	tr *trace.Tracer
 }
 
 // New builds a driver with nThreads reactor threads; devices are assigned
@@ -160,7 +236,8 @@ func New(e *sim.Engine, cfg Config, hm *hostmem.Memory, space *mem.Space, devs [
 	if nThreads > len(devs) {
 		nThreads = len(devs)
 	}
-	d := &Driver{e: e, cfg: cfg, hm: hm, space: space, devs: devs}
+	d := &Driver{e: e, cfg: cfg, hm: hm, space: space, devs: devs,
+		failed: make([]bool, len(devs))}
 	for i := 0; i < nThreads; i++ {
 		r := &Reactor{
 			id:       i,
@@ -170,6 +247,7 @@ func New(e *sim.Engine, cfg Config, hm *hostmem.Memory, space *mem.Space, devs [
 			slots:    make([]*sim.Resource, len(devs)),
 			flight:   make([][]*Request, len(devs)),
 			next:     make([]uint16, len(devs)),
+			consecTO: make([]int, len(devs)),
 			wakeName: fmt.Sprintf("spdk.wake%d", i),
 		}
 		d.reactors = append(d.reactors, r)
@@ -205,6 +283,26 @@ func (d *Driver) putRequest(r *Request) {
 	*r = Request{pooled: true}
 	d.reqFree = append(d.reqFree, r)
 }
+
+// PutRequest returns a pooled, Done-signalled request to the free list.
+// Callers that block on r.Done (instead of using a Sink) own the request
+// after the signal fires — the driver must not recycle it under them, or
+// the waiter would read a zeroed Status (see TestPooledErrorStatusSurvives)
+// — so they return it themselves once they have read what they need.
+func (d *Driver) PutRequest(r *Request) {
+	if r.pooled {
+		d.putRequest(r)
+	}
+}
+
+// SetTracer attaches a tracer for recovery events (nil disables).
+func (d *Driver) SetTracer(tr *trace.Tracer) { d.tr = tr }
+
+// Recovery returns a snapshot of the driver's error-recovery counters.
+func (d *Driver) Recovery() RecoveryStats { return d.rec }
+
+// DeviceFailed reports whether device di has been declared dead.
+func (d *Driver) DeviceFailed(di int) bool { return d.failed[di] }
 
 // ActiveReactors reports how many reactors currently own devices.
 func (d *Driver) ActiveReactors() int {
@@ -334,8 +432,14 @@ func MaxTransfer() int64 { return maxXfer }
 // equivalent cycles are accounted as poll iterations).
 func (r *Reactor) run(p *sim.Proc) {
 	cfg := r.d.cfg
+	armed := cfg.CmdTimeout > 0
 	for {
 		progressed := false
+
+		// Re-submit retries whose backoff has elapsed.
+		if armed && len(r.retries) > 0 {
+			progressed = r.drainRetries(p) || progressed
+		}
 
 		// Drain app submissions while slots are available.
 		for {
@@ -365,6 +469,12 @@ func (r *Reactor) run(p *sim.Proc) {
 			}
 		}
 
+		// Expire deadlines after polling, so a completion that raced its
+		// own timeout wins deterministically.
+		if armed {
+			progressed = r.expire(p) || progressed
+		}
+
 		if progressed {
 			continue
 		}
@@ -377,6 +487,169 @@ func (r *Reactor) run(p *sim.Proc) {
 			continue
 		}
 		r.waitForWork(p)
+	}
+}
+
+// drainRetries re-submits retry entries whose backoff has elapsed. The due
+// set is collected before any submit call, because submit can grow
+// r.retries again (fail-fast → deliver → a Sink that submits).
+func (r *Reactor) drainRetries(p *sim.Proc) bool {
+	now := p.Now()
+	var due []*Request
+	kept := r.retries[:0]
+	for _, re := range r.retries {
+		if re.at <= now {
+			due = append(due, re.req)
+		} else {
+			kept = append(kept, re)
+		}
+	}
+	r.retries = kept
+	for _, req := range due {
+		r.submit(p, req)
+	}
+	return len(due) > 0
+}
+
+// expire aborts commands whose deadline passed, synthesizing
+// StatusCmdTimeout completions and feeding them into retry or delivery.
+// Reports whether anything expired.
+func (r *Reactor) expire(p *sim.Proc) bool {
+	now := p.Now()
+	progressed := false
+	for _, di := range r.devs {
+		qp := r.qps[di]
+		if qp == nil {
+			continue
+		}
+		for cid, req := range r.flight[di] {
+			if req == nil || req.deadline == 0 || now < req.deadline {
+				continue
+			}
+			if r.d.devs[di].Abort(qp, uint16(cid)) == ssd.AbortNotFound {
+				// The CQE is already posted and waiting in the CQ: the
+				// completion beat the timeout; reap it on the next sweep.
+				continue
+			}
+			progressed = true
+			r.flight[di][cid] = nil
+			r.slots[di].Release(1)
+			r.d.rec.Timeouts++
+			r.d.tr.Emit(trace.IOTimeout, r.d.devs[di].Name,
+				fmt.Sprintf("%s attempt %d", req.Op, req.attempts), int64(req.SLBA))
+			req.Status = nvme.StatusCmdTimeout
+			r.consecTO[di]++
+			if th := r.d.cfg.FailThreshold; th > 0 && r.consecTO[di] >= th && !r.d.failed[di] {
+				r.markDeviceFailed(p, di)
+			}
+			r.finishOrRetry(p, req)
+			r.admitPending(p)
+			if r.d.failed[di] {
+				break // markDeviceFailed already flushed this device
+			}
+		}
+	}
+	return progressed
+}
+
+// finishOrRetry routes a failed command: retryable statuses re-submit with
+// exponential backoff until MaxRetries; everything else is delivered.
+func (r *Reactor) finishOrRetry(p *sim.Proc, req *Request) {
+	cfg := r.d.cfg
+	if cfg.CmdTimeout > 0 && req.Status.Retryable() &&
+		req.attempts <= cfg.MaxRetries && !r.d.failed[req.Dev] {
+		backoff := cfg.RetryBackoff << (req.attempts - 1)
+		r.d.rec.Retries++
+		r.d.tr.Emit(trace.IORetry, r.d.devs[req.Dev].Name,
+			fmt.Sprintf("%s attempt %d in %s", req.Op, req.attempts+1, backoff), int64(req.SLBA))
+		r.retries = append(r.retries, retryEntry{req: req, at: p.Now() + backoff})
+		return
+	}
+	r.deliver(req)
+}
+
+// deliver hands a finished request to its completion consumer: Sink
+// callback, then OnDone, then the Done signal. Only Sink-consumed pooled
+// requests recycle here — a Done waiter reads r.Status after resuming, so
+// recycling under it would zero the status (the silent-drop bug this
+// replaces); such callers return the request via Driver.PutRequest.
+func (r *Reactor) deliver(req *Request) {
+	if req.Status == nvme.StatusSuccess {
+		if req.attempts > 1 {
+			r.d.rec.Recovered++
+		}
+	} else {
+		r.d.rec.FailedRequests++
+	}
+	if req.Sink != nil {
+		req.Sink.RequestDone(req)
+		if req.pooled {
+			r.d.putRequest(req)
+		}
+		return
+	}
+	if req.OnDone != nil {
+		req.OnDone()
+	}
+	if req.Done != nil {
+		req.Done.Fire()
+	}
+}
+
+// markDeviceFailed declares device di dead: every in-flight command is
+// aborted and failed, queued work for it fails fast, and r.submit rejects
+// all future commands with StatusDevFailed. The engine degrades instead of
+// wedging — RAID0 callers observe per-request errors and accurate stats.
+func (r *Reactor) markDeviceFailed(p *sim.Proc, di int) {
+	r.d.failed[di] = true
+	r.d.rec.DeviceFailures++
+	r.d.tr.Emit(trace.DeviceFail, r.d.devs[di].Name,
+		fmt.Sprintf("dead after %d consecutive timeouts", r.consecTO[di]), int64(di))
+	qp := r.qps[di]
+	for cid, req := range r.flight[di] {
+		if req == nil {
+			continue
+		}
+		if r.d.devs[di].Abort(qp, uint16(cid)) == ssd.AbortNotFound {
+			continue // CQE already posted; let the poll sweep reap it
+		}
+		r.flight[di][cid] = nil
+		r.slots[di].Release(1)
+		req.Status = nvme.StatusDevFailed
+		r.d.rec.FastFails++
+		r.deliver(req)
+	}
+	// Backoff queue and deferred submissions for this device fail fast.
+	kept := r.retries[:0]
+	for _, re := range r.retries {
+		if re.req.Dev == di {
+			re.req.Status = nvme.StatusDevFailed
+			r.d.rec.FastFails++
+			r.deliver(re.req)
+			continue
+		}
+		kept = append(kept, re)
+	}
+	r.retries = kept
+	keptPending := r.pending[:0]
+	for _, req := range r.pending {
+		if req.Dev == di {
+			req.Status = nvme.StatusDevFailed
+			r.d.rec.FastFails++
+			r.deliver(req)
+			continue
+		}
+		keptPending = append(keptPending, req)
+	}
+	r.pending = keptPending
+}
+
+// admitPending submits one deferred request if a slot freed up.
+func (r *Reactor) admitPending(p *sim.Proc) {
+	if len(r.pending) > 0 {
+		next := r.pending[0]
+		r.pending = r.pending[1:]
+		r.submit(p, next)
 	}
 }
 
@@ -393,19 +666,53 @@ func (r *Reactor) anythingPending() bool {
 	return false
 }
 
-// waitForWork blocks until a submission or completion signal fires. Poll
-// cycles burned while "waiting" are accounted at wake-up: a real poll-mode
-// reactor spins through this interval, so its instruction counters advance
-// even though the simulation sleeps.
+// waitForWork blocks until a submission or completion signal fires — or,
+// when recovery is armed, until the earliest pending command deadline or
+// retry backoff, whichever comes first. Without that bound an idle reactor
+// holding only a dropped command (no CQE will ever post) would sleep
+// forever and wedge the engine. Poll cycles burned while "waiting" are
+// accounted at wake-up: a real poll-mode reactor spins through this
+// interval, so its instruction counters advance even though the simulation
+// sleeps.
 func (r *Reactor) waitForWork(p *sim.Proc) {
 	start := p.Now()
 	sig := r.wakeSignal()
-	p.Wait(sig)
+	if next := r.nextWake(); next > 0 {
+		if next > start {
+			p.WaitTimeout(sig, next-start)
+		}
+		// A deadline already due falls through without sleeping; the next
+		// loop iteration expires it.
+	} else {
+		p.Wait(sig)
+	}
 	waited := p.Now() - start
 	if waited > 0 {
 		iters := float64(waited) / float64(r.d.cfg.PollIterCost*sim.Time(len(r.devs))+1)
 		r.Stat.Charge(iters*r.d.cfg.PollIterInstr*float64(len(r.devs)), r.d.cfg.IPC)
 	}
+}
+
+// nextWake reports the earliest armed command deadline or retry-backoff
+// instant this reactor owes attention to (0 when none).
+func (r *Reactor) nextWake() sim.Time {
+	if r.d.cfg.CmdTimeout == 0 {
+		return 0
+	}
+	var t sim.Time
+	for _, di := range r.devs {
+		for _, req := range r.flight[di] {
+			if req != nil && req.deadline > 0 && (t == 0 || req.deadline < t) {
+				t = req.deadline
+			}
+		}
+	}
+	for _, re := range r.retries {
+		if t == 0 || re.at < t {
+			t = re.at
+		}
+	}
+	return t
 }
 
 // wakeSignal returns a signal that fires on the next submission or
@@ -446,6 +753,14 @@ func (r *Reactor) cqWatch(cq *nvme.CQ, sig *sim.Signal) {
 func (r *Reactor) submit(p *sim.Proc, req *Request) {
 	cfg := r.d.cfg
 	di := req.Dev
+	// A dead device answers nothing: fail fast instead of burning a
+	// timeout per command.
+	if r.d.failed[di] {
+		req.Status = nvme.StatusDevFailed
+		r.d.rec.FastFails++
+		r.deliver(req)
+		return
+	}
 	// Respect the in-flight bound without blocking the reactor: requeue
 	// if the pair is full.
 	if !r.slots[di].TryAcquire(1) {
@@ -457,6 +772,10 @@ func (r *Reactor) submit(p *sim.Proc, req *Request) {
 
 	cid := r.allocCID(di)
 	req.cid = cid
+	req.attempts++
+	if cfg.CmdTimeout > 0 {
+		req.deadline = p.Now() + cfg.CmdTimeout
+	}
 	r.flight[di][cid] = req
 	sqe := nvme.SQE{
 		Opcode: req.Op, CID: cid, NSID: 1,
@@ -474,9 +793,9 @@ func (r *Reactor) submit(p *sim.Proc, req *Request) {
 	r.d.devs[di].Ring(qp)
 }
 
-// complete reaps one CQE (reactor CPU time) and delivers the completion:
-// Sink callback, then OnDone, then the Done signal; pooled requests recycle
-// immediately after.
+// complete reaps one CQE (reactor CPU time) and routes it: retryable
+// failures re-submit (recovery armed), everything else is delivered via
+// Sink callback, then OnDone, then the Done signal.
 func (r *Reactor) complete(p *sim.Proc, di int, cqe nvme.CQE) {
 	cfg := r.d.cfg
 	req := r.flight[di][cqe.CID]
@@ -493,24 +812,14 @@ func (r *Reactor) complete(p *sim.Proc, di int, cqe nvme.CQE) {
 	req.Status = cqe.Status
 	r.Stat.Done(1)
 	r.slots[di].Release(1)
-	if req.Sink != nil {
-		req.Sink.RequestDone(req)
-	}
-	if req.OnDone != nil {
-		req.OnDone()
-	}
-	if req.Done != nil {
-		req.Done.Fire()
-	}
-	if req.pooled {
-		r.d.putRequest(req)
+	r.consecTO[di] = 0
+	if cqe.Status != nvme.StatusSuccess {
+		r.finishOrRetry(p, req)
+	} else {
+		r.deliver(req)
 	}
 	// Admit a deferred request if any.
-	if len(r.pending) > 0 {
-		next := r.pending[0]
-		r.pending = r.pending[1:]
-		r.submit(p, next)
-	}
+	r.admitPending(p)
 }
 
 func (r *Reactor) allocCID(di int) uint16 {

@@ -48,6 +48,12 @@ type FTL struct {
 	freeList  []int // erased, reusable blocks
 	nextFresh int   // count of never-allocated blocks remaining
 
+	// progFail, when set, is consulted once per NAND page program; true
+	// means the program failed and the page is burned (write pointer
+	// advances past it, the data lands on the next page), as a real
+	// controller skips bad pages. Installed by fault injection.
+	progFail func() bool
+
 	stats FTLStats
 }
 
@@ -111,8 +117,9 @@ type FTLStats struct {
 	GCMigrations  int64 // valid pages copied by GC
 	Erases        int64
 	GCRuns        int64
-	MappedPages   int64 // currently valid logical pages
-	PartialWrites int64 // sub-page host writes (read-modify-write)
+	MappedPages     int64 // currently valid logical pages
+	PartialWrites   int64 // sub-page host writes (read-modify-write)
+	ProgramFailures int64 // injected NAND program failures (pages burned)
 }
 
 // WriteAmplification reports NAND/host page programs (1.0 when no GC has
@@ -187,6 +194,9 @@ func (f *FTL) Stats() FTLStats {
 	return s
 }
 
+// SetProgramFault installs a per-program failure source (nil disables).
+func (f *FTL) SetProgramFault(fn func() bool) { f.progFail = fn }
+
 // takeBlock hands out an erased block, preferring recycled ones. Fresh
 // blocks extend the reverse map in lockstep.
 func (f *FTL) takeBlock() int {
@@ -248,6 +258,24 @@ func (f *FTL) allocPage() int64 {
 	return ppn
 }
 
+// programPage allocates and programs one NAND page, retrying past injected
+// program failures. A failed page stays unmapped (rmap -1, valid count
+// untouched) with the write pointer already past it, so invariants hold and
+// the data lands on the next page. Every attempt programs NAND.
+func (f *FTL) programPage() (ppn, programs int64) {
+	for {
+		ppn = f.allocPage()
+		f.stats.NANDPages++
+		programs++
+		if f.progFail == nil || !f.progFail() {
+			return ppn, programs
+		}
+		blk := int(ppn) / f.cfg.PagesPerBlock
+		f.blocks[blk].valid--
+		f.stats.ProgramFailures++
+	}
+}
+
 // writePage maps one logical page to a fresh NAND page, running GC when
 // free blocks fall to the watermark.
 func (f *FTL) writePage(lpn int64) (programs int64) {
@@ -259,12 +287,10 @@ func (f *FTL) writePage(lpn int64) (programs int64) {
 	} else {
 		f.mapped++
 	}
-	ppn := f.allocPage()
+	ppn, programs := f.programPage()
 	f.mapSet(lpn, ppn)
 	f.rmap[ppn] = lpn
 	f.stats.HostPages++
-	f.stats.NANDPages++
-	programs = 1
 
 	if f.freeBlocksAvail() <= f.cfg.GCWatermark {
 		programs += f.collect()
@@ -320,15 +346,15 @@ func (f *FTL) collect() (migrated int64) {
 	return migrated
 }
 
-// migratePage relocates one valid page during GC.
+// migratePage relocates one valid page during GC. The copy programs NAND
+// (and may itself hit injected program failures) but is not a host write.
 func (f *FTL) migratePage(lpn, oldPPN int64) {
 	blk := int(oldPPN) / f.cfg.PagesPerBlock
 	f.blocks[blk].valid--
 	f.rmap[oldPPN] = -1
-	ppn := f.allocPage()
+	ppn, _ := f.programPage()
 	f.mapSet(lpn, ppn)
 	f.rmap[ppn] = lpn
-	f.stats.NANDPages++ // a GC copy programs NAND but is not a host write
 }
 
 // CheckInvariants validates internal consistency (used by tests): every

@@ -13,10 +13,12 @@ package ssd
 import (
 	"fmt"
 
+	"camsim/internal/fault"
 	"camsim/internal/mem"
 	"camsim/internal/nvme"
 	"camsim/internal/pcie"
 	"camsim/internal/sim"
+	"camsim/internal/trace"
 )
 
 // Config calibrates one SSD.
@@ -124,6 +126,13 @@ type Device struct {
 	anyDoorbell *sim.Signal
 	running     bool
 
+	// inj is the device's fault-decision stream; nil means every command
+	// succeeds (every call on it is nil-safe, so the hot path never
+	// branches on "faults enabled").
+	inj *fault.Injector
+	// tr records injected faults; nil-safe like everywhere else.
+	tr *trace.Tracer
+
 	// frontBusyUntil is the controller frontend serializer: one command
 	// at a time occupies it for its service time, capping IOPS and
 	// internal bandwidth.
@@ -142,6 +151,13 @@ type Device struct {
 	// cmdFree recycles ioCmd execution states; one command allocates at
 	// most once per high-water mark of concurrent commands.
 	cmdFree []*ioCmd
+
+	// live tracks the in-flight ioCmd per [queue pair][CID] so Abort can
+	// cancel a specific command; grows alongside submitAt.
+	live [][]*ioCmd
+	// dropped marks CIDs the controller silently lost (injected drop or
+	// dead device) so Abort can tell "never coming" from "still running".
+	dropped [][]bool
 }
 
 // New creates a device attached to the fabric and address space.
@@ -169,6 +185,22 @@ func New(e *sim.Engine, name string, cfg Config, fab *pcie.Fabric, space *mem.Sp
 
 // FTL exposes the device's translation layer (stats, invariants).
 func (d *Device) FTL() *FTL { return d.ftl }
+
+// SetFaultInjector installs a fault-decision stream (nil disables). When
+// the plan injects NAND program failures, the FTL draws from the same
+// stream. Call before Start.
+func (d *Device) SetFaultInjector(in *fault.Injector) {
+	d.inj = in
+	if p := in.Plan(); p != nil && p.ProgramFailRate > 0 {
+		d.ftl.SetProgramFault(in.ProgramFail)
+	}
+}
+
+// Injector reports the installed fault injector (nil when faults are off).
+func (d *Device) Injector() *fault.Injector { return d.inj }
+
+// SetTracer attaches a tracer for injected-fault events (nil disables).
+func (d *Device) SetTracer(tr *trace.Tracer) { d.tr = tr }
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
@@ -198,6 +230,8 @@ func (d *Device) addQP(qp *nvme.QueuePair, depth uint32) {
 		at[i] = -1
 	}
 	d.submitAt = append(d.submitAt, at)
+	d.live = append(d.live, make([]*ioCmd, depth))
+	d.dropped = append(d.dropped, make([]bool, depth))
 }
 
 // Ring publishes new submissions on qp to the controller. Hosts call this
@@ -290,6 +324,14 @@ type ioCmd struct {
 	buf   []byte
 	n     int
 	phase uint8
+	// injStatus is a pre-drawn fault verdict: when non-success the command
+	// consumes its normal frontend and media time but moves no data and
+	// completes with this status.
+	injStatus nvme.Status
+	// aborted marks a command the host gave up on (Device.Abort): it still
+	// runs its pipeline out but its CQE is suppressed, so the host can
+	// safely recycle the CID for a retry.
+	aborted bool
 }
 
 // ioCmd phases.
@@ -304,6 +346,20 @@ func (c *ioCmd) Run() {
 	d := c.d
 	switch c.phase {
 	case cmdMediaDone:
+		if c.injStatus != nvme.StatusSuccess {
+			// Injected media error: the command occupied the frontend and
+			// the media pipeline like any other, but moves no data — no
+			// DMA phase, no store access.
+			switch c.sqe.Opcode {
+			case nvme.OpRead:
+				d.stats.ReadCmds++
+			case nvme.OpWrite:
+				d.stats.WriteCmds++
+			}
+			d.stats.ErrCmds++
+			d.finish(c, c.injStatus)
+			return
+		}
 		// DMA phase: move the bytes across the fabric.
 		dmaDone := d.fab.ReserveDMA(int64(c.n))
 		c.phase = cmdDMADone
@@ -346,12 +402,24 @@ func (d *Device) newCmd(qi int, qp *nvme.QueuePair, sqe nvme.SQE) *ioCmd {
 		c = &ioCmd{d: d}
 	}
 	c.qi, c.qp, c.sqe = qi, qp, sqe
+	c.injStatus, c.aborted = nvme.StatusSuccess, false
 	return c
 }
 
-// finish completes a pooled command and recycles its state.
+// finish completes a pooled command and recycles its state. An aborted
+// command posts no CQE: the host already synthesized a timeout for it and
+// may have reused the CID, so the live slot is released only if it still
+// points at this command.
 func (d *Device) finish(c *ioCmd, status nvme.Status) {
-	d.complete(c.qi, c.qp, c.sqe, status)
+	if c.qi < len(d.live) && int(c.sqe.CID) < len(d.live[c.qi]) &&
+		d.live[c.qi][c.sqe.CID] == c {
+		d.live[c.qi][c.sqe.CID] = nil
+	}
+	if c.aborted {
+		d.stats.currInFlight--
+	} else {
+		d.complete(c.qi, c.qp, c.sqe, status)
+	}
 	c.qp, c.buf = nil, nil
 	d.cmdFree = append(d.cmdFree, c)
 }
@@ -398,6 +466,20 @@ func (d *Device) execute(qi int, qp *nvme.QueuePair, sqe nvme.SQE) {
 	}
 	_ = kind // callers charge DRAM traffic on their own staging paths
 
+	// Fault-injection verdict: structurally valid commands consume exactly
+	// one draw from the device's private stream (nil injector → None).
+	dec := d.inj.Decide(d.e.Now(), sqe.Opcode)
+	if dec.Kind == fault.Drop {
+		// The controller loses the command: no CQE, ever. Clean up the
+		// bookkeeping so the slot is idle and mark the CID dropped so a
+		// host Abort learns nothing is coming.
+		d.tr.Emit(trace.FaultInject, d.Name, "drop "+sqe.Opcode.String(), int64(sqe.CID))
+		d.stats.currInFlight--
+		d.submitAt[qi][sqe.CID] = -1
+		d.dropped[qi][sqe.CID] = true
+		return
+	}
+
 	// Frontend occupation caps IOPS / internal bandwidth.
 	start := d.e.Now()
 	if d.frontBusyUntil > start {
@@ -408,8 +490,9 @@ func (d *Device) execute(qi int, qp *nvme.QueuePair, sqe nvme.SQE) {
 	// Writes walk the flash translation layer: page mapping, allocation,
 	// and (when free blocks run low) garbage collection. By default GC
 	// only accounts; with ChargeGC its page migrations occupy the
-	// frontend like any other NAND work.
-	if sqe.Opcode == nvme.OpWrite {
+	// frontend like any other NAND work. A write failing with an injected
+	// media error programs nothing.
+	if sqe.Opcode == nvme.OpWrite && dec.Kind != fault.Err {
 		programs := d.ftl.HostWrite(int64(sqe.SLBA)*nvme.LBASize, int64(n))
 		hostPages := (int64(n) + d.ftl.cfg.PageBytes - 1) / d.ftl.cfg.PageBytes
 		if d.cfg.ChargeGC && programs > hostPages {
@@ -419,15 +502,27 @@ func (d *Device) execute(qi int, qp *nvme.QueuePair, sqe nvme.SQE) {
 	d.frontBusyUntil = serviceDone
 
 	// Media latency pipeline (unbounded overlap).
-	mediaDone := serviceDone + d.mediaLatency(sqe.Opcode)
+	lat := d.mediaLatency(sqe.Opcode)
+	switch dec.Kind {
+	case fault.Slow:
+		d.tr.Emit(trace.FaultInject, d.Name, "slow "+sqe.Opcode.String(), int64(sqe.CID))
+		lat = sim.Time(float64(lat) * dec.SlowFactor)
+	case fault.Err:
+		d.tr.Emit(trace.FaultInject, d.Name, "err "+sqe.Opcode.String(), int64(sqe.CID))
+	}
+	mediaDone := serviceDone + lat
 
 	c := d.newCmd(qi, qp, sqe)
 	c.buf, c.n, c.phase = buf, n, cmdMediaDone
+	if dec.Kind == fault.Err {
+		c.injStatus = nvme.StatusMediaError
+	}
+	d.live[qi][sqe.CID] = c
 	d.e.ScheduleCallback(mediaDone-d.e.Now(), c)
 }
 
 // noteSubmit records a command's submission instant, growing the CID slot
-// slice if the host uses identifiers beyond the queue depth.
+// slices if the host uses identifiers beyond the queue depth.
 func (d *Device) noteSubmit(qi int, cid uint16) {
 	at := d.submitAt[qi]
 	if int(cid) >= len(at) {
@@ -438,8 +533,61 @@ func (d *Device) noteSubmit(qi int, cid uint16) {
 		}
 		at = grown
 		d.submitAt[qi] = at
+		live := make([]*ioCmd, int(cid)+1)
+		copy(live, d.live[qi])
+		d.live[qi] = live
+		dropped := make([]bool, int(cid)+1)
+		copy(dropped, d.dropped[qi])
+		d.dropped[qi] = dropped
 	}
 	at[cid] = d.e.Now()
+	d.dropped[qi][cid] = false
+}
+
+// AbortResult reports what Device.Abort found for a CID.
+type AbortResult uint8
+
+// Abort outcomes.
+const (
+	// AbortNotFound: no such command is pending — its CQE was already
+	// posted (the host should drain the CQ before reusing the CID) or the
+	// CID was never submitted.
+	AbortNotFound AbortResult = iota
+	// AbortInFlight: the command was still executing; its CQE is now
+	// suppressed and the CID is immediately reusable.
+	AbortInFlight
+	// AbortDropped: the controller had silently lost the command; nothing
+	// was pending and the CID is immediately reusable.
+	AbortDropped
+)
+
+// Abort cancels one outstanding command on qp, the device half of host
+// timeout recovery (NVMe abort, simplified: always wins unless the CQE is
+// already posted). After AbortInFlight or AbortDropped the host may reuse
+// the CID at once; the aborted command's eventual pipeline exit posts no
+// CQE.
+func (d *Device) Abort(qp *nvme.QueuePair, cid uint16) AbortResult {
+	qi := -1
+	for i, q := range d.qps {
+		if q == qp {
+			qi = i
+			break
+		}
+	}
+	if qi < 0 || int(cid) >= len(d.live[qi]) {
+		return AbortNotFound
+	}
+	if d.dropped[qi][cid] {
+		d.dropped[qi][cid] = false
+		return AbortDropped
+	}
+	if c := d.live[qi][cid]; c != nil {
+		c.aborted = true
+		d.live[qi][cid] = nil
+		d.submitAt[qi][cid] = -1
+		return AbortInFlight
+	}
+	return AbortNotFound
 }
 
 // complete posts the CQE and records latency. The bounds guard covers a

@@ -26,6 +26,10 @@ const (
 	IOSubmit
 	IOComplete
 	CoreAdjust
+	FaultInject // injected device fault (media error, drop, latency spike)
+	IOTimeout   // host deadline expired; command aborted
+	IORetry     // host re-submitted a failed command
+	DeviceFail  // host declared a device dead after repeated timeouts
 	Custom
 )
 
@@ -47,6 +51,14 @@ func (k Kind) String() string {
 		return "io-complete"
 	case CoreAdjust:
 		return "core-adjust"
+	case FaultInject:
+		return "fault-inject"
+	case IOTimeout:
+		return "io-timeout"
+	case IORetry:
+		return "io-retry"
+	case DeviceFail:
+		return "device-fail"
 	case Custom:
 		return "custom"
 	default:
