@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race vuln check check-fast bench bench-smoke bench-diff cover cover-smoke
+.PHONY: all build test vet lint lint-strict lint-sarif race vuln check check-fast bench bench-smoke bench-diff cover cover-smoke
 
 all: build
 
@@ -17,9 +17,22 @@ vet:
 	$(GO) vet ./...
 
 # lint runs camlint, the repo's simulation-invariant analyzers
-# (internal/lint): nodeterminism, errchecksim, eventtime, mutexheld.
+# (internal/lint): nodeterminism, errchecksim, eventtime, mutexheld,
+# poollife, lockorder, dettaint, hotalloc, unusedallow. Findings recorded
+# in lint_baseline.json are accepted; only new ones fail.
 lint:
 	$(GO) run ./cmd/camlint ./...
+
+# lint-strict ignores the baseline: every finding (accepted or not) is
+# printed and fails the target. Use it to review or burn down the baseline.
+lint-strict:
+	$(GO) run ./cmd/camlint -strict ./...
+
+# lint-sarif emits the full (baseline-ignoring) findings as SARIF for code
+# scanning UIs; CI uploads camlint.sarif as a workflow artifact.
+lint-sarif:
+	$(GO) run ./cmd/camlint -strict -format sarif ./... > camlint.sarif || true
+	@echo "lint-sarif: wrote camlint.sarif"
 
 race:
 	$(GO) test -race ./...

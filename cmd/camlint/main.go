@@ -1,13 +1,21 @@
 // Command camlint runs the repository's simulation-invariant analyzers
-// (internal/lint) over Go packages, multichecker-style.
+// (internal/lint) over Go packages, multichecker-style. Since v2 all root
+// packages are analyzed as one program, so interprocedural facts
+// (//camlint:pool lifecycles, lock order, determinism taint, hot-path
+// reachability) cross package boundaries.
 //
 // Usage:
 //
-//	camlint [-list] [-only name,name] [packages...]
+//	camlint [-list] [-only name,name] [-format text|json|sarif]
+//	        [-baseline file] [-update-baseline] [-strict] [packages...]
 //
 // With no package patterns it checks ./... relative to the current
-// directory. The exit status is 1 if any diagnostic survives
-// //camlint:allow filtering, 2 on usage or load errors.
+// directory. Findings recorded in the baseline file (lint_baseline.json by
+// default) are suppressed, so the gate fails only on new findings;
+// -update-baseline rewrites the file to accept the current findings, and
+// -strict ignores it for deep sweeps. The exit status is 1 if any
+// non-baselined diagnostic survives //camlint:allow filtering, 2 on usage
+// or load errors.
 package main
 
 import (
@@ -20,9 +28,17 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		list = flag.Bool("list", false, "list analyzers and exit")
-		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		only     = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		format   = flag.String("format", "text", "output format: text, json, or sarif")
+		baseline = flag.String("baseline", "lint_baseline.json", "baseline file of accepted findings (missing file = empty baseline)")
+		update   = flag.Bool("update-baseline", false, "rewrite the baseline file to accept all current findings and exit")
+		strict   = flag.Bool("strict", false, "ignore the baseline: report every finding")
 	)
 	flag.Parse()
 
@@ -31,7 +47,7 @@ func main() {
 		for _, a := range analyzers {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 	if *only != "" {
 		analyzers = analyzers[:0]
@@ -40,31 +56,70 @@ func main() {
 			a := lint.ByName(name)
 			if a == nil {
 				fmt.Fprintf(os.Stderr, "camlint: unknown analyzer %q (see -list)\n", name)
-				os.Exit(2)
+				return 2
 			}
 			analyzers = append(analyzers, a)
 		}
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "camlint: unknown format %q (want text, json, or sarif)\n", *format)
+		return 2
 	}
 
 	pkgs, err := lint.Load(".", flag.Args()...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "camlint: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 
-	failed := false
-	for _, pkg := range pkgs {
-		diags, err := lint.Run(pkg, analyzers)
+	diags, err := lint.NewProgram(pkgs).Run(analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "camlint: %v\n", err)
+		return 2
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		wd = "."
+	}
+	rel := lint.RelTo(wd)
+
+	if *update {
+		if err := lint.NewBaseline(diags, rel).Write(*baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "camlint: writing baseline: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "camlint: %s now accepts %d finding(s)\n", *baseline, len(diags))
+		return 0
+	}
+
+	if !*strict {
+		base, err := lint.LoadBaseline(*baseline)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "camlint: %s: %v\n", pkg.Path, err)
-			os.Exit(2)
+			fmt.Fprintf(os.Stderr, "camlint: %v\n", err)
+			return 2
 		}
-		for _, d := range diags {
-			failed = true
-			fmt.Printf("%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+		diags = base.Filter(diags, rel)
+	}
+
+	switch *format {
+	case "json":
+		if err := lint.WriteJSON(os.Stdout, diags, rel); err != nil {
+			fmt.Fprintf(os.Stderr, "camlint: %v\n", err)
+			return 2
 		}
+	case "sarif":
+		if err := lint.WriteSARIF(os.Stdout, diags, analyzers, rel); err != nil {
+			fmt.Fprintf(os.Stderr, "camlint: %v\n", err)
+			return 2
+		}
+	default:
+		lint.WriteText(os.Stdout, diags, rel)
 	}
-	if failed {
-		os.Exit(1)
+	if len(diags) > 0 {
+		return 1
 	}
+	return 0
 }

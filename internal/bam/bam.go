@@ -108,6 +108,8 @@ type flightEntry struct {
 // when the last command completes — one wakeup per batch instead of one
 // signal, one map entry, and one wakeup per block. errors accumulates the
 // failed-block count the batch reports.
+//
+//camlint:pool
 type fanin struct {
 	remaining int
 	errors    int
@@ -141,6 +143,8 @@ func (s *System) SetTracer(tr *trace.Tracer) {
 func (s *System) Stats() Stats { return s.stats }
 
 // putFanin recycles a finished counter.
+//
+//camlint:pool release
 func (s *System) putFanin(f *fanin) { s.faninFree = append(s.faninFree, f) }
 
 // faninRef adjusts a fan-in count, firing completion at zero.
@@ -395,6 +399,8 @@ func (s *System) allocCID(dev int) uint16 {
 // failed commands' blocks into the batch error tally, and — when CmdTimeout
 // is armed — abandons commands whose deadline passed so a lost command
 // fails the batch instead of hanging it.
+//
+//camlint:hotpath
 func (s *System) completionLoop(p *sim.Proc, dev int) {
 	qp := s.qps[dev]
 	for {

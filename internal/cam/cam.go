@@ -450,6 +450,8 @@ func (m *Manager) publish(p *sim.Proc, op Op, blocks []uint64, buf *gpu.Buffer, 
 // pollingThread is the persistent CPU thread of §III-B: it discovers
 // published batches, decodes the regions, fans requests out to the
 // reactors, and reports completions through region 4.
+//
+//camlint:hotpath
 func (m *Manager) pollingThread(p *sim.Proc) {
 	m.lastChange = p.Now()
 	for {
@@ -548,6 +550,8 @@ func (m *Manager) runLimit(blockBytes int64) int {
 // RequestDone implements spdk.Completion: fan one command completion into
 // the batch counter (reactor context). A failed coalesced command counts
 // every block it carried as failed.
+//
+//camlint:hotpath
 func (m *Manager) RequestDone(r *spdk.Request) {
 	b := r.Tag.(*Batch)
 	if r.Status != nvme.StatusSuccess {

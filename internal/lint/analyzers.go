@@ -1,12 +1,19 @@
 package lint
 
-// All returns every analyzer in the camlint suite, in reporting order.
+// All returns every analyzer in the camlint suite, in execution order.
+// UnusedAllow must stay last: it audits the suppression marks every other
+// analyzer leaves behind.
 func All() []*Analyzer {
 	return []*Analyzer{
 		NoDeterminism,
 		ErrCheckSim,
 		EventTime,
 		MutexHeld,
+		PoolLife,
+		LockOrder,
+		DetTaint,
+		HotAlloc,
+		UnusedAllow,
 	}
 }
 

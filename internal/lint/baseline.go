@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline is the committed suppression file (lint_baseline.json): the
+// findings the repo has accepted, so make check fails only on *new* ones.
+// Entries match on (analyzer, file, message) with multiplicity; the line
+// number is recorded for humans but deliberately ignored during matching so
+// unrelated edits that shift code do not invalidate the baseline.
+type Baseline struct {
+	Comment  string          `json:"comment,omitempty"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry is one accepted finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"` // informational only, not matched
+	Message  string `json:"message"`
+	Count    int    `json:"count,omitempty"` // occurrences; 0 means 1
+}
+
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty baseline,
+// not an error, so fresh checkouts and -strict runs share one code path.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &b, nil
+}
+
+// NewBaseline builds a baseline accepting exactly diags, with filenames
+// rewritten through rel and duplicates folded into counts.
+func NewBaseline(diags []Diagnostic, rel func(string) string) *Baseline {
+	b := &Baseline{
+		Comment: "Accepted camlint findings. Regenerate with `go run ./cmd/camlint -update-baseline ./...`; " +
+			"entries match on (analyzer, file, message), line is informational.",
+	}
+	index := map[string]int{}
+	for _, d := range diags {
+		file := rel(d.Pos.Filename)
+		key := baselineKey(d.Analyzer, file, d.Message)
+		if i, ok := index[key]; ok {
+			b.Findings[i].Count++
+			continue
+		}
+		index[key] = len(b.Findings)
+		b.Findings = append(b.Findings, BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     file,
+			Line:     d.Pos.Line,
+			Message:  d.Message,
+			Count:    1,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		fi, fj := b.Findings[i], b.Findings[j]
+		if fi.File != fj.File {
+			return fi.File < fj.File
+		}
+		if fi.Line != fj.Line {
+			return fi.Line < fj.Line
+		}
+		if fi.Analyzer != fj.Analyzer {
+			return fi.Analyzer < fj.Analyzer
+		}
+		return fi.Message < fj.Message
+	})
+	return b
+}
+
+// Write stores the baseline as stable, diff-friendly JSON.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter returns the diagnostics not covered by the baseline. Each entry
+// absorbs up to Count (default 1) matching findings; the rest are new.
+func (b *Baseline) Filter(diags []Diagnostic, rel func(string) string) []Diagnostic {
+	budget := map[string]int{}
+	for _, e := range b.Findings {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[baselineKey(e.Analyzer, e.File, e.Message)] += n
+	}
+	var fresh []Diagnostic
+	for _, d := range diags {
+		key := baselineKey(d.Analyzer, rel(d.Pos.Filename), d.Message)
+		if budget[key] > 0 {
+			budget[key]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh
+}
+
+// RelTo returns a filename rewriter that makes paths relative to dir (the
+// repo root) with forward slashes, leaving paths outside dir untouched.
+func RelTo(dir string) func(string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		abs = dir
+	}
+	return func(name string) string {
+		r, err := filepath.Rel(abs, name)
+		if err != nil || r == name || filepath.IsAbs(r) || len(r) >= 2 && r[:2] == ".." {
+			return filepath.ToSlash(name)
+		}
+		return filepath.ToSlash(r)
+	}
+}

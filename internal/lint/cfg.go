@@ -1,0 +1,348 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// CFG is a control-flow graph over one function body, in the style of
+// golang.org/x/tools/go/cfg: blocks hold statements and the *header
+// expressions* of control statements, never whole compound statements, so
+// walking a block's nodes in order visits each expression exactly once.
+//
+// Node kinds that can appear in Block.Nodes:
+//
+//   - simple statements (assign, expr, send, inc/dec, decl, go, return)
+//   - bare expressions: if/for conditions, switch tags, case expressions
+//   - *ast.RangeStmt: stands for the loop header only. Analyzers must treat
+//     its X as a use and its Key/Value as fresh definitions, and must NOT
+//     descend into its Body (the body has its own blocks).
+//   - *ast.CallExpr nodes appended to Exit: the function's deferred calls,
+//     replayed in reverse declaration order at function exit.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// Block is a basic block: nodes execute in order, then control transfers to
+// one of Succs (empty Succs means the function returns or the block is the
+// exit).
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// NewCFG builds the control-flow graph for a function body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmt(body)
+	b.jump(b.cfg.Exit)
+	b.cfg.Exit.Nodes = append(b.cfg.Exit.Nodes, b.deferred...)
+	return b.cfg
+}
+
+// WalkNode visits n's execution-order subexpressions, skipping nested
+// statement bodies that live in other blocks. It is the walker analyzers
+// must use on Block.Nodes instead of ast.Inspect, which would descend into
+// a range statement's body.
+func WalkNode(n ast.Node, f func(ast.Node) bool) {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		ast.Inspect(r.X, f)
+		return
+	}
+	ast.Inspect(n, f)
+}
+
+type cfgBuilder struct {
+	cfg      *CFG
+	cur      *Block // nil while the current point is unreachable
+	deferred []ast.Node
+	targets  *targets
+}
+
+// targets is the stack of enclosing breakable/continuable statements.
+type targets struct {
+	tail    *targets
+	label   string
+	breakTo *Block
+	contTo  *Block // nil for switch/select
+	fallTo  *Block // next case body, for fallthrough
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// add appends a node to the current block, starting a fresh unreachable
+// block if control cannot reach this point (dead code is still analyzed,
+// with an empty entry state).
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// jump adds an edge from the current block to dst and ends the current
+// block.
+func (b *cfgBuilder) jump(dst *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, dst)
+	}
+	b.cur = nil
+}
+
+// edge adds an edge without ending the current block.
+func (b *cfgBuilder) edge(dst *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, dst)
+	}
+}
+
+// start makes dst the current block.
+func (b *cfgBuilder) start(dst *Block) { b.cur = dst }
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	label := ""
+	for {
+		ls, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			break
+		}
+		label = ls.Label.Name
+		s = ls.Stmt
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.ExprStmt, *ast.SendStmt, *ast.IncDecStmt, *ast.AssignStmt,
+		*ast.DeclStmt, *ast.GoStmt, *ast.EmptyStmt:
+		b.add(s)
+	case *ast.DeferStmt:
+		// Arguments are evaluated now; the call itself runs at exit.
+		b.add(s.Call.Fun)
+		for _, arg := range s.Call.Args {
+			b.add(arg)
+		}
+		b.deferred = append([]ast.Node{s.Call}, b.deferred...)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		b.switchStmt(s, label)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, label)
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+	case nil:
+	default:
+		panic(fmt.Sprintf("lint: unexpected statement %T in CFG builder", s))
+	}
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		for t := b.targets; t != nil; t = t.tail {
+			if label == "" || t.label == label {
+				b.jump(t.breakTo)
+				return
+			}
+		}
+	case "continue":
+		for t := b.targets; t != nil; t = t.tail {
+			if t.contTo != nil && (label == "" || t.label == label) {
+				b.jump(t.contTo)
+				return
+			}
+		}
+	case "fallthrough":
+		for t := b.targets; t != nil; t = t.tail {
+			if t.fallTo != nil {
+				b.jump(t.fallTo)
+				return
+			}
+		}
+	}
+	// goto, or a branch whose target we do not model: conservatively leave
+	// for the exit so downstream state unions stay sound.
+	b.jump(b.cfg.Exit)
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	b.add(s.Init)
+	b.add(s.Cond)
+	done := b.newBlock()
+	then := b.newBlock()
+	b.edge(then)
+	if s.Else != nil {
+		els := b.newBlock()
+		b.jump(els)
+		b.start(els)
+		b.stmt(s.Else)
+		b.jump(done)
+	} else {
+		b.jump(done)
+	}
+	b.start(then)
+	b.stmt(s.Body)
+	b.jump(done)
+	b.start(done)
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	b.add(s.Init)
+	head := b.newBlock()
+	body := b.newBlock()
+	post := b.newBlock()
+	done := b.newBlock()
+	b.jump(head)
+	b.start(head)
+	b.add(s.Cond)
+	b.edge(body)
+	b.jump(done)
+	b.start(body)
+	b.targets = &targets{tail: b.targets, label: label, breakTo: done, contTo: post}
+	b.stmt(s.Body)
+	b.targets = b.targets.tail
+	b.jump(post)
+	b.start(post)
+	b.add(s.Post)
+	b.jump(head)
+	b.start(done)
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock()
+	body := b.newBlock()
+	done := b.newBlock()
+	b.jump(head)
+	b.start(head)
+	b.add(s) // header node: X is used, Key/Value defined per iteration
+	b.edge(body)
+	b.jump(done)
+	b.start(body)
+	b.targets = &targets{tail: b.targets, label: label, breakTo: done, contTo: head}
+	b.stmt(s.Body)
+	b.targets = b.targets.tail
+	b.jump(head)
+	b.start(done)
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt, label string) {
+	b.add(s.Init)
+	b.add(s.Tag)
+	b.clauses(s.Body.List, label, func(cc ast.Stmt, blk *Block) {
+		for _, e := range cc.(*ast.CaseClause).List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+	}, func(cc ast.Stmt) bool {
+		return len(cc.(*ast.CaseClause).List) == 0
+	}, func(cc ast.Stmt) []ast.Stmt {
+		return cc.(*ast.CaseClause).Body
+	})
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	b.add(s.Init)
+	b.add(s.Assign)
+	b.clauses(s.Body.List, label, func(cc ast.Stmt, blk *Block) {},
+		func(cc ast.Stmt) bool {
+			return len(cc.(*ast.CaseClause).List) == 0
+		}, func(cc ast.Stmt) []ast.Stmt {
+			return cc.(*ast.CaseClause).Body
+		})
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	b.clauses(s.Body.List, label, func(cc ast.Stmt, blk *Block) {
+		if comm := cc.(*ast.CommClause).Comm; comm != nil {
+			blk.Nodes = append(blk.Nodes, comm)
+		}
+	}, func(cc ast.Stmt) bool {
+		return cc.(*ast.CommClause).Comm == nil
+	}, func(cc ast.Stmt) []ast.Stmt {
+		return cc.(*ast.CommClause).Body
+	})
+}
+
+// clauses builds the shared clause structure of switch/type-switch/select:
+// the header block branches to every clause (and to done when no default
+// clause exists); each clause body ends at done; fallthrough chains to the
+// next clause's body.
+func (b *cfgBuilder) clauses(list []ast.Stmt, label string,
+	header func(ast.Stmt, *Block), isDefault func(ast.Stmt) bool, bodyOf func(ast.Stmt) []ast.Stmt) {
+	done := b.newBlock()
+	blocks := make([]*Block, len(list))
+	bodies := make([]*Block, len(list))
+	for i := range list {
+		blocks[i] = b.newBlock()
+		bodies[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, cc := range list {
+		b.edge(blocks[i])
+		if isDefault(cc) {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(done)
+	}
+	b.cur = nil
+	for i, cc := range list {
+		b.start(blocks[i])
+		header(cc, blocks[i])
+		b.jump(bodies[i])
+		b.start(bodies[i])
+		var fallTo *Block
+		if i+1 < len(list) {
+			fallTo = bodies[i+1]
+		}
+		b.targets = &targets{tail: b.targets, label: label, breakTo: done, fallTo: fallTo}
+		for _, st := range bodyOf(cc) {
+			b.stmt(st)
+		}
+		b.targets = b.targets.tail
+		b.jump(done)
+	}
+	b.start(done)
+}
+
+// String renders the CFG for debugging and tests.
+func (g *CFG) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "block %d:", blk.Index)
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&sb, " ->%d", s.Index)
+		}
+		fmt.Fprintf(&sb, " (%d nodes)\n", len(blk.Nodes))
+	}
+	return sb.String()
+}

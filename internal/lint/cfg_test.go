@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses a single function's body from src (the function must be
+// named f).
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file, err := parser.ParseFile(token.NewFileSet(), "cfg_test.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return fd.Body
+		}
+	}
+	t.Fatal("no func f in source")
+	return nil
+}
+
+// reachable returns the blocks reachable from the entry.
+func reachable(g *CFG) map[int]bool {
+	seen := map[int]bool{g.Entry.Index: true}
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+func TestCFGIfJoin(t *testing.T) {
+	g := NewCFG(parseBody(t, `func f(c bool) { x := 1; if c { x = 2 }; _ = x }`))
+	seen := reachable(g)
+	if !seen[g.Exit.Index] {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	// The condition block must branch two ways (then, join).
+	branched := false
+	for _, b := range g.Blocks {
+		if len(b.Succs) >= 2 {
+			branched = true
+		}
+	}
+	if !branched {
+		t.Errorf("no two-way branch for if:\n%s", g)
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	g := NewCFG(parseBody(t, `func f() { for i := 0; i < 3; i++ { _ = i } }`))
+	// Some block must jump backward (to an earlier-created block): the loop
+	// post block returning to the header.
+	back := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s.Index < b.Index {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Errorf("for loop produced no back edge:\n%s", g)
+	}
+	if !reachable(g)[g.Exit.Index] {
+		t.Errorf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestCFGDeferAtExit(t *testing.T) {
+	g := NewCFG(parseBody(t, `func f() { defer println("a"); defer println("b"); println("body") }`))
+	var calls []*ast.CallExpr
+	for _, n := range g.Exit.Nodes {
+		if c, ok := n.(*ast.CallExpr); ok {
+			calls = append(calls, c)
+		}
+	}
+	if len(calls) != 2 {
+		t.Fatalf("exit holds %d deferred calls, want 2:\n%s", len(calls), g)
+	}
+	// Deferred calls replay in reverse declaration order: "b" before "a".
+	first, second := calls[0].Args[0].(*ast.BasicLit), calls[1].Args[0].(*ast.BasicLit)
+	if first.Value != `"b"` || second.Value != `"a"` {
+		t.Errorf("deferred order = %s, %s; want \"b\", \"a\"", first.Value, second.Value)
+	}
+}
+
+func TestCFGRangeHeader(t *testing.T) {
+	g := NewCFG(parseBody(t, `func f(m map[int]int) { for k, v := range m { _ = k + v } }`))
+	var header *ast.RangeStmt
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if r, ok := n.(*ast.RangeStmt); ok {
+				header = r
+			}
+		}
+	}
+	if header == nil {
+		t.Fatalf("no RangeStmt header node:\n%s", g)
+	}
+	// WalkNode on the header must visit X but never descend into the body.
+	sawX, sawBody := false, false
+	WalkNode(header, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			switch id.Name {
+			case "m":
+				sawX = true
+			case "k", "v":
+				sawBody = true
+			}
+		}
+		return true
+	})
+	if !sawX || sawBody {
+		t.Errorf("WalkNode(range): sawX=%v sawBody=%v, want true/false", sawX, sawBody)
+	}
+}
+
+func TestCFGSwitchAndBreak(t *testing.T) {
+	g := NewCFG(parseBody(t, `func f(x int) {
+	switch x {
+	case 1:
+		_ = x
+	case 2:
+		break
+	default:
+		_ = x
+	}
+	_ = x
+}`))
+	if !reachable(g)[g.Exit.Index] {
+		t.Errorf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	g := NewCFG(parseBody(t, `func f(ch chan int) {
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+}`))
+	if !reachable(g)[g.Exit.Index] {
+		t.Errorf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestCFGGotoConservative(t *testing.T) {
+	g := NewCFG(parseBody(t, `func f() {
+	x := 0
+loop:
+	x++
+	if x < 3 {
+		goto loop
+	}
+}`))
+	if !reachable(g)[g.Exit.Index] {
+		t.Errorf("exit unreachable after goto:\n%s", g)
+	}
+}

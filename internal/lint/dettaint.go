@@ -1,0 +1,332 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// DetTaint tracks host nondeterminism as a taint that must never reach
+// simulation state. Where nodeterminism flags *sources* (a wall-clock read,
+// a math/rand import, a map range) at the point they appear, dettaint
+// follows the *value*: it is interprocedural (a helper that returns
+// time.Now() taints every caller) and it reports at the *sink*, the point
+// where the tainted value enters a camsim/internal package and can perturb
+// scheduling, state, or output.
+//
+// Sources:
+//   - wall-clock reads (time.Now, Since, ...) and math/rand results;
+//   - pointer formatting (%p, or fmt.Sprint of a pointer) — addresses are
+//     ASLR-randomized per process, so a %p-derived string differs between
+//     identically-seeded runs;
+//   - the key/value variables of a map range (iteration order), unless the
+//     collected values are sorted before use;
+//   - calls to in-program functions whose results are tainted (computed by
+//     a call-graph fixpoint in Prepare).
+//
+// Sinks:
+//   - arguments in calls to camsim/internal functions;
+//   - conversions to sim.Time.
+//
+// Values laundered through sort.* / slices.Sort* are sanitized: the sorted
+// slice no longer depends on iteration order.
+var DetTaint = &Analyzer{
+	Name: "dettaint",
+	Doc: "track host-nondeterministic values (wall clock, math/rand, %p, map " +
+		"iteration order) interprocedurally and report where they flow into simulation state",
+	Prepare: prepareDetTaint,
+	Run:     runDetTaint,
+}
+
+func prepareDetTaint(prog *Program) error {
+	prog.taintedFuncs = map[string]string{}
+	keys := prog.CG.SortedKeys()
+	for changed := true; changed; {
+		changed = false
+		for _, key := range keys {
+			if _, done := prog.taintedFuncs[key]; done {
+				continue
+			}
+			fi := prog.CG.Funcs[key]
+			if fi.Decl.Body == nil {
+				continue
+			}
+			reason := ""
+			ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+				if reason != "" {
+					return false
+				}
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					if r, tainted := exprSourceTaint(prog, fi.Pkg.Info, res); tainted {
+						reason = r
+						break
+					}
+				}
+				return true
+			})
+			if reason != "" {
+				prog.taintedFuncs[key] = reason
+				changed = true
+			}
+		}
+	}
+	return nil
+}
+
+// exprSourceTaint reports whether e syntactically contains a taint source:
+// a call to a wall-clock/math-rand function, a %p format, or a call to a
+// known tainted in-program function. Local variable taint is handled
+// separately in runDetTaint.
+func exprSourceTaint(prog *Program, info *types.Info, e ast.Expr) (string, bool) {
+	reason := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if r, tainted := callSourceTaint(prog, info, call); tainted {
+			reason = r
+			return false
+		}
+		return true
+	})
+	return reason, reason != ""
+}
+
+// callSourceTaint classifies a single call as a taint source.
+func callSourceTaint(prog *Program, info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	pkg := fn.Pkg()
+	if pkg != nil && pkg.Path() == "time" && wallClockFuncs[fn.Name()] &&
+		fn.Type().(*types.Signature).Recv() == nil {
+		return "wall-clock time." + fn.Name(), true
+	}
+	if pkg != nil && isTaintSourcePkg(pkg.Path()) {
+		return pkg.Path() + "." + fn.Name(), true
+	}
+	if pkg != nil && pkg.Path() == "fmt" && strings.HasPrefix(fn.Name(), "Sprint") {
+		if pointerFormatCall(info, call) {
+			return "pointer formatting (%p)", true
+		}
+	}
+	if reason, ok := prog.taintedFuncs[funcKey(fn)]; ok {
+		return fn.Name() + " result (" + reason + ")", true
+	}
+	return "", false
+}
+
+// pointerFormatCall reports whether a fmt.Sprint* call renders a pointer:
+// either its constant format string contains %p, or (for the unformatted
+// variants) an argument is a pointer or unsafe.Pointer.
+func pointerFormatCall(info *types.Info, call *ast.CallExpr) bool {
+	for i, arg := range call.Args {
+		if i == 0 {
+			if lit, ok := ast.Unparen(arg).(*ast.BasicLit); ok && lit.Kind.String() == "STRING" {
+				if s, err := strconv.Unquote(lit.Value); err == nil && isPointerFormat(s) {
+					return true
+				}
+				continue
+			}
+		}
+		if tv, ok := info.Types[arg]; ok {
+			switch u := tv.Type.Underlying().(type) {
+			case *types.Pointer:
+				return true
+			case *types.Basic:
+				if u.Kind() == types.UnsafePointer {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func runDetTaint(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			analyzeDetTaint(pass, fd)
+		}
+	}
+	return nil
+}
+
+// analyzeDetTaint runs a flow-insensitive taint propagation over one
+// function body and reports tainted values at sinks.
+func analyzeDetTaint(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	tainted := map[types.Object]string{} // local var → reason
+	// Once a slice passes through a sorter its order no longer depends on
+	// map iteration; the mark is sticky so the fixpoint cannot oscillate
+	// between "tainted by append in the range body" and "sanitized by sort".
+	sanitized := map[types.Object]bool{}
+
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+
+	// exprTaint extends the syntactic source check with local-variable
+	// taint.
+	var exprTaint func(e ast.Expr) (string, bool)
+	exprTaint = func(e ast.Expr) (string, bool) {
+		reason := ""
+		ast.Inspect(e, func(n ast.Node) bool {
+			if reason != "" {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if r, ok := callSourceTaint(pass.Prog, info, n); ok {
+					reason = r
+					return false
+				}
+			case *ast.Ident:
+				if obj := info.Uses[n]; obj != nil {
+					if r, ok := tainted[obj]; ok {
+						reason = r
+						return false
+					}
+				}
+			}
+			return true
+		})
+		return reason, reason != ""
+	}
+
+	// Propagate assignments (and map-range taint) to a fixpoint, then
+	// apply sort sanitizers; flow-insensitivity over-approximates but
+	// cannot miss.
+	for changed := true; changed; {
+		changed = false
+		taint := func(e ast.Expr, reason string) {
+			obj := objOf(e)
+			if obj == nil || obj.Name() == "_" {
+				return
+			}
+			if reason == "map iteration order" && sanitized[obj] {
+				return
+			}
+			if _, done := tainted[obj]; !done {
+				tainted[obj] = reason
+				changed = true
+			}
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, rhs := range n.Rhs {
+						if reason, ok := exprTaint(rhs); ok {
+							taint(n.Lhs[i], reason)
+						}
+					}
+				} else if len(n.Rhs) == 1 {
+					if reason, ok := exprTaint(n.Rhs[0]); ok {
+						for _, lhs := range n.Lhs {
+							taint(lhs, reason)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					if reason, ok := exprTaint(v); ok && i < len(n.Names) {
+						taint(n.Names[i], reason)
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap && !isKeyCollection(n) {
+					taint(n.Key, "map iteration order")
+					taint(n.Value, "map iteration order")
+				}
+			}
+			return true
+		})
+		// Sanitizers: a slice passed to sort.* / slices.Sort* no longer
+		// depends on map iteration order.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if obj := objOf(arg); obj != nil {
+					if tainted[obj] == "map iteration order" {
+						delete(tainted, obj)
+						sanitized[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Sinks.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Conversion to sim.Time.
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			if isSimTime(tv.Type) && len(call.Args) == 1 {
+				if reason, tainted := exprTaint(call.Args[0]); tainted {
+					pass.ReportFix(call.Args[0].Pos(),
+						"derive virtual timestamps from sim.Engine.Now, never from host state",
+						"host-nondeterministic value (%s) converted to sim.Time", reason)
+				}
+			}
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		if !strings.HasPrefix(path, modulePrefix+"internal/") ||
+			strings.HasPrefix(path, modulePrefix+"internal/lint") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if reason, isTainted := exprTaint(arg); isTainted {
+				pass.ReportFix(arg.Pos(),
+					"replace the host-dependent value with a deterministic one (virtual clock, sim.RNG, or a stable identifier)",
+					"host-nondeterministic value (%s) flows into %s.%s and can make identically-seeded runs diverge",
+					reason, path, fn.Name())
+			}
+		}
+		return true
+	})
+}

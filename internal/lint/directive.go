@@ -8,27 +8,101 @@ import (
 	"strings"
 )
 
-// An allow directive suppresses camlint diagnostics. Forms:
+// camlint directives. All share the "//camlint:" prefix:
 //
 //	//camlint:allow                         suppress every analyzer
 //	//camlint:allow nodeterminism           suppress one analyzer
 //	//camlint:allow nodeterminism,eventtime suppress several
 //	//camlint:allow nodeterminism -- reason free-text justification
 //
-// A trailing directive suppresses diagnostics reported on its own line; a
-// stand-alone directive comment additionally covers the line immediately
-// below it, so it can precede the flagged statement. Justifications after
-// " -- " are encouraged (and quoted in DESIGN.md's determinism rules) but
-// not enforced mechanically.
-const allowPrefix = "//camlint:allow"
+//	//camlint:pool                          (on a type) instances are pooled
+//	//camlint:pool release                  (on a func) releases pooled args
+//	//camlint:hotpath                       (on a func) hot-path root
+//
+// An allow directive trailing a line suppresses diagnostics reported on its
+// own line; a stand-alone directive comment additionally covers the line
+// immediately below it, so it can precede the flagged statement.
+// Justifications after " -- " are encouraged (and quoted in DESIGN.md's
+// determinism rules) but not enforced mechanically.
+//
+// pool and hotpath are annotations, not suppressions: they feed the fact
+// store (facts.go) that the interprocedural analyzers consume. They must
+// appear in the doc comment of the declaration they mark.
+const (
+	directivePrefix = "//camlint:"
+	allowPrefix     = "//camlint:allow"
+)
 
-// allowSet maps "file:line" to the set of analyzer names allowed there;
-// an empty set means "all analyzers".
-type allowSet map[string]map[string]bool
+// parseDirective splits a comment into its camlint verb ("allow", "pool",
+// "hotpath") and argument fields. The justification after " -- " is
+// stripped. ok is false for ordinary comments and for look-alikes such as
+// //camlint:allowfoo.
+func parseDirective(text string) (verb string, args []string, ok bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", nil, false
+	}
+	rest := text[len(directivePrefix):]
+	// One directive per comment: anything after an embedded "//" (including
+	// a second "//camlint:" or a "// want" test expectation) is not part of
+	// this directive's argument list.
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	// Strip the justification, if any.
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	fields := strings.FieldsFunc(rest, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == ','
+	})
+	if len(fields) == 0 {
+		return "", nil, false
+	}
+	switch fields[0] {
+	case "allow", "pool", "hotpath":
+		args = fields[1:]
+		if len(args) == 0 {
+			args = nil
+		}
+		return fields[0], args, true
+	}
+	return "", nil, false
+}
+
+// parseAllow parses a comment's text; ok reports whether it is an allow
+// directive, and names holds the analyzer list (empty for the bare form).
+func parseAllow(text string) (names []string, ok bool) {
+	verb, args, ok := parseDirective(text)
+	if !ok || verb != "allow" {
+		return nil, false
+	}
+	if len(args) == 0 {
+		return nil, true
+	}
+	return args, true
+}
+
+// allowDirective is one //camlint:allow comment, tracked individually so
+// the unusedallow check can report directives that stopped suppressing
+// anything.
+type allowDirective struct {
+	pos   token.Position
+	names []string        // nil for the bare (suppress-everything) form
+	used  map[string]bool // names that suppressed a diagnostic ("*" = bare)
+}
+
+// bare reports whether the directive suppresses every analyzer.
+func (d *allowDirective) bare() bool { return len(d.names) == 0 }
+
+// allowSet indexes allow directives by the "file:line" positions they cover.
+type allowSet struct {
+	byLine map[string][]*allowDirective
+	all    []*allowDirective
+}
 
 // collectAllows scans every comment in files for allow directives.
-func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
-	set := allowSet{}
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
+	set := &allowSet{byLine: map[string][]*allowDirective{}}
 	sources := map[string][]byte{}
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -38,12 +112,14 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				set.add(pos.Filename, pos.Line, names)
+				d := &allowDirective{pos: pos, names: names, used: map[string]bool{}}
+				set.all = append(set.all, d)
+				set.cover(pos.Filename, pos.Line, d)
 				// Only a stand-alone comment also covers the next line
 				// (so it can precede the flagged statement); a trailing
 				// directive must not leak onto its neighbor.
 				if standsAlone(sources, pos) {
-					set.add(pos.Filename, pos.Line+1, names)
+					set.cover(pos.Filename, pos.Line+1, d)
 				}
 			}
 		}
@@ -72,52 +148,29 @@ func standsAlone(sources map[string][]byte, pos token.Position) bool {
 	return true
 }
 
-func (s allowSet) add(file string, line int, names []string) {
+func (s *allowSet) cover(file string, line int, d *allowDirective) {
 	key := posKey(file, line)
-	m := s[key]
-	if m == nil {
-		m = map[string]bool{}
-		s[key] = m
-	}
-	if len(names) == 0 {
-		m["*"] = true
-		return
-	}
-	for _, n := range names {
-		m[n] = true
-	}
+	s.byLine[key] = append(s.byLine[key], d)
 }
 
-// suppresses reports whether d is covered by a directive.
-func (s allowSet) suppresses(d Diagnostic) bool {
-	m := s[posKey(d.Pos.Filename, d.Pos.Line)]
-	if m == nil {
-		return false
+// suppresses reports whether diag is covered by a directive, marking the
+// matching directive (and name) as used so unusedallow can spot stale ones.
+func (s *allowSet) suppresses(diag Diagnostic) bool {
+	hit := false
+	for _, d := range s.byLine[posKey(diag.Pos.Filename, diag.Pos.Line)] {
+		if d.bare() {
+			d.used["*"] = true
+			hit = true
+			continue
+		}
+		for _, n := range d.names {
+			if n == diag.Analyzer {
+				d.used[n] = true
+				hit = true
+			}
+		}
 	}
-	return m["*"] || m[d.Analyzer]
-}
-
-// parseAllow parses a comment's text; ok reports whether it is an allow
-// directive, and names holds the analyzer list (empty for the bare form).
-func parseAllow(text string) (names []string, ok bool) {
-	if !strings.HasPrefix(text, allowPrefix) {
-		return nil, false
-	}
-	rest := text[len(allowPrefix):]
-	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-		// Something like //camlint:allowfoo — not the directive.
-		return nil, false
-	}
-	// Strip the justification, if any.
-	if i := strings.Index(rest, "--"); i >= 0 {
-		rest = rest[:i]
-	}
-	for _, field := range strings.FieldsFunc(rest, func(r rune) bool {
-		return r == ' ' || r == '\t' || r == ','
-	}) {
-		names = append(names, field)
-	}
-	return names, true
+	return hit
 }
 
 func posKey(file string, line int) string {

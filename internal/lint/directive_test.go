@@ -19,11 +19,47 @@ func TestParseAllow(t *testing.T) {
 		{"//camlint:allowance", nil, false},
 		{"// camlint:allow", nil, false},
 		{"//nolint:all", nil, false},
+		// One directive per comment: a second embedded directive (or a
+		// "// want" test expectation) is not an analyzer name.
+		{"//camlint:allow nodeterminism //camlint:allow eventtime", []string{"nodeterminism"}, true},
+		{"//camlint:allow nodeterminism -- reason // want \"stale\"", []string{"nodeterminism"}, true},
+		// Mixed separators and tabs.
+		{"//camlint:allow nodeterminism, eventtime", []string{"nodeterminism", "eventtime"}, true},
+		{"//camlint:allow\tnodeterminism\teventtime", []string{"nodeterminism", "eventtime"}, true},
 	}
 	for _, c := range cases {
 		names, ok := parseAllow(c.text)
 		if ok != c.ok || !reflect.DeepEqual(names, c.names) {
 			t.Errorf("parseAllow(%q) = %v, %v; want %v, %v", c.text, names, ok, c.names, c.ok)
+		}
+	}
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		verb string
+		args []string
+		ok   bool
+	}{
+		{"//camlint:pool", "pool", nil, true},
+		{"//camlint:pool release", "pool", []string{"release"}, true},
+		{"//camlint:pool release -- free list in spdk.go", "pool", []string{"release"}, true},
+		{"//camlint:hotpath", "hotpath", nil, true},
+		{"//camlint:hotpath -- reactor inner loop", "hotpath", nil, true},
+		{"//camlint:allow nodeterminism", "allow", []string{"nodeterminism"}, true},
+		// Unknown verbs and degenerate forms are not directives.
+		{"//camlint:frobnicate", "", nil, false},
+		{"//camlint:", "", nil, false},
+		{"// pool release", "", nil, false},
+		// Leading whitespace after the colon is tolerated.
+		{"//camlint: pool", "pool", nil, true},
+	}
+	for _, c := range cases {
+		verb, args, ok := parseDirective(c.text)
+		if verb != c.verb || ok != c.ok || !reflect.DeepEqual(args, c.args) {
+			t.Errorf("parseDirective(%q) = %q, %v, %v; want %q, %v, %v",
+				c.text, verb, args, ok, c.verb, c.args, c.ok)
 		}
 	}
 }

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// kindName names the allocation kind of a slice or map type for messages.
+func kindName(t types.Type) string {
+	if _, ok := t.Underlying().(*types.Map); ok {
+		return "map"
+	}
+	return "slice"
+}
+
+// HotAlloc guards the allocation discipline PR 2–3 bought by hand: the
+// poller, heap, and FTL paths run millions of times per simulated second,
+// so a single composite literal or growing append in them shows up directly
+// in events/sec. Functions reachable (through static calls) from a
+// //camlint:hotpath root are swept for fresh heap work:
+//
+//   - composite literals (and &T{} in particular);
+//   - make, new, and append (append may grow and reallocate);
+//   - function literals, whose environment capture allocates.
+//
+// The point is visibility, not prohibition: allocations that are deliberate
+// (setup code reached from a hot root, error paths) belong in
+// lint_baseline.json or behind an //camlint:allow hotalloc with a reason,
+// so that *new* allocations on the hot path fail make check.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "flag heap allocations (composite literals, make/new, append, closures) " +
+		"in functions reachable from //camlint:hotpath roots",
+	Prepare: prepareHotAlloc,
+	Run:     runHotAlloc,
+}
+
+func prepareHotAlloc(prog *Program) error {
+	prog.hotRoots = map[string]string{}
+	// BFS from each root in sorted order so every reachable function
+	// remembers one deterministic witness root for its diagnostic.
+	roots := make([]string, 0, len(prog.Ann.Hot))
+	for key := range prog.Ann.Hot {
+		roots = append(roots, key)
+	}
+	sort.Strings(roots)
+	for _, root := range roots {
+		fi := prog.CG.Funcs[root]
+		if fi == nil {
+			continue
+		}
+		if _, ok := prog.hotRoots[root]; ok {
+			continue
+		}
+		prog.hotRoots[root] = root
+		queue := []*FuncInfo{fi}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, cs := range cur.Calls {
+				if cs.Fn == nil {
+					continue
+				}
+				if _, ok := prog.hotRoots[cs.Fn.Key]; ok {
+					continue
+				}
+				prog.hotRoots[cs.Fn.Key] = root
+				queue = append(queue, cs.Fn)
+			}
+		}
+	}
+	return nil
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fi := pass.Prog.CG.ByDecl[fd]
+			if fi == nil {
+				continue
+			}
+			root, hot := pass.Prog.hotRoots[fi.Key]
+			if !hot {
+				continue
+			}
+			reportHotAllocs(pass, fd, shortKey(root))
+		}
+	}
+	return nil
+}
+
+// shortKey trims the module prefix from a funcKey for readable messages.
+func shortKey(key string) string {
+	return trimModule(key)
+}
+
+func reportHotAllocs(pass *Pass, fd *ast.FuncDecl, root string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			// &T{...} always escapes to the heap.
+			if n.Op == token.AND {
+				if _, lit := ast.Unparen(n.X).(*ast.CompositeLit); lit {
+					pass.ReportFix(n.Pos(),
+						"reuse a pooled or preallocated value instead of building a fresh one per event",
+						"&composite literal allocates on a hot path (reachable from //camlint:hotpath root %s)", root)
+					return false // inner literals are part of the same allocation
+				}
+			}
+		case *ast.CompositeLit:
+			// A plain struct/array literal is a value — copied, not
+			// allocated — but slice and map literals build a fresh
+			// backing store every time.
+			if tv, ok := pass.Info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.ReportFix(n.Pos(),
+						"reuse a pooled or preallocated value instead of building a fresh one per event",
+						"%s literal allocates its backing store on a hot path (reachable from //camlint:hotpath root %s)",
+						kindName(tv.Type), root)
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			pass.ReportFix(n.Pos(),
+				"hoist the closure out of the hot path or use a method value bound at setup time",
+				"function literal captures its environment on a hot path (reachable from //camlint:hotpath root %s)", root)
+			return false // the literal runs elsewhere; its body is not this path
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "make", "new":
+					pass.ReportFix(n.Pos(),
+						"allocate once at setup time and reuse",
+						"%s allocates on a hot path (reachable from //camlint:hotpath root %s)", b.Name(), root)
+				case "append":
+					pass.ReportFix(n.Pos(),
+						"preallocate capacity at setup time so append never grows mid-simulation",
+						"append may grow its backing array on a hot path (reachable from //camlint:hotpath root %s)", root)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -27,6 +27,29 @@ func TestMutexHeld(t *testing.T) {
 	linttest.Run(t, "testdata", lint.MutexHeld, "mutexheld")
 }
 
+func TestPoolLife(t *testing.T) {
+	linttest.Run(t, "testdata", lint.PoolLife, "poollife")
+}
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, "testdata", lint.LockOrder, "lockorder")
+}
+
+func TestDetTaint(t *testing.T) {
+	linttest.Run(t, "testdata", lint.DetTaint, "dettaint")
+}
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, "testdata", lint.HotAlloc, "hotalloc")
+}
+
+// TestUnusedAllow runs the full suite: unusedallow judges directives by the
+// suppression marks every other analyzer leaves behind, so it only behaves
+// fully when all of them ran.
+func TestUnusedAllow(t *testing.T) {
+	linttest.RunAnalyzers(t, "testdata", lint.All(), "unusedallow")
+}
+
 // TestLoadRepo exercises the production loader end-to-end on a real module
 // package: type-checking camsim/internal/sim from source with dependencies
 // resolved through `go list -export` must produce a clean package.

@@ -39,6 +39,14 @@ import (
 // Run checks pkgPath (relative to dir/testdata/src) with analyzer a.
 func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgPath string) {
 	t.Helper()
+	RunAnalyzers(t, testdata, []*lint.Analyzer{a}, pkgPath)
+}
+
+// RunAnalyzers checks pkgPath with several analyzers at once — the way
+// unusedallow must be exercised, since it audits the suppression marks the
+// other analyzers leave behind.
+func RunAnalyzers(t *testing.T, testdata string, analyzers []*lint.Analyzer, pkgPath string) {
+	t.Helper()
 	root := filepath.Join(testdata, "src")
 	fset := token.NewFileSet()
 	imp := &fixtureImporter{
@@ -61,9 +69,9 @@ func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgPath string) {
 		Types: tpkg,
 		Info:  info,
 	}
-	diags, err := lint.Run(pkg, []*lint.Analyzer{a})
+	diags, err := lint.Run(pkg, analyzers)
 	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+		t.Fatalf("running analyzers on %s: %v", pkgPath, err)
 	}
 	checkExpectations(t, fset, files, diags)
 }

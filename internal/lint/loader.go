@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // Package is one loaded, type-checked package ready for analysis.
@@ -65,6 +66,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 	exports := map[string]string{} // import path -> export data file
 	var roots []*listPkg
+	var skipped []string // matched roots camlint cannot analyze (stdlib, out of module)
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listPkg
@@ -79,10 +81,25 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard && p.Module != nil {
-			pkg := p
-			roots = append(roots, &pkg)
+		if p.DepOnly {
+			continue
 		}
+		if p.Standard || p.Module == nil {
+			skipped = append(skipped, p.ImportPath)
+			continue
+		}
+		pkg := p
+		roots = append(roots, &pkg)
+	}
+	// A pattern that resolves to nothing analyzable must fail loudly: a
+	// clean exit here would report "no findings" without having looked at
+	// a single file.
+	if len(roots) == 0 {
+		if len(skipped) > 0 {
+			return nil, fmt.Errorf("go list %v matched no packages in the current module (skipped %s)",
+				patterns, strings.Join(skipped, ", "))
+		}
+		return nil, fmt.Errorf("go list %v matched no packages", patterns)
 	}
 	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
 

@@ -1,0 +1,294 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds a global lock-acquisition order across the whole program
+// and reports cycles: if one code path takes A then B while another takes B
+// then A, the roadmap's multi-goroutine scaling will deadlock the moment the
+// two paths race. Locks are identified structurally (owning named type plus
+// field, e.g. harness.Runner.mu), acquisitions are collected per function in
+// source order, and a call made while holding a lock inherits the callee's
+// transitive acquisition summary, so an A→B edge is recorded even when B is
+// taken three calls deep. Cycle detection runs once over the merged graph in
+// the Finish hook.
+//
+// defer mu.Unlock() is modeled as holding the lock until function exit (not
+// as an immediate release), matching its runtime behavior.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "report cycles in the global lock-acquisition order " +
+		"(lock A held while taking B on one path, B held while taking A on another)",
+	Prepare: prepareLockOrder,
+	Finish:  finishLockOrder,
+}
+
+// lockAcq is one lock acquisition: the lock's structural identity and a
+// sample position where it happens.
+type lockAcq struct {
+	id  string
+	pos token.Pos
+}
+
+// lockEdge records "from held while acquiring to" with a sample position.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	// via is the function whose body exhibits the edge, for the report.
+	via string
+}
+
+func prepareLockOrder(prog *Program) error {
+	prog.lockSummaries = map[string][]lockAcq{}
+	keys := prog.CG.SortedKeys()
+
+	// Pass 1: direct acquisitions per function.
+	direct := map[string][]lockAcq{}
+	for _, key := range keys {
+		fi := prog.CG.Funcs[key]
+		if fi.Decl.Body == nil {
+			continue
+		}
+		var acqs []lockAcq
+		seen := map[string]bool{}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, kind := lockCallID(fi.Pkg.Info, call); kind == lockAcquire && !seen[id] {
+				seen[id] = true
+				acqs = append(acqs, lockAcq{id: id, pos: call.Pos()})
+			}
+			return true
+		})
+		direct[key] = acqs
+	}
+
+	// Pass 2: transitive summaries by fixpoint over the call graph.
+	for _, key := range keys {
+		prog.lockSummaries[key] = direct[key]
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, key := range keys {
+			fi := prog.CG.Funcs[key]
+			have := map[string]bool{}
+			for _, a := range prog.lockSummaries[key] {
+				have[a.id] = true
+			}
+			for _, cs := range fi.Calls {
+				if cs.Fn == nil {
+					continue
+				}
+				for _, a := range prog.lockSummaries[cs.Fn.Key] {
+					if !have[a.id] {
+						have[a.id] = true
+						prog.lockSummaries[key] = append(prog.lockSummaries[key],
+							lockAcq{id: a.id, pos: cs.Call.Pos()})
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type lockCallKind int
+
+const (
+	lockNone lockCallKind = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockCallID classifies call as a mutex acquire/release and returns the
+// lock's structural identity.
+func lockCallID(info *types.Info, call *ast.CallExpr) (string, lockCallKind) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", lockNone
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", lockNone
+	}
+	kind := lockNone
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		kind = lockAcquire
+	case "Unlock", "RUnlock":
+		kind = lockRelease
+	default:
+		return "", lockNone
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", lockNone
+	}
+	return lockIdentity(info, sel.X), kind
+}
+
+// lockIdentity names the lock denoted by e structurally, preferring the
+// owning named type plus field ("camsim/internal/harness.Runner.mu"),
+// falling back to package-level variable identity, then to the receiver
+// type itself for embedded mutexes.
+func lockIdentity(info *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if tv, ok := info.Types[e.X]; ok {
+			if key, ok := namedKey(tv.Type); ok {
+				return key + "." + e.Sel.Name
+			}
+		}
+		return lockIdentity(info, e.X) + "." + e.Sel.Name
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && v.Pkg() != nil {
+			return v.Pkg().Path() + "." + e.Name
+		}
+		return e.Name
+	default:
+		if tv, ok := info.Types[e]; ok {
+			if key, ok := namedKey(tv.Type); ok {
+				return key
+			}
+		}
+		return "?"
+	}
+}
+
+// namedKey returns the typeKey of t's named type (through pointers).
+func namedKey(t types.Type) (string, bool) {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return typeKey(n.Obj()), true
+	}
+	return "", false
+}
+
+func finishLockOrder(pass *Pass) error {
+	prog := pass.Prog
+
+	// Collect ordered edges: walk each function in source order tracking
+	// the held set; direct acquires and callee summaries both contribute.
+	edges := map[string]lockEdge{} // "from\x00to" → first witness
+	addEdge := func(from, to string, pos token.Pos, via string) {
+		if from == to {
+			return
+		}
+		k := from + "\x00" + to
+		if _, ok := edges[k]; !ok {
+			edges[k] = lockEdge{from: from, to: to, pos: pos, via: via}
+		}
+	}
+	for _, key := range prog.CG.SortedKeys() {
+		fi := prog.CG.Funcs[key]
+		if fi.Decl.Body == nil {
+			continue
+		}
+		held := map[string]token.Pos{}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				// A deferred Unlock holds until exit: record the defer's
+				// argument evaluation but skip the release.
+				if _, kind := lockCallID(fi.Pkg.Info, n.Call); kind == lockRelease {
+					return false
+				}
+				return true
+			case *ast.CallExpr:
+				id, kind := lockCallID(fi.Pkg.Info, n)
+				switch kind {
+				case lockAcquire:
+					for h := range held {
+						addEdge(h, id, n.Pos(), key)
+					}
+					held[id] = n.Pos()
+					return true
+				case lockRelease:
+					delete(held, id)
+					return true
+				}
+				if len(held) == 0 {
+					return true
+				}
+				if callee := calleeFunc(fi.Pkg.Info, n); callee != nil {
+					if summ, ok := prog.lockSummaries[funcKey(callee)]; ok {
+						for _, a := range summ {
+							for h := range held {
+								addEdge(h, a.id, n.Pos(), key)
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Cycle detection: for every edge a→b, if b reaches a the order is
+	// cyclic. Each unordered pair reports once, at the lexically smaller
+	// witness.
+	adj := map[string][]string{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for k := range adj {
+		sort.Strings(adj[k])
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{from: true}
+		stack := []string{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == to {
+				return true
+			}
+			for _, s := range adj[n] {
+				if !seen[s] {
+					seen[s] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+		return false
+	}
+	var keys []string
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	reported := map[string]bool{}
+	for _, k := range keys {
+		e := edges[k]
+		if !reaches(e.to, e.from) {
+			continue
+		}
+		pair := []string{e.from, e.to}
+		sort.Strings(pair)
+		pk := strings.Join(pair, "\x00")
+		if reported[pk] {
+			continue
+		}
+		reported[pk] = true
+		pass.ReportFix(e.pos,
+			fmt.Sprintf("pick one global order for %s and %s and acquire them in that order on every path", e.from, e.to),
+			"lock ordering cycle: %s acquired while holding %s (in %s), but %s is also acquired while holding %s elsewhere",
+			e.to, e.from, e.via, e.from, e.to)
+	}
+	return nil
+}

@@ -20,6 +20,12 @@ func (e *Engine) Now() Time { return e.now }
 // Submit mimics a sim API whose error must not be dropped.
 func Submit(v int) error { return nil }
 
+// Record mimics a sim API that folds a value into simulation state.
+func Record(v int64) {}
+
+// Name mimics a sim API that stores an identifier into simulation state.
+func Name(s string) {}
+
 // Queue mimics a device queue with both fallible and infallible methods.
 type Queue struct{ depth int }
 

@@ -1,0 +1,67 @@
+// Package dettaint exercises the interprocedural determinism-taint
+// analyzer: wall-clock values laundered through helpers, %p formatting,
+// map iteration order, the sort sanitizer, and the sim.Time sink.
+package dettaint
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"camsim/internal/sim"
+)
+
+type buf struct{ id int }
+
+// stamp launders a wall-clock read through a helper; the call-graph
+// fixpoint marks it tainted, so every caller inherits the taint.
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func interprocedural() {
+	v := stamp()
+	sim.Record(v) // want "wall-clock time.Now"
+}
+
+func direct() {
+	sim.Record(stamp()) // want "wall-clock time.Now"
+}
+
+func pointerName(b *buf) {
+	name := fmt.Sprintf("buf.%p", b)
+	sim.Name(name) // want "pointer formatting"
+}
+
+func mapOrder(m map[int]int) {
+	for k := range m {
+		sim.Record(int64(k)) // want "map iteration order"
+	}
+}
+
+// sortedKeys launders the collected keys through sort, which removes the
+// iteration-order taint; nothing is reported.
+func sortedKeys(m map[int]int) {
+	keys := make([]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, int64(k))
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		sim.Record(k)
+	}
+}
+
+func toSimTime() {
+	t := sim.Time(stamp()) // want "converted to sim.Time"
+	_ = t
+}
+
+// virtualOK reads the virtual clock, which is deterministic by design.
+func virtualOK(e *sim.Engine) {
+	sim.Record(int64(e.Now()))
+}
+
+func suppressed(b *buf) {
+	sim.Name(fmt.Sprintf("dbg.%p", b)) //camlint:allow dettaint -- fixture: debug-only name, suppressed
+}

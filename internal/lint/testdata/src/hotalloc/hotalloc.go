@@ -1,0 +1,42 @@
+// Package hotalloc exercises the hot-path allocation analyzer: every
+// allocation kind in a function reachable from a //camlint:hotpath root,
+// value literals that do not allocate, unreachable (cold) code, and the
+// //camlint:allow escape hatch.
+package hotalloc
+
+type state struct {
+	buf  []int
+	work []int
+}
+
+// run is the simulated inner loop.
+//
+//camlint:hotpath
+func run(s *state) {
+	step(s)
+	tmp := state{} // no finding: a value literal is copied, not allocated
+	_ = tmp
+}
+
+// step is reachable from run, so its allocations are on the hot path.
+func step(s *state) {
+	p := &state{} // want "&composite literal allocates"
+	_ = p
+	s.buf = append(s.buf, 1) // want "append may grow"
+	m := make([]int, 4)      // want "make allocates"
+	_ = m
+	f := func() {} // want "function literal captures"
+	f()
+	lit := []int{1, 2, 3} // want "slice literal allocates"
+	_ = lit
+}
+
+// cold is not reachable from any hot root.
+func cold() {
+	_ = make([]int, 8)
+}
+
+//camlint:hotpath
+func runQuiet(s *state) {
+	s.work = append(s.work, 1) //camlint:allow hotalloc -- fixture: deliberate growth, suppressed
+}

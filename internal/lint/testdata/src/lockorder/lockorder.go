@@ -1,0 +1,105 @@
+// Package lockorder exercises the global lock-acquisition order analyzer:
+// direct cycles, cycles through a callee's summary, defer-held locks,
+// consistent (clean) orders, and the //camlint:allow escape hatch.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+var a A
+
+var b B
+
+// abOrder takes A.mu then B.mu; baOrder takes them in the opposite order,
+// which is the classic deadlock-by-inversion.
+func abOrder() {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock ordering cycle"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func baOrder() {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+var c C
+
+var d D
+
+// lockD acquires D.mu internally; a caller holding C.mu inherits the edge
+// through lockD's transitive summary.
+func lockD() {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func cdOrder() {
+	c.mu.Lock()
+	lockD() // want "lock ordering cycle"
+	c.mu.Unlock()
+}
+
+// dcOrder holds D.mu until exit via defer, so taking C.mu below still
+// records a D-held-while-acquiring-C edge.
+func dcOrder() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+type G struct{ mu sync.Mutex }
+
+type H struct{ mu sync.Mutex }
+
+var g G
+
+var h H
+
+// ghOne and ghTwo agree on the order, so no cycle is reported.
+func ghOne() {
+	g.mu.Lock()
+	h.mu.Lock()
+	h.mu.Unlock()
+	g.mu.Unlock()
+}
+
+func ghTwo() {
+	g.mu.Lock()
+	h.mu.Lock()
+	h.mu.Unlock()
+	g.mu.Unlock()
+}
+
+type E struct{ mu sync.Mutex }
+
+type F struct{ mu sync.Mutex }
+
+var e E
+
+var f F
+
+func efOrder() {
+	e.mu.Lock()
+	f.mu.Lock() //camlint:allow lockorder -- fixture: known-benign inversion, suppressed
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func feOrder() {
+	f.mu.Lock()
+	e.mu.Lock()
+	e.mu.Unlock()
+	f.mu.Unlock()
+}

@@ -1,0 +1,90 @@
+// Package poollife exercises the pooled-object lifecycle analyzer:
+// use-after-release, double release, inferred releasers, kills, and the
+// //camlint:allow escape hatch.
+package poollife
+
+// Req is a pooled request recycled through a free list.
+//
+//camlint:pool
+type Req struct {
+	ID int
+}
+
+var free []*Req
+
+// put returns r to the free list.
+//
+//camlint:pool release
+func put(r *Req) {
+	free = append(free, r)
+}
+
+// putAll forwards unconditionally to put, so release is inferred.
+func putAll(r *Req) {
+	put(r)
+}
+
+// maybePut releases only on one branch; conditional releases must not
+// propagate to callers.
+func maybePut(r *Req, recycle bool) {
+	if recycle {
+		put(r)
+	}
+}
+
+func get() *Req {
+	if len(free) > 0 {
+		r := free[len(free)-1]
+		free = free[:len(free)-1]
+		return r
+	}
+	return &Req{}
+}
+
+func useAfterRelease(r *Req) {
+	put(r)
+	_ = r.ID // want "use of r after release"
+}
+
+func doubleRelease(r *Req) {
+	put(r)
+	put(r) // want "released twice"
+}
+
+func throughWrapper(r *Req) {
+	putAll(r)
+	_ = r.ID // want "use of r after release"
+}
+
+func afterMaybe(r *Req) {
+	maybePut(r, true)
+	_ = r.ID // no finding: maybePut releases only conditionally
+}
+
+func branchy(r *Req, done bool) {
+	if done {
+		put(r)
+	}
+	_ = r.ID // want "use of r after release"
+}
+
+func reuse(r *Req) {
+	put(r)
+	r = get()
+	_ = r.ID // no finding: r was reacquired from the pool
+}
+
+func deferPut(r *Req) {
+	defer put(r)
+	_ = r.ID // no finding: the deferred release runs at exit
+}
+
+func deferDouble(r *Req) {
+	defer put(r) // want "released twice"
+	put(r)
+}
+
+func suppressed(r *Req) {
+	put(r)
+	_ = r.ID //camlint:allow poollife -- fixture: reading a recycled request is the point here
+}

@@ -1,0 +1,65 @@
+package lint
+
+// UnusedAllow reports //camlint:allow directives that no longer suppress
+// anything, so suppressions cannot outlive the finding they were written
+// for and quietly blind future sweeps. It must be ordered last in the
+// analyzer list: it runs as a Finish hook and inspects the usage marks the
+// earlier analyzers' suppression filtering left behind.
+//
+// A named directive is stale when its analyzer ran in this invocation and
+// suppressed nothing; names that are not analyzers at all (typos) are
+// always reported. A bare directive (no names) is only judged when the full
+// suite ran, since any analyzer could have been its reason to exist.
+var UnusedAllow = &Analyzer{
+	Name: "unusedallow",
+	Doc: "report stale //camlint:allow directives that no longer suppress " +
+		"any diagnostic (and allow-lists naming unknown analyzers)",
+}
+
+// The Finish hook is attached in init: finishUnusedAllow consults All(),
+// which mentions UnusedAllow, and Go rejects that as an initialization
+// cycle if written directly in the composite literal.
+func init() { UnusedAllow.Finish = finishUnusedAllow }
+
+func finishUnusedAllow(pass *Pass) error {
+	prog := pass.Prog
+	fullSuite := true
+	for _, a := range All() {
+		if a.Name != UnusedAllow.Name && !prog.Ran(a.Name) {
+			fullSuite = false
+			break
+		}
+	}
+	for _, d := range prog.allows.all {
+		if d.bare() {
+			if fullSuite && len(d.used) == 0 {
+				pass.diags = append(pass.diags, Diagnostic{
+					Analyzer: pass.Analyzer.Name,
+					Pos:      d.pos,
+					Message:  "stale //camlint:allow: no analyzer reports anything here; delete the directive",
+					Fix:      "delete the directive",
+				})
+			}
+			continue
+		}
+		for _, name := range d.names {
+			switch {
+			case ByName(name) == nil:
+				pass.diags = append(pass.diags, Diagnostic{
+					Analyzer: pass.Analyzer.Name,
+					Pos:      d.pos,
+					Message:  "//camlint:allow names unknown analyzer " + name + "; it suppresses nothing",
+					Fix:      "fix the analyzer name or delete the directive",
+				})
+			case prog.Ran(name) && !d.used[name]:
+				pass.diags = append(pass.diags, Diagnostic{
+					Analyzer: pass.Analyzer.Name,
+					Pos:      d.pos,
+					Message:  "stale //camlint:allow " + name + ": the analyzer no longer reports here; delete the directive",
+					Fix:      "delete the directive",
+				})
+			}
+		}
+	}
+	return nil
+}

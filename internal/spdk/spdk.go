@@ -122,6 +122,8 @@ type Completion interface {
 }
 
 // Request is one asynchronous NVMe command through the driver.
+//
+//camlint:pool
 type Request struct {
 	Op   nvme.Opcode
 	Dev  int    // device index within the driver
@@ -213,7 +215,10 @@ type Driver struct {
 	devOwner []int
 	// reqFree recycles Sink-completed requests issued via GetRequest.
 	reqFree []*Request
-	started bool
+	// stagedSeq numbers this driver's staging buffers so their names stay
+	// deterministic (a %p-based name would differ across ASLR'd runs).
+	stagedSeq int
+	started   bool
 
 	// failed marks devices declared dead after repeated timeouts.
 	failed []bool
@@ -279,6 +284,8 @@ func (d *Driver) GetRequest() *Request {
 }
 
 // putRequest clears and recycles a pooled request.
+//
+//camlint:pool release
 func (d *Driver) putRequest(r *Request) {
 	*r = Request{pooled: true}
 	d.reqFree = append(d.reqFree, r)
@@ -289,6 +296,8 @@ func (d *Driver) putRequest(r *Request) {
 // after the signal fires — the driver must not recycle it under them, or
 // the waiter would read a zeroed Status (see TestPooledErrorStatusSurvives)
 // — so they return it themselves once they have read what they need.
+//
+//camlint:pool release
 func (d *Driver) PutRequest(r *Request) {
 	if r.pooled {
 		d.putRequest(r)
@@ -430,6 +439,8 @@ func MaxTransfer() int64 { return maxXfer }
 // run is the reactor loop: drain the app submission queue, push SQEs, poll
 // CQs, repeat; idle-wait on signals when there is nothing to do (the
 // equivalent cycles are accounted as poll iterations).
+//
+//camlint:hotpath
 func (r *Reactor) run(p *sim.Proc) {
 	cfg := r.d.cfg
 	armed := cfg.CmdTimeout > 0

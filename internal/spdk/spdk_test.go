@@ -291,3 +291,24 @@ func TestStatsCountRequests(t *testing.T) {
 		t.Fatalf("per-request instructions %.0f implausibly low", st.PerRequestInstructions())
 	}
 }
+
+// TestStagedBufferNamesDeterministic is the regression test for the
+// camlint dettaint finding that staging buffers were named by formatting
+// the driver pointer (%p): ASLR made the name differ between
+// identically-seeded runs, and every helper sharing a driver collided on
+// the same name. Names must be stable across runs and unique per helper.
+func TestStagedBufferNamesDeterministic(t *testing.T) {
+	r := newRig(1)
+	d := New(r.e, DefaultConfig(), r.hm, r.space, r.devs, 1)
+	a := NewStagedGPUIO(d, r.ce, 1<<20)
+	b := NewStagedGPUIO(d, r.ce, 1<<20)
+	if got, want := a.staging.Name, "spdk.staging.1"; got != want {
+		t.Errorf("first staging buffer name = %q, want %q", got, want)
+	}
+	if got, want := b.staging.Name, "spdk.staging.2"; got != want {
+		t.Errorf("second staging buffer name = %q, want %q", got, want)
+	}
+	if a.staging.Name == b.staging.Name {
+		t.Errorf("helpers sharing a driver must not collide on staging buffer names")
+	}
+}

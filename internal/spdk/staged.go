@@ -21,12 +21,16 @@ type StagedGPUIO struct {
 }
 
 // NewStagedGPUIO creates the helper with a staging buffer of the given
-// size (must hold the largest single granule in flight).
+// size (must hold the largest single granule in flight). The buffer name
+// uses a per-driver sequence number: a pointer-derived name would change
+// with the host's address-space layout between identically-seeded runs,
+// and would collide across helpers sharing one driver.
 func NewStagedGPUIO(d *Driver, ce *gpu.CopyEngine, stagingBytes int64) *StagedGPUIO {
+	d.stagedSeq++
 	return &StagedGPUIO{
 		d:       d,
 		ce:      ce,
-		staging: d.hm.Alloc(fmt.Sprintf("spdk.staging.%p", d), stagingBytes),
+		staging: d.hm.Alloc(fmt.Sprintf("spdk.staging.%d", d.stagedSeq), stagingBytes),
 	}
 }
 

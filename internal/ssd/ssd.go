@@ -253,6 +253,8 @@ func (d *Device) Start() {
 
 // controller is the device main loop: drain SQEs from every queue pair,
 // start their execution, sleep on the doorbell when idle.
+//
+//camlint:hotpath
 func (d *Device) controller(p *sim.Proc) {
 	for {
 		progressed := d.drainAdmin()
@@ -316,6 +318,8 @@ func (d *Device) mediaLatency(op nvme.Opcode) sim.Time {
 // It is its own sim.Callback: each pipeline phase reschedules the same
 // object, so a command crosses media latency and the DMA engine without
 // boxing a closure per phase. States recycle through Device.cmdFree.
+//
+//camlint:pool
 type ioCmd struct {
 	d     *Device
 	qi    int
@@ -410,6 +414,8 @@ func (d *Device) newCmd(qi int, qp *nvme.QueuePair, sqe nvme.SQE) *ioCmd {
 // command posts no CQE: the host already synthesized a timeout for it and
 // may have reused the CID, so the live slot is released only if it still
 // points at this command.
+//
+//camlint:pool release
 func (d *Device) finish(c *ioCmd, status nvme.Status) {
 	if c.qi < len(d.live) && int(c.sqe.CID) < len(d.live[c.qi]) &&
 		d.live[c.qi][c.sqe.CID] == c {
