@@ -55,19 +55,28 @@ check-fast: build vet lint test
 # bench runs the figure reproductions once each under the benchmark
 # harness and records ns/op, allocs/op, sim-ns/op, and the derived
 # simulation rate in the next free BENCH_<n>.json — the repo's perf
-# trajectory, one file per recorded run.
+# trajectory, one file per recorded run. Each benchmark runs in its own
+# `go test` process: in-suite, a figure's wall time depends on its
+# position (large arena allocations recycle the previous figure's dirty
+# heap spans and pay a memclr a standalone run never sees), so per-figure
+# processes are what make the numbers hermetic and comparable.
+# CAMSIM_SHARDS (default 4) sets the shard workers for clustered
+# experiments; output is identical at any value.
 bench:
-	$(GO) test -run XXX -bench 'BenchmarkFig' -benchmem -benchtime 1x . \
-		| $(GO) run ./cmd/benchjson -o auto
+	@{ for b in $$($(GO) test -run XXX -list 'Benchmark(Fig|Abl).*' . | grep '^Benchmark'); do \
+		CAMSIM_SHARDS=$${CAMSIM_SHARDS:-4} $(GO) test -run XXX -bench "^$${b}\$$" -benchmem -benchtime 1x .; \
+	done; } | $(GO) run ./cmd/benchjson -o auto
 
-# bench-smoke is the CI variant: same single-iteration benchmark pass,
-# but the JSON goes to stdout (the log) instead of accumulating files.
-# It then diffs the fresh run against the latest committed BENCH_<n>.json
-# and warns (without failing) when any figure's simulation rate drops by
-# more than 20%.
+# bench-smoke is the CI variant: same per-benchmark process structure,
+# but the JSON goes to bench-smoke.json (discarded) instead of
+# accumulating files. It then diffs the fresh run against the latest
+# committed BENCH_<n>.json and warns (without failing) when any figure's
+# simulation rate drops by more than 20%. Runs at CAMSIM_SHARDS=1 —
+# serial shard windows — so the gate tracks the single-worker engine.
 bench-smoke:
-	$(GO) test -run XXX -bench . -benchmem -benchtime 1x . \
-		| $(GO) run ./cmd/benchjson -o bench-smoke.json
+	@{ for b in $$($(GO) test -run XXX -list 'Benchmark.*' . | grep '^Benchmark'); do \
+		CAMSIM_SHARDS=1 $(GO) test -run XXX -bench "^$${b}\$$" -benchmem -benchtime 1x .; \
+	done; } | $(GO) run ./cmd/benchjson -o bench-smoke.json
 	@base=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1); \
 	if [ -n "$$base" ]; then \
 		$(GO) run ./cmd/benchjson -diff -warn-sim-regress 20 "$$base" bench-smoke.json; \

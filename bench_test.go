@@ -2,14 +2,18 @@ package camsim
 
 import (
 	"os"
+	"strconv"
 	"testing"
 
 	"camsim/internal/harness"
 )
 
 // benchCfg picks quick workloads unless CAMSIM_FULL=1 requests paper scale.
+// CAMSIM_SHARDS sets the shard worker count for clustered experiments
+// (make bench exports it; unset or 1 = serial windows, same output).
 func benchCfg() harness.RunConfig {
-	return harness.RunConfig{Quick: os.Getenv("CAMSIM_FULL") != "1"}
+	shards, _ := strconv.Atoi(os.Getenv("CAMSIM_SHARDS"))
+	return harness.RunConfig{Quick: os.Getenv("CAMSIM_FULL") != "1", Shards: shards}
 }
 
 // runExperiment executes one registered reproduction per benchmark
@@ -82,6 +86,10 @@ func BenchmarkFig15_MemChannels(b *testing.B) { runExperiment(b, "fig15") }
 
 // Figure 16: access-granularity sweep with a non-contiguous destination.
 func BenchmarkFig16_Granularity(b *testing.B) { runExperiment(b, "fig16") }
+
+// Ablation: the sharded DES coordinator — a multi-host ring pipeline run
+// through conservative lookahead windows (honors CAMSIM_SHARDS).
+func BenchmarkAblShard_Cluster(b *testing.B) { runExperiment(b, "abl-shard") }
 
 // Table I: architectural design comparison.
 func BenchmarkTableI_Architecture(b *testing.B) { runExperiment(b, "tab1") }

@@ -35,6 +35,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "run scaled-down workloads")
 		csv        = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently (1 = serial)")
+		shards     = flag.Int("shards", 1, "shard workers per clustered simulation (1 = serial; output is identical for any value)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to `file`")
 		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the runs to `file`")
 		faults     = flag.String("faults", "", "fault injection `spec`: seed:rate shorthand or key=val,... (seed, rate, drop, slow, slowx, progfail, faildev, failat); empty or 'off' disables")
@@ -62,7 +63,12 @@ func main() {
 		return
 	}
 
-	cfg := harness.RunConfig{Quick: *quick}
+	cfg := harness.RunConfig{Quick: *quick, Shards: *shards}
+	if *shards > 1 {
+		// Shard/coordinator diagnostics stay on stderr: stdout is the
+		// deterministic experiment output and must not vary with -shards.
+		fmt.Fprintf(os.Stderr, "cambench: clustered simulations run up to %d shard workers per lookahead window\n", *shards)
+	}
 	var toRun []harness.Experiment
 	if *exp == "all" {
 		toRun = harness.All()

@@ -89,6 +89,15 @@ type System struct {
 	// free slot).
 	flight [][]flightEntry
 	next   []uint16
+	// pollers are the per-device completion state machines.
+	pollers []*devPoll
+	// deadq is the per-device FIFO of armed deadlines. Commands arm at
+	// submit time with a constant timeout, so deadlines are non-decreasing
+	// in arm order and the earliest live one is always at the head — an O(1)
+	// lookup where scanning the whole flight table used to dominate the
+	// poller's park path. Completed or abandoned entries are dropped lazily
+	// when they surface at the head (their flight slot no longer matches).
+	deadq []deadlineQueue
 	// faninFree recycles batch fan-in counters (and their signals).
 	faninFree []*fanin
 
@@ -101,6 +110,44 @@ type flightEntry struct {
 	fan      *fanin
 	blocks   int
 	deadline sim.Time
+}
+
+// deadlineQueue tracks armed command deadlines for one device in FIFO
+// order. head indexes the first possibly-live entry; the backing slice is
+// compacted whenever it fully drains.
+type deadlineQueue struct {
+	ents []deadlineEnt
+	head int
+}
+
+// deadlineEnt pairs a CID with the deadline it was armed with; a mismatch
+// against the flight table means the command already left (completed,
+// expired, or its CID was re-armed with a later deadline).
+type deadlineEnt struct {
+	cid      uint16
+	deadline sim.Time
+}
+
+func (q *deadlineQueue) push(cid uint16, deadline sim.Time) {
+	q.ents = append(q.ents, deadlineEnt{cid: cid, deadline: deadline})
+}
+
+// earliest reports the soonest still-armed deadline on dev (0 when nothing
+// armed is in flight), discarding stale heads as it goes.
+func (s *System) earliest(dev int) sim.Time {
+	q := &s.deadq[dev]
+	fl := s.flight[dev]
+	for q.head < len(q.ents) {
+		e := q.ents[q.head]
+		if ent := fl[e.cid]; ent.fan != nil && ent.deadline == e.deadline {
+			return e.deadline
+		}
+		q.ents[q.head] = deadlineEnt{}
+		q.head++
+	}
+	q.ents = q.ents[:0]
+	q.head = 0
+	return 0
 }
 
 // fanin is one synchronous batch's completion counter: every submitted
@@ -170,10 +217,14 @@ func New(e *sim.Engine, cfg Config, g *gpu.GPU, devs []*ssd.Device) *System {
 		s.slots = append(s.slots, e.NewResource(fmt.Sprintf("bam.slots%d", i), int64(cfg.QueueDepth)-1))
 		s.flight = append(s.flight, make([]flightEntry, cfg.QueueDepth))
 		s.next = append(s.next, 0)
-		// One completion-delivery process per device (stands in for the
-		// per-warp pollers whose thread cost is modeled by PinThreads).
-		i := i
-		e.Go(fmt.Sprintf("bam.cq%d", i), func(p *sim.Proc) { s.completionLoop(p, i) })
+		s.deadq = append(s.deadq, deadlineQueue{})
+		// One completion-delivery state machine per device (stands in for
+		// the per-warp pollers whose thread cost is modeled by PinThreads).
+		// It rides the device's event wheel: every wake is a direct callback
+		// on the heap the device's own events live in.
+		poll := &devPoll{s: s, dev: i}
+		s.pollers = append(s.pollers, poll)
+		e.ScheduleCallbackOn(d.Wheel(), 0, poll)
 	}
 	return s
 }
@@ -363,6 +414,9 @@ func (s *System) submit(p *sim.Proc, op nvme.Opcode, dev int, lba uint64, nlb ui
 	ent := flightEntry{fan: fan, blocks: blocks}
 	if s.cfg.CmdTimeout > 0 {
 		ent.deadline = p.Now() + s.cfg.CmdTimeout
+		// Constant timeout at non-decreasing submit times: FIFO order keeps
+		// the queue sorted, so the poller's earliest() head stays exact.
+		s.deadq[dev].push(cid, ent.deadline)
 	}
 	s.flight[dev][cid] = ent
 	sqe := nvme.SQE{Opcode: op, CID: cid, NSID: 1, PRP1: uint64(addr), SLBA: lba, NLB: nlb}
@@ -395,13 +449,44 @@ func (s *System) allocCID(dev int) uint16 {
 	panic("bam: no free CID despite slot limiter")
 }
 
-// completionLoop folds arriving CQEs into their batch fan-ins, counting
-// failed commands' blocks into the batch error tally, and — when CmdTimeout
-// is armed — abandons commands whose deadline passed so a lost command
-// fails the batch instead of hanging it.
+// devPoll is one device's completion poller as an engine-callback state
+// machine (it used to be a process): it folds arriving CQEs into their
+// batch fan-ins, counting failed commands' blocks into the batch error
+// tally, and — when CmdTimeout is armed — abandons commands whose deadline
+// passed so a lost command fails the batch instead of hanging it. Each
+// OnPost wake is a direct call instead of a goroutine rendezvous.
+type devPoll struct {
+	s   *System
+	dev int
+	// timer is the armed deadline timer while parked with a timeout, nil
+	// otherwise. A wake via OnPost.Fire cancels it (the fire won the race);
+	// the timer firing first deregisters the OnPost waiter and re-enters
+	// the poll loop directly, mirroring WaitTimeout's exact-tie rules.
+	timer *sim.Timer
+}
+
+// Run re-enters the poller after an OnPost fire (or at startup).
 //
 //camlint:hotpath
-func (s *System) completionLoop(p *sim.Proc, dev int) {
+func (c *devPoll) Run() {
+	if t := c.timer; t != nil {
+		t.Cancel()
+		c.timer = nil
+	}
+	onPost := c.s.qps[c.dev].CQ.OnPost
+	if onPost.Fired() {
+		onPost.Reset()
+	}
+	c.poll()
+}
+
+// poll drains completions and expirations until there is nothing immediate,
+// then parks on OnPost — bounded by the earliest armed deadline, exactly as
+// the process loop's WaitTimeout was.
+//
+//camlint:hotpath
+func (c *devPoll) poll() {
+	s, dev := c.s, c.dev
 	qp := s.qps[dev]
 	for {
 		cqe, ok := qp.CQ.Poll()
@@ -419,27 +504,48 @@ func (s *System) completionLoop(p *sim.Proc, dev int) {
 			s.faninRef(ent.fan, -1)
 			continue
 		}
-		if s.cfg.CmdTimeout > 0 && s.expire(p, dev) {
+		if s.cfg.CmdTimeout > 0 && s.expire(dev) {
 			continue
 		}
 		if !qp.CQ.OnPost.Fired() {
-			if next := s.earliestDeadline(dev); next > 0 {
-				if !p.WaitTimeout(qp.CQ.OnPost, next-p.Now()) {
-					continue // deadline reached; expire on the next pass
+			if next := s.earliest(dev); next > 0 {
+				if next <= s.e.Now() {
+					continue // deadline already due; expire on the next pass
 				}
-			} else {
-				p.Wait(qp.CQ.OnPost)
+				qp.CQ.OnPost.WaitCallback(s.devs[dev].Wheel(), c)
+				c.timer = s.e.ScheduleTimer(next-s.e.Now(), c.expireWake)
+				return
 			}
+			qp.CQ.OnPost.WaitCallback(s.devs[dev].Wheel(), c)
+			return
 		}
 		qp.CQ.OnPost.Reset()
 	}
 }
 
+// expireWake is the deadline-timer body: if the poller is still parked
+// (OnPost has not fired), deregister it and re-enter the loop on the
+// deadline path — which skips the OnPost.Reset, as the process form's
+// timed-out WaitTimeout did.
+func (c *devPoll) expireWake() {
+	if !c.s.qps[c.dev].CQ.OnPost.CancelWaitCallback(c) {
+		return // fire beat the timer at this exact instant; Run handles it
+	}
+	c.timer = nil
+	c.poll()
+}
+
 // expire abandons commands on dev whose deadline passed: the device-side
 // abort suppresses any late CQE, the blocks count as failed, and the batch
 // completes instead of hanging. Reports whether anything expired.
-func (s *System) expire(p *sim.Proc, dev int) bool {
-	now := p.Now()
+func (s *System) expire(dev int) bool {
+	now := s.e.Now()
+	// Head of the deadline FIFO bounds every armed deadline from below; if
+	// it is still in the future (or nothing is armed), the full-table scan
+	// below cannot find anything to expire.
+	if next := s.earliest(dev); next == 0 || now < next {
+		return false
+	}
 	progressed := false
 	for cid := range s.flight[dev] {
 		ent := s.flight[dev][cid]
@@ -461,17 +567,3 @@ func (s *System) expire(p *sim.Proc, dev int) bool {
 	return progressed
 }
 
-// earliestDeadline reports the soonest in-flight deadline on dev (0 when
-// nothing armed is in flight).
-func (s *System) earliestDeadline(dev int) sim.Time {
-	var min sim.Time
-	for _, ent := range s.flight[dev] {
-		if ent.fan == nil || ent.deadline == 0 {
-			continue
-		}
-		if min == 0 || ent.deadline < min {
-			min = ent.deadline
-		}
-	}
-	return min
-}

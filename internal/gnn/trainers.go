@@ -86,6 +86,12 @@ func NewGIDSTrainer(env *platform.Env, d Dataset, m Model, cfg TrainConfig, sys 
 	return t
 }
 
+// Release frees the trainer's feature buffer. The worst-case sizing makes
+// these the largest transient allocations in the GNN figures, so returning
+// them to the device-memory pool keeps a multi-configuration sweep from
+// churning a fresh multi-megabyte arena per measured point.
+func (t *GIDSTrainer) Release() { t.featBuf.Free() }
+
 // maxBatchBytes sizes the feature buffer for the worst-case unique count.
 func maxBatchBytes(d Dataset, cfg TrainConfig) int64 {
 	worst := cfg.Batch
@@ -160,6 +166,12 @@ func NewCAMTrainer(env *platform.Env, d Dataset, m Model, cfg TrainConfig, mgr *
 	t.readBuf = mgr.Alloc("cam.read", n)
 	t.computeBuf = mgr.Alloc("cam.compute", n)
 	return t
+}
+
+// Release frees the trainer's double buffer (see GIDSTrainer.Release).
+func (t *CAMTrainer) Release() {
+	t.readBuf.Free()
+	t.computeBuf.Free()
 }
 
 // RunIterations executes iters pipelined iterations and returns the

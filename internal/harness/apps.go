@@ -47,6 +47,7 @@ func runFig1(cfg RunConfig) *Result {
 		var b gnn.Breakdown
 		env.E.Go("t", func(p *sim.Proc) { b = tr.RunIterations(p, iters) })
 		runEnv(cfg, env)
+		tr.Release()
 		s, e, tn := b.Fractions()
 		t.AddRow(m.Name, 100*s, 100*e, 100*tn)
 	}
@@ -71,6 +72,7 @@ func runFig9(cfg RunConfig) *Result {
 			var gb gnn.Breakdown
 			gEnv.E.Go("t", func(p *sim.Proc) { gb = gt.RunIterations(p, iters) })
 			runEnv(cfg, gEnv)
+			gt.Release()
 
 			cEnv := platform.New(platform.Options{SSDs: 12})
 			ccfg := cam.DefaultConfig(12)
@@ -81,6 +83,7 @@ func runFig9(cfg RunConfig) *Result {
 			var cb gnn.Breakdown
 			cEnv.E.Go("t", func(p *sim.Proc) { cb = ct.RunIterations(p, iters) })
 			runEnv(cfg, cEnv)
+			ct.Release()
 
 			gms := gb.Total.Seconds() * 1000 / float64(gb.Iters)
 			cms := cb.Total.Seconds() * 1000 / float64(cb.Iters)

@@ -21,12 +21,27 @@ type RunConfig struct {
 	// is paper scale.
 	Quick bool
 
+	// Shards caps how many shards of a clustered simulation (sim.Cluster)
+	// run concurrently per lookahead window; 0 or 1 means fully serial.
+	// Conservative windowed execution is deterministic at any worker count,
+	// so this knob trades wall-clock for cores without perturbing output —
+	// the property the determinism matrix test pins down.
+	Shards int
+
 	// acct collects per-run virtual-time accounting and the engines to
 	// tear down when the experiment finishes. The registry wrapper
 	// installs a fresh one per Run call, which is what makes concurrent
 	// experiment runs (RunAll) safe: there is no shared mutable state
 	// between two in-flight experiments.
 	acct *runAcct
+}
+
+// ShardWorkers reports the effective shard concurrency (at least 1).
+func (cfg RunConfig) ShardWorkers() int {
+	if cfg.Shards < 1 {
+		return 1
+	}
+	return cfg.Shards
 }
 
 // runAcct is one experiment run's bookkeeping.

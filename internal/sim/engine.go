@@ -63,9 +63,36 @@ func (t Time) String() string {
 // within simulation processes and callbacks (during Run). Distinct engines
 // are fully independent and may run on concurrent goroutines.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventQueue
+	now Time
+	seq uint64
+	// wheels are the per-shard event heaps: wheel 0 is the host/default
+	// wheel, and each device claims its own via NewWheel. Dispatch order is
+	// the global (at, seq) minimum across wheel heads, so the partition is
+	// semantics-free — it exists to keep each heap shallow and cache-hot,
+	// and to give the shard coordinator (see shard.go) a per-shard pending
+	// set it can run in parallel windows.
+	wheels []eventQueue
+	// heads caches wheels[i].head() so the cross-wheel minimum scan touches
+	// one compact array.
+	heads   []wheelHead
+	pending int
+	// minW/secondHead cache the head scan across dispatch iterations: minW is
+	// the argmin wheel and secondHead a lower bound on every other wheel's
+	// head. Between full scans only minW pops (RunUntil dispatches solely from
+	// the minimum), and pushes to other wheels fold into the bound, so the
+	// next dispatch needs a full rescan only when minW's head climbs past
+	// secondHead. minValid gates the cache (false after NewWheel/Shutdown).
+	minW       int
+	secondHead wheelHead
+	minValid   bool
+	// curWheel is the wheel of the event being executed right now; events
+	// scheduled during execution land on the same wheel (a device's command
+	// pipeline stays on the device's wheel), while process resumes always
+	// follow the process's own pin.
+	curWheel int
+	// shard, when non-nil, is the cluster shard this engine belongs to;
+	// used only to diagnose cross-shard affinity violations.
+	shard *Shard
 	// current is the process whose code is executing right now, nil while
 	// the engine itself (or a plain callback) runs.
 	current *Proc
@@ -82,11 +109,72 @@ type Engine struct {
 
 // New returns an empty engine at virtual time zero.
 func New() *Engine {
-	return &Engine{yield: make(chan struct{})}
+	return &Engine{
+		yield:  make(chan struct{}),
+		wheels: make([]eventQueue, 1),
+		heads:  []wheelHead{emptyHead},
+	}
 }
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// NewWheel allocates a new event wheel and returns its index. Devices call
+// this once at construction and pin their controller process to it
+// (GoWheel); everything the device schedules from inside its own events
+// then stays on its wheel. Wheel 0 is the host/default wheel.
+func (e *Engine) NewWheel() int {
+	e.wheels = append(e.wheels, eventQueue{})
+	e.heads = append(e.heads, emptyHead)
+	e.minValid = false
+	return len(e.wheels) - 1
+}
+
+// Wheels reports the number of event wheels (1 + one per NewWheel call).
+func (e *Engine) Wheels() int { return len(e.wheels) }
+
+// CurWheel reports the wheel of the event being executed right now (0 when
+// called from outside the run loop). Callback state machines capture it at
+// construction to pin their self-scheduled events the same way Go pins a
+// process's resumes.
+func (e *Engine) CurWheel() int { return e.curWheel }
+
+// pushEvent inserts ev into wheel w and refreshes its cached head.
+//
+//camlint:hotpath
+func (e *Engine) pushEvent(w int, ev event) {
+	e.checkAffinity()
+	q := &e.wheels[w]
+	if ev.at <= e.now {
+		// Zero-delay events land on the wheel's sorted FIFO lane instead
+		// of the heap: at most the current instant, seq monotone, so
+		// append order is dispatch order.
+		q.pushNow(ev)
+	} else {
+		q.push(ev)
+	}
+	e.pending++
+	if h := (wheelHead{at: ev.at, seq: ev.seq}); h.at < e.heads[w].at ||
+		(h.at == e.heads[w].at && h.seq < e.heads[w].seq) {
+		e.heads[w] = h
+	}
+	if e.minValid && w != e.minW {
+		// Fold the push into the dispatch cache: a smaller head on another
+		// wheel either steals the argmin (the old minimum is folded into the
+		// lower bound) or tightens the bound. secondHead may undershoot the
+		// true runner-up — that only costs a spare rescan, never a wrong pop.
+		h := e.heads[w]
+		m := e.heads[e.minW]
+		if h.at < m.at || (h.at == m.at && h.seq < m.seq) {
+			if m.at < e.secondHead.at || (m.at == e.secondHead.at && m.seq < e.secondHead.seq) {
+				e.secondHead = m
+			}
+			e.minW = w
+		} else if h.at < e.secondHead.at || (h.at == e.secondHead.at && h.seq < e.secondHead.seq) {
+			e.secondHead = h
+		}
+	}
+}
 
 // Schedule runs fn at now+delay. A negative delay is treated as zero.
 // Callbacks run on the engine goroutine and must not block.
@@ -95,7 +183,7 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 		delay = 0
 	}
 	e.seq++
-	e.events.push(event{at: e.now + delay, seq: e.seq, fn: fn})
+	e.pushEvent(e.curWheel, event{at: e.now + delay, seq: e.seq, fn: fn})
 }
 
 // Callback is a pre-built scheduled action. Objects that run through many
@@ -114,7 +202,18 @@ func (e *Engine) ScheduleCallback(delay Time, cb Callback) {
 		delay = 0
 	}
 	e.seq++
-	e.events.push(event{at: e.now + delay, seq: e.seq, cb: cb})
+	e.pushEvent(e.curWheel, event{at: e.now + delay, seq: e.seq, cb: cb})
+}
+
+// ScheduleCallbackOn is ScheduleCallback targeting an explicit wheel instead
+// of inheriting the current one. Devices use it to start their poller state
+// machines on their own wheel from host context (Start runs on wheel 0).
+func (e *Engine) ScheduleCallbackOn(wheel int, delay Time, cb Callback) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	e.pushEvent(wheel, event{at: e.now + delay, seq: e.seq, cb: cb})
 }
 
 // Timer is a cancellable scheduled callback. A Cancel before the due time
@@ -154,12 +253,13 @@ func (e *Engine) ScheduleTimer(delay Time, fn func()) *Timer {
 // control to p at now+delay. Every internal wakeup (Sleep, Signal.Fire,
 // Store.Put, Resource.Release, Go) goes through here instead of boxing a
 // fresh closure per event.
+//camlint:hotpath
 func (e *Engine) scheduleResume(p *Proc, delay Time) {
 	if delay < 0 {
 		delay = 0
 	}
 	e.seq++
-	e.events.push(event{at: e.now + delay, seq: e.seq, p: p})
+	e.pushEvent(p.wheel, event{at: e.now + delay, seq: e.seq, p: p})
 }
 
 // killSignal is the panic value used to unwind a process goroutine during
@@ -176,6 +276,8 @@ type Proc struct {
 	fn     func(p *Proc)
 	done   bool
 	killed bool
+	// wheel is the event wheel this process's resume events land on.
+	wheel int
 	// liveIdx is this process's index in e.live, -1 when not live.
 	liveIdx int
 }
@@ -190,8 +292,18 @@ func (p *Proc) Engine() *Engine { return p.e }
 func (p *Proc) Now() Time { return p.e.now }
 
 // Go starts fn as a new simulation process. The process begins executing at
-// the current virtual time, after already-queued events at that time.
+// the current virtual time, after already-queued events at that time. The
+// process inherits the wheel of the event that spawned it (wheel 0 when
+// started from outside the run loop).
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	return e.GoWheel(e.curWheel, name, fn)
+}
+
+// GoWheel starts fn as a new simulation process pinned to the given event
+// wheel: its resume events (Sleep, Signal wakeups) land on that wheel.
+// Devices pin their controller processes to their own wheel so their whole
+// event stream shards together.
+func (e *Engine) GoWheel(wheel int, name string, fn func(p *Proc)) *Proc {
 	var p *Proc
 	if n := len(e.free); n > 0 {
 		p = e.free[n-1]
@@ -204,6 +316,7 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		go p.loop()
 	}
 	p.fn = fn
+	p.wheel = wheel
 	e.addLive(p)
 	e.scheduleResume(p, 0)
 	return p
@@ -315,19 +428,54 @@ func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
 
 // RunUntil processes events with timestamps <= deadline. Events beyond the
 // deadline remain queued; the clock is left at min(deadline, last event).
+// Dispatch order is the strict global (at, seq) minimum across all wheels,
+// so the wheel partition never changes behavior — only locality.
+//
+//camlint:hotpath
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
-	for e.events.len() > 0 && !e.stopped {
-		if e.events.ev[0].at > deadline {
+	for e.pending > 0 && !e.stopped {
+		// Cross-wheel minimum. Fast path: the cached argmin still beats the
+		// secondHead lower bound, so no other wheel can hold an earlier
+		// event (pops only ever happen here, and pushes maintain the cache).
+		// Ties are impossible between live events (seq is unique), and an
+		// all-empty tie at (MaxTime, ^0) exits via the deadline check.
+		var w int
+		var h wheelHead
+		if m := e.heads[e.minW]; e.minValid &&
+			(m.at < e.secondHead.at || (m.at == e.secondHead.at && m.seq <= e.secondHead.seq)) {
+			w, h = e.minW, m
+		} else {
+			// Full scan of the compact head cache; rebuild the runner-up
+			// bound alongside the minimum.
+			w = 0
+			h = e.heads[0]
+			second := emptyHead
+			for i := 1; i < len(e.heads); i++ {
+				hi := e.heads[i]
+				if hi.at < h.at || (hi.at == h.at && hi.seq < h.seq) {
+					second = h
+					w, h = i, hi
+				} else if hi.at < second.at || (hi.at == second.at && hi.seq < second.seq) {
+					second = hi
+				}
+			}
+			e.minW, e.secondHead, e.minValid = w, second, true
+		}
+		if h.at > deadline {
 			break
 		}
-		ev := e.events.pop()
+		q := &e.wheels[w]
+		ev := q.popMin()
+		e.heads[w] = q.head()
+		e.pending--
 		if t, ok := ev.cb.(*Timer); ok && t.dead {
 			continue // canceled: discard without advancing the clock
 		}
 		if ev.at > e.now {
 			e.now = ev.at
 		}
+		e.curWheel = w
 		switch {
 		case ev.p != nil:
 			e.runProc(ev.p)
@@ -337,6 +485,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 			ev.fn()
 		}
 	}
+	e.curWheel = 0
 	return e.now
 }
 
@@ -371,7 +520,11 @@ func (e *Engine) Shutdown() {
 		e.free = e.free[:len(e.free)-1]
 		e.kill(p)
 	}
-	e.events = eventQueue{}
+	e.wheels = make([]eventQueue, 1)
+	e.heads = []wheelHead{emptyHead}
+	e.pending = 0
+	e.minW = 0
+	e.minValid = false
 }
 
 // kill wakes p with the killed flag set and waits for its goroutine to
@@ -382,19 +535,31 @@ func (e *Engine) kill(p *Proc) {
 	<-e.yield
 }
 
-// Pending reports the number of queued events.
-func (e *Engine) Pending() int { return e.events.len() }
+// Pending reports the number of queued events across all wheels.
+func (e *Engine) Pending() int { return e.pending }
 
 // Live reports the number of started-but-unfinished processes.
 func (e *Engine) Live() int { return len(e.live) }
 
-// Signal is a one-shot event: processes Wait on it, someone Fires it. After
-// firing, Wait returns immediately. Fire is idempotent.
+// sigWaiter is one parked waiter on a Signal: a process (resumed via the
+// allocation-free fast path on its own wheel) or a callback (scheduled on
+// the wheel it registered with). Both consume exactly one event with one
+// sequence number when the signal fires, in registration order, so swapping
+// a process waiter for a callback waiter never perturbs the event trace.
+type sigWaiter struct {
+	p     *Proc
+	cb    Callback
+	wheel int
+}
+
+// Signal is a one-shot event: processes Wait on it (or callbacks register
+// via WaitCallback), someone Fires it. After firing, Wait returns
+// immediately. Fire is idempotent.
 type Signal struct {
 	e       *Engine
 	name    string
 	fired   bool
-	waiters []*Proc
+	waiters []sigWaiter
 }
 
 // NewSignal creates an unfired signal.
@@ -412,9 +577,15 @@ func (s *Signal) Fire() {
 		return
 	}
 	s.fired = true
-	for i, p := range s.waiters {
-		s.waiters[i] = nil
-		s.e.scheduleResume(p, 0)
+	for i := range s.waiters {
+		w := s.waiters[i]
+		s.waiters[i] = sigWaiter{}
+		if w.p != nil {
+			s.e.scheduleResume(w.p, 0)
+		} else {
+			s.e.seq++
+			s.e.pushEvent(w.wheel, event{at: s.e.now, seq: s.e.seq, cb: w.cb})
+		}
 	}
 	// Keep the backing array: a signal that is re-armed with Reset and
 	// waited on again reuses it instead of growing a fresh one.
@@ -436,8 +607,23 @@ func (p *Proc) Wait(s *Signal) {
 	if s.fired {
 		return
 	}
-	s.waiters = append(s.waiters, p)
+	s.waiters = append(s.waiters, sigWaiter{p: p})
 	p.block()
+}
+
+// WaitCallback registers cb to be scheduled on the given wheel when the
+// signal fires. It is the callback-state-machine analogue of Wait: a poller
+// that has drained its work parks here and is re-entered by a direct call
+// instead of a goroutine rendezvous. If the signal has already fired the
+// callback is scheduled immediately; pollers that must not consume an event
+// in that case check Fired() first, exactly as process loops do before Wait.
+func (s *Signal) WaitCallback(wheel int, cb Callback) {
+	if s.fired {
+		s.e.seq++
+		s.e.pushEvent(wheel, event{at: s.e.now, seq: s.e.seq, cb: cb})
+		return
+	}
+	s.waiters = append(s.waiters, sigWaiter{cb: cb, wheel: wheel})
 }
 
 // WaitTimeout blocks until the signal fires or d elapses. It reports whether
@@ -455,10 +641,10 @@ func (p *Proc) WaitTimeout(s *Signal, d Time) bool {
 	// on s (Fire removes waiters synchronously, so at an exact tie the
 	// already-processed Fire wins and the timer becomes a no-op instead of
 	// resuming p a second time).
-	s.waiters = append(s.waiters, p)
+	s.waiters = append(s.waiters, sigWaiter{p: p})
 	t := p.e.ScheduleTimer(d, func() {
 		for i, w := range s.waiters {
-			if w == p {
+			if w.p == p {
 				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
 				expired = true
 				p.e.runProc(p)
@@ -491,6 +677,22 @@ func (p *Proc) blockNoted(fired, expired *bool) {
 	if !*expired {
 		*fired = true
 	}
+}
+
+// CancelWaitCallback removes a callback waiter registered with WaitCallback
+// before the signal fires, reporting whether it was still registered. It is
+// the callback analogue of WaitTimeout's timer path: a deadline timer that
+// beats the signal deregisters the poller and re-enters it directly; if the
+// signal's Fire already consumed the waiter (an exact-instant tie), the
+// cancel fails and the timer becomes a no-op instead of a double wake.
+func (s *Signal) CancelWaitCallback(cb Callback) bool {
+	for i, w := range s.waiters {
+		if w.cb == cb {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // WaitAll blocks until every listed signal has fired.

@@ -1,10 +1,11 @@
 package sim
 
-// event is one pending queue entry, stored by value: the common resume case
-// (p != nil) carries the process to hand control to with no closure and no
-// heap allocation; cb carries a pre-built Callback object (pooled command
-// state machines schedule themselves this way without boxing a closure per
-// phase); the general case carries an arbitrary fn closure.
+// event is one pending queue entry as handed across the queue API: the
+// common resume case (p != nil) carries the process to hand control to with
+// no closure and no heap allocation; cb carries a pre-built Callback object
+// (pooled command state machines schedule themselves this way without
+// boxing a closure per phase); the general case carries an arbitrary fn
+// closure.
 type event struct {
 	at  Time
 	seq uint64
@@ -13,76 +14,194 @@ type event struct {
 	fn  func()   // general callback path
 }
 
-// less orders events by (time, insertion sequence): a strict total order, so
-// the dispatch sequence is identical for any heap shape.
-func (ev *event) less(other *event) bool {
-	if ev.at != other.at {
-		return ev.at < other.at
-	}
-	return ev.seq < other.seq
+// slotBits is how much of an eventKey's packed word the payload-slot index
+// occupies; the insertion sequence lives above it. 24 bits allow 16M events
+// pending on one wheel at once, and leave 40 bits of sequence — a trillion
+// events per run — before overflow (both guarded in push).
+const slotBits = 24
+
+const slotMask = 1<<slotBits - 1
+
+// eventKey is the heap lane's compact ordering record: the event timestamp
+// plus the insertion sequence packed above the payload-slot index. Ordering
+// by (at, sq) equals ordering by (at, seq) — sequences are unique, so the
+// slot bits can never decide a comparison — while keeping heap entries at
+// 16 bytes: sift operations move and compare a third of the full event
+// struct, and a 4-ary node's children pack into a single cache line.
+type eventKey struct {
+	at Time
+	sq uint64 // seq<<slotBits | payload slot
 }
 
-// eventQueue is a value-typed 4-ary min-heap. Compared to the previous
-// container/heap of *event it performs no interface boxing and no per-event
-// allocation (Push/Pop each cost one amortized slice append), and the wider
-// fan-out halves the tree depth, trading a few extra comparisons per level
-// for far fewer cache-missing element moves — the right trade when siftDown
-// dominates, as it does in a DES where Pop count equals Push count.
+// eventPayload is the callback part of a heap-lane event, parked in a slab
+// indexed by the key's slot bits so heap sifts never move it.
+type eventPayload struct {
+	p  *Proc
+	cb Callback
+	fn func()
+}
+
+// eventQueue is a value-typed 4-ary min-heap of compact keys over a slotted
+// payload slab. Compared to the previous container/heap of *event it
+// performs no interface boxing and no per-event allocation (push/pop each
+// cost one amortized slice append), and the wider fan-out halves the tree
+// depth, trading a few extra comparisons per level for far fewer
+// cache-missing element moves — the right trade when siftDown dominates, as
+// it does in a DES where pop count equals push count.
+//
+// An Engine holds one eventQueue per wheel (see Engine.NewWheel): sharding
+// the pending set by device keeps each heap a few levels deep and hot in
+// cache, while the global dispatch order stays exactly (at, seq) via the
+// wheel-head merge in RunUntil.
 type eventQueue struct {
-	ev []event
+	keys []eventKey     // heap lane ordering records
+	pay  []eventPayload // payload slab, indexed by key slot bits
+	free []int32        // recycled slab slots
+	// nowq is the zero-delay lane: events whose timestamp equals the
+	// engine's current instant at push time. The engine's clock never
+	// rewinds and seq is globally monotone, so appends arrive already
+	// sorted by (at, seq) and a plain ring replaces heap sift entirely —
+	// the dominant case in a polling-heavy DES, where most scheduling is
+	// "run this after the events already queued right now".
+	nowq    []event
+	nowHead int
 }
 
-func (q *eventQueue) len() int { return len(q.ev) }
+// wheelHead mirrors the (at, seq) key of a wheel's earliest event so the
+// cross-wheel minimum is a scan over a compact array instead of a pointer
+// chase into every heap. An empty wheel parks at (MaxTime, ^0), which no
+// real event can tie: seq starts at 1 and at is clamped to MaxTime.
+type wheelHead struct {
+	at  Time
+	seq uint64
+}
 
-// push inserts ev and restores the heap property.
+// emptyHead is the parked key of a wheel with no pending events.
+var emptyHead = wheelHead{at: MaxTime, seq: ^uint64(0)}
+
+// head reports the queue's current minimum key across both lanes. The nowq
+// lane is sorted, so its head is its first live entry; heap-lane ties are
+// impossible (seq is unique) and the lexicographic (at, seq) comparison
+// picks the global lane minimum.
+func (q *eventQueue) head() wheelHead {
+	h := emptyHead
+	if len(q.keys) > 0 {
+		h = wheelHead{at: q.keys[0].at, seq: q.keys[0].sq >> slotBits}
+	}
+	if q.nowHead < len(q.nowq) {
+		f := &q.nowq[q.nowHead]
+		if f.at < h.at || (f.at == h.at && f.seq < h.seq) {
+			h = wheelHead{at: f.at, seq: f.seq}
+		}
+	}
+	return h
+}
+
+func (q *eventQueue) len() int { return len(q.keys) + len(q.nowq) - q.nowHead }
+
+// pushNow appends ev to the zero-delay lane. Callers guarantee ev.at equals
+// the engine's current instant, which keeps the lane sorted by construction.
+//
+//camlint:hotpath
+func (q *eventQueue) pushNow(ev event) {
+	q.nowq = append(q.nowq, ev) //camlint:allow hotalloc -- amortized ring growth; steady state reuses capacity
+}
+
+// popMin removes and returns the earliest event across both lanes.
+//
+//camlint:hotpath
+func (q *eventQueue) popMin() event {
+	if q.nowHead < len(q.nowq) {
+		f := &q.nowq[q.nowHead]
+		if len(q.keys) == 0 || f.at < q.keys[0].at || (f.at == q.keys[0].at && f.seq < q.keys[0].sq>>slotBits) {
+			ev := *f
+			*f = event{} // never pin a dead callback or process
+			q.nowHead++
+			if q.nowHead == len(q.nowq) {
+				q.nowq = q.nowq[:0]
+				q.nowHead = 0
+			}
+			return ev
+		}
+	}
+	return q.pop()
+}
+
+// push inserts ev: the callback part parks in a slab slot, and a compact
+// (at, seq|slot) key sifts up the heap.
 func (q *eventQueue) push(ev event) {
-	q.ev = append(q.ev, ev)
-	i := len(q.ev) - 1
+	if ev.seq >= 1<<(64-slotBits) {
+		panic("sim: event sequence overflows key packing")
+	}
+	var slot int32
+	if n := len(q.free); n > 0 {
+		slot = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		slot = int32(len(q.pay))
+		if slot > slotMask {
+			panic("sim: too many pending events on one wheel")
+		}
+		q.pay = append(q.pay, eventPayload{}) //camlint:allow hotalloc -- amortized slab growth; steady state reuses capacity
+	}
+	q.pay[slot] = eventPayload{p: ev.p, cb: ev.cb, fn: ev.fn}
+	k := eventKey{at: ev.at, sq: ev.seq<<slotBits | uint64(slot)}
+	q.keys = append(q.keys, k) //camlint:allow hotalloc -- amortized heap growth; steady state reuses capacity
+	i := len(q.keys) - 1
 	for i > 0 {
 		parent := (i - 1) / 4
-		if !q.ev[i].less(&q.ev[parent]) {
+		p := q.keys[parent]
+		if k.at > p.at || (k.at == p.at && k.sq > p.sq) {
 			break
 		}
-		q.ev[i], q.ev[parent] = q.ev[parent], q.ev[i]
+		q.keys[i] = p
 		i = parent
 	}
+	q.keys[i] = k
 }
 
-// pop removes and returns the earliest event. It zeroes the vacated tail
-// slot so the queue never pins a dead callback or process.
+// pop removes and returns the earliest event, recycling its slab slot and
+// zeroing the payload so the queue never pins a dead callback or process.
 func (q *eventQueue) pop() event {
-	top := q.ev[0]
-	n := len(q.ev) - 1
-	q.ev[0] = q.ev[n]
-	q.ev[n] = event{}
-	q.ev = q.ev[:n]
+	top := q.keys[0]
+	slot := int32(top.sq & slotMask)
+	pl := q.pay[slot]
+	q.pay[slot] = eventPayload{}
+	q.free = append(q.free, slot) //camlint:allow hotalloc -- free list grows to the pending-event high-water mark, then reuses capacity
+	n := len(q.keys) - 1
+	q.keys[0] = q.keys[n]
+	q.keys = q.keys[:n]
 	if n > 1 {
 		q.siftDown(0)
 	}
-	return top
+	return event{at: top.at, seq: top.sq >> slotBits, p: pl.p, cb: pl.cb, fn: pl.fn}
 }
 
 func (q *eventQueue) siftDown(i int) {
-	n := len(q.ev)
+	n := len(q.keys)
+	k := q.keys[i]
 	for {
 		first := 4*i + 1
 		if first >= n {
-			return
+			break
 		}
 		min := first
+		mk := q.keys[first]
 		last := first + 4
 		if last > n {
 			last = n
 		}
 		for c := first + 1; c < last; c++ {
-			if q.ev[c].less(&q.ev[min]) {
-				min = c
+			ck := q.keys[c]
+			if ck.at < mk.at || (ck.at == mk.at && ck.sq < mk.sq) {
+				min, mk = c, ck
 			}
 		}
-		if !q.ev[min].less(&q.ev[i]) {
-			return
+		if mk.at > k.at || (mk.at == k.at && mk.sq > k.sq) {
+			break
 		}
-		q.ev[i], q.ev[min] = q.ev[min], q.ev[i]
+		q.keys[i] = mk
 		i = min
 	}
+	q.keys[i] = k
 }

@@ -371,15 +371,16 @@ func (r *Reactor) inFlight(di int) int {
 	return n
 }
 
-// Start launches the reactor processes. Devices must be Started separately.
+// Start launches the reactor state machines. Devices must be Started
+// separately.
 func (d *Driver) Start() {
 	if d.started {
 		panic("spdk: Start called twice")
 	}
 	d.started = true
 	for _, r := range d.reactors {
-		r := r
-		d.e.Go(fmt.Sprintf("spdk.reactor%d", r.id), r.run)
+		st := &reactorStep{r: r, wheel: d.e.CurWheel(), armed: d.cfg.CmdTimeout > 0}
+		d.e.ScheduleCallbackOn(st.wheel, 0, st)
 	}
 }
 
@@ -436,105 +437,257 @@ const maxXfer = 128 << 10
 // MaxTransfer reports the per-command transfer limit.
 func MaxTransfer() int64 { return maxXfer }
 
-// run is the reactor loop: drain the app submission queue, push SQEs, poll
-// CQs, repeat; idle-wait on signals when there is nothing to do (the
-// equivalent cycles are accounted as poll iterations).
+// reactorStep phases. Phases marked (resume) are re-entry points after a
+// self-scheduled callback or a wake; the rest are internal sweep positions.
+const (
+	rpIterStart  uint8 = iota // top of a sweep: collect due retries
+	rpDrainDue                // submitting collected due retries
+	rpDrainQueue              // draining the app submission queue
+	rpPollCQ                  // polling owned completion queues
+	rpSubmitB                 // (resume) SubmitCost elapsed: push the SQE
+	rpCompleteB               // (resume) CompleteCost elapsed: route the CQE
+	rpExpire                  // scanning in-flight deadlines
+	rpExpireCont              // post-expiry dead-device check
+	rpIdleCheck               // end of sweep: idle accounting decision
+	rpIdleSlept               // (resume) idle poll-iteration cost elapsed
+	rpSigWake                 // (resume) woken by a submit/completion signal
+)
+
+// reactorStep is the reactor polling loop as an engine-callback state
+// machine, replacing the reactor process. The sweep structure is preserved
+// exactly — retry drain, queue drain, CQ poll, deadline expiry, idle
+// accounting, in that order — with each Sleep the process version performed
+// mapped to one self-scheduled callback and each blocking wait mapped to a
+// signal callback (identical event counts and sequence numbering, so the
+// event trace is unchanged); what disappears is the two-goroutine
+// rendezvous per resume, the dominant per-command overhead.
+//
+//camlint:pool
+type reactorStep struct {
+	r     *Reactor
+	wheel int   // wheel self-scheduled events land on (the old process pin)
+	phase uint8 // current sweep position / resume point
+	armed bool  // cfg.CmdTimeout > 0, constant
+	// progressed records whether the current sweep did any work; an idle
+	// sweep charges one poll iteration and parks.
+	progressed bool
+
+	// due is the retry batch collected at rpIterStart (reused backing).
+	due    []*Request
+	dueIdx int
+
+	// devIdx is the CQ-poll position within r.devs.
+	devIdx int
+
+	// subReq/subRet carry one submission across its SubmitCost callback:
+	// the request being pushed and the phase to re-enter afterwards.
+	subReq *Request
+	subRet uint8
+
+	// creq/cdi/cqe carry one completion across its CompleteCost callback.
+	creq *Request
+	cdi  int
+	cqe  nvme.CQE
+
+	// expDev/expCid are the deadline-scan position; expNow is the scan's
+	// time snapshot (the process version compared against the time expire
+	// started, not a refreshed clock after mid-scan submits).
+	expDev, expCid int
+	expNow         sim.Time
+
+	// Idle-wait state: the armed wake signal, the optional deadline timer,
+	// and when the wait began (for the poll-cycle charge at wake-up).
+	waitStart sim.Time
+	sig       *sim.Signal
+	timer     *sim.Timer
+}
+
+// Run advances the sweep until it parks: on a cost callback (SubmitCost,
+// CompleteCost, idle iteration) or on the idle wake signal.
 //
 //camlint:hotpath
-func (r *Reactor) run(p *sim.Proc) {
+func (s *reactorStep) Run() {
+	r := s.r
+	e := r.d.e
 	cfg := r.d.cfg
-	armed := cfg.CmdTimeout > 0
 	for {
-		progressed := false
-
-		// Re-submit retries whose backoff has elapsed.
-		if armed && len(r.retries) > 0 {
-			progressed = r.drainRetries(p) || progressed
-		}
-
-		// Drain app submissions while slots are available.
-		for {
-			req, ok := r.queue.TryGet()
-			if !ok {
-				break
+		switch s.phase {
+		case rpIterStart:
+			s.progressed = false
+			if s.armed && len(r.retries) > 0 {
+				// Collect due retries before any submit call, because
+				// submit can grow r.retries again (fail-fast → deliver →
+				// a Sink that submits).
+				now := e.Now()
+				kept := r.retries[:0]
+				for _, re := range r.retries {
+					if re.at <= now {
+						s.due = append(s.due, re.req)
+					} else {
+						kept = append(kept, re)
+					}
+				}
+				r.retries = kept
+				if len(s.due) > 0 {
+					s.progressed = true
+				}
 			}
-			r.submit(p, req)
-			progressed = true
-		}
+			s.dueIdx = 0
+			s.phase = rpDrainDue
 
-		// Poll completions on every owned queue pair. A device can be
-		// reassigned (SetActiveReactors) while this loop is suspended in
-		// submit/complete sleeps, so tolerate entries that moved away.
-		for _, di := range r.devs {
-			qp := r.qps[di]
-			if qp == nil {
+		case rpDrainDue:
+			// Re-submit retries whose backoff has elapsed.
+			if s.dueIdx == len(s.due) {
+				for i := range s.due {
+					s.due[i] = nil
+				}
+				s.due = s.due[:0]
+				s.dueIdx = 0
+				s.phase = rpDrainQueue
 				continue
 			}
-			for {
-				cqe, ok := qp.CQ.Poll()
-				if !ok {
-					break
-				}
-				r.complete(p, di, cqe)
-				progressed = true
+			req := s.due[s.dueIdx]
+			s.dueIdx++
+			if s.submitA(req, rpDrainDue) {
+				return
 			}
-		}
 
-		// Expire deadlines after polling, so a completion that raced its
-		// own timeout wins deterministically.
-		if armed {
-			progressed = r.expire(p) || progressed
-		}
+		case rpDrainQueue:
+			// Drain app submissions while slots are available.
+			req, ok := r.queue.TryGet()
+			if !ok {
+				s.devIdx = 0
+				s.phase = rpPollCQ
+				continue
+			}
+			s.progressed = true
+			if s.submitA(req, rpDrainQueue) {
+				return
+			}
 
-		if progressed {
-			continue
-		}
+		case rpPollCQ:
+			// Poll completions on every owned queue pair. A device can be
+			// reassigned (SetActiveReactors) while the sweep is suspended
+			// in submit/complete callbacks, so tolerate entries that moved
+			// away.
+			if s.devIdx >= len(r.devs) {
+				if s.armed {
+					// Expire deadlines after polling, so a completion that
+					// raced its own timeout wins deterministically.
+					s.expDev, s.expCid = 0, 0
+					s.expNow = e.Now()
+					s.phase = rpExpire
+				} else {
+					s.phase = rpIdleCheck
+				}
+				continue
+			}
+			di := r.devs[s.devIdx]
+			qp := r.qps[di]
+			if qp == nil {
+				s.devIdx++
+				continue
+			}
+			cqe, ok := qp.CQ.Poll()
+			if !ok {
+				s.devIdx++
+				continue
+			}
+			s.progressed = true
+			req := r.flight[di][cqe.CID]
+			if req == nil {
+				panic("spdk: completion for unknown CID")
+			}
+			r.flight[di][cqe.CID] = nil
+			s.creq, s.cdi, s.cqe = req, di, cqe
+			s.phase = rpCompleteB
+			e.ScheduleCallbackOn(s.wheel, cfg.CompleteCost, s)
+			return
 
-		// Idle: account one poll sweep, then sleep until either new
-		// submissions or a completion arrives.
-		r.Stat.Charge(cfg.PollIterInstr*float64(len(r.devs)), cfg.IPC)
-		p.Sleep(cfg.PollIterCost * sim.Time(len(r.devs)))
-		if r.anythingPending() {
-			continue
-		}
-		r.waitForWork(p)
-	}
-}
+		case rpSubmitB:
+			// SubmitCost elapsed: push the SQE and ring the doorbell.
+			r.Stat.Charge(cfg.SubmitInstr, cfg.IPC)
+			req := s.subReq
+			s.subReq = nil
+			di := req.Dev
+			cid := r.allocCID(di)
+			req.cid = cid
+			req.attempts++
+			if cfg.CmdTimeout > 0 {
+				req.deadline = e.Now() + cfg.CmdTimeout
+			}
+			r.flight[di][cid] = req
+			sqe := nvme.SQE{
+				Opcode: req.Op, CID: cid, NSID: 1,
+				PRP1: uint64(req.Addr), SLBA: req.SLBA, NLB: req.NLB,
+			}
+			qp := r.qps[di]
+			if err := qp.SQ.Push(sqe); err != nil {
+				panic("spdk: SQ overflow despite slot limiter: " + err.Error())
+			}
+			// Writes whose source is host DRAM cost a DRAM read crossing
+			// when the device fetches the data.
+			if req.Op == nvme.OpWrite && r.d.isHostAddr(req.Addr) {
+				r.d.hm.ReserveTraffic(req.Bytes())
+			}
+			r.d.devs[di].Ring(qp)
+			s.phase = s.subRet
 
-// drainRetries re-submits retry entries whose backoff has elapsed. The due
-// set is collected before any submit call, because submit can grow
-// r.retries again (fail-fast → deliver → a Sink that submits).
-func (r *Reactor) drainRetries(p *sim.Proc) bool {
-	now := p.Now()
-	var due []*Request
-	kept := r.retries[:0]
-	for _, re := range r.retries {
-		if re.at <= now {
-			due = append(due, re.req)
-		} else {
-			kept = append(kept, re)
-		}
-	}
-	r.retries = kept
-	for _, req := range due {
-		r.submit(p, req)
-	}
-	return len(due) > 0
-}
+		case rpCompleteB:
+			// CompleteCost elapsed: route the reaped CQE.
+			r.Stat.Charge(cfg.CompleteInstr, cfg.IPC)
+			req := s.creq
+			s.creq = nil
+			di := s.cdi
+			// Reads that landed in host DRAM cost one DRAM write crossing.
+			if req.Op == nvme.OpRead && r.d.isHostAddr(req.Addr) {
+				r.d.hm.ReserveTraffic(req.Bytes())
+			}
+			req.Status = s.cqe.Status
+			r.Stat.Done(1)
+			r.slots[di].Release(1)
+			r.consecTO[di] = 0
+			if s.cqe.Status != nvme.StatusSuccess {
+				r.finishOrRetry(req)
+			} else {
+				r.deliver(req)
+			}
+			// Admit a deferred request if any, then resume polling the
+			// same device's CQ.
+			if len(r.pending) > 0 {
+				next := r.pending[0]
+				r.pending = r.pending[1:]
+				if s.submitA(next, rpPollCQ) {
+					return
+				}
+			}
+			s.phase = rpPollCQ
 
-// expire aborts commands whose deadline passed, synthesizing
-// StatusCmdTimeout completions and feeding them into retry or delivery.
-// Reports whether anything expired.
-func (r *Reactor) expire(p *sim.Proc) bool {
-	now := p.Now()
-	progressed := false
-	for _, di := range r.devs {
-		qp := r.qps[di]
-		if qp == nil {
-			continue
-		}
-		for cid, req := range r.flight[di] {
-			if req == nil || req.deadline == 0 || now < req.deadline {
+		case rpExpire:
+			// Abort commands whose deadline passed, synthesizing
+			// StatusCmdTimeout completions and feeding them into retry or
+			// delivery.
+			if s.expDev >= len(r.devs) {
+				s.phase = rpIdleCheck
+				continue
+			}
+			di := r.devs[s.expDev]
+			qp := r.qps[di]
+			if qp == nil {
+				s.expDev++
+				s.expCid = 0
+				continue
+			}
+			fl := r.flight[di]
+			if s.expCid >= len(fl) {
+				s.expDev++
+				s.expCid = 0
+				continue
+			}
+			cid := s.expCid
+			s.expCid++
+			req := fl[cid]
+			if req == nil || req.deadline == 0 || s.expNow < req.deadline {
 				continue
 			}
 			if r.d.devs[di].Abort(qp, uint16(cid)) == ssd.AbortNotFound {
@@ -542,8 +695,8 @@ func (r *Reactor) expire(p *sim.Proc) bool {
 				// completion beat the timeout; reap it on the next sweep.
 				continue
 			}
-			progressed = true
-			r.flight[di][cid] = nil
+			s.progressed = true
+			fl[cid] = nil
 			r.slots[di].Release(1)
 			r.d.rec.Timeouts++
 			r.d.tr.Emit(trace.IOTimeout, r.d.devs[di].Name,
@@ -551,21 +704,148 @@ func (r *Reactor) expire(p *sim.Proc) bool {
 			req.Status = nvme.StatusCmdTimeout
 			r.consecTO[di]++
 			if th := r.d.cfg.FailThreshold; th > 0 && r.consecTO[di] >= th && !r.d.failed[di] {
-				r.markDeviceFailed(p, di)
+				r.markDeviceFailed(di)
 			}
-			r.finishOrRetry(p, req)
-			r.admitPending(p)
-			if r.d.failed[di] {
-				break // markDeviceFailed already flushed this device
+			r.finishOrRetry(req)
+			if len(r.pending) > 0 {
+				next := r.pending[0]
+				r.pending = r.pending[1:]
+				if s.submitA(next, rpExpireCont) {
+					return
+				}
 			}
+			s.phase = rpExpireCont
+
+		case rpExpireCont:
+			// A device declared dead mid-scan is abandoned:
+			// markDeviceFailed already flushed it.
+			if r.d.failed[r.devs[s.expDev]] {
+				s.expDev++
+				s.expCid = 0
+			}
+			s.phase = rpExpire
+
+		case rpIdleCheck:
+			if s.progressed {
+				s.phase = rpIterStart
+				continue
+			}
+			// Idle: account one poll sweep, then sleep until either new
+			// submissions or a completion arrives.
+			r.Stat.Charge(cfg.PollIterInstr*float64(len(r.devs)), cfg.IPC)
+			s.phase = rpIdleSlept
+			e.ScheduleCallbackOn(s.wheel, cfg.PollIterCost*sim.Time(len(r.devs)), s)
+			return
+
+		case rpIdleSlept:
+			if r.anythingPending() {
+				s.phase = rpIterStart
+				continue
+			}
+			// Wait until a submission or completion signal fires — or,
+			// when recovery is armed, until the earliest pending command
+			// deadline or retry backoff, whichever comes first. Without
+			// that bound an idle reactor holding only a dropped command
+			// (no CQE will ever post) would sleep forever and wedge the
+			// engine.
+			start := e.Now()
+			s.waitStart = start
+			sig := r.wakeSignal()
+			next := r.nextWake()
+			if next > 0 && next <= start {
+				// A deadline already due falls through without sleeping;
+				// the next sweep expires it.
+				s.phase = rpIterStart
+				continue
+			}
+			if sig.Fired() {
+				// An already-fired wake returns immediately: no event, no
+				// waited time to charge.
+				s.phase = rpIterStart
+				continue
+			}
+			s.sig = sig
+			s.phase = rpSigWake
+			sig.WaitCallback(s.wheel, s)
+			if next > 0 {
+				s.timer = e.ScheduleTimer(next-start, s.deadlineWake)
+			}
+			return
+
+		case rpSigWake:
+			// Woken by a submission or completion signal; a still-armed
+			// deadline timer is beaten and canceled, exactly as the
+			// process version canceled it after a fired WaitTimeout.
+			if s.timer != nil {
+				s.timer.Cancel()
+				s.timer = nil
+			}
+			s.sig = nil
+			s.chargeWait()
+			s.phase = rpIterStart
 		}
 	}
-	return progressed
+}
+
+// submitA is the pre-cost half of a submission: fail-fast and defer paths
+// complete synchronously (no virtual time passes, matching the process
+// version, which only slept after acquiring a slot); otherwise the request
+// is parked on s.subReq and the sweep resumes in rpSubmitB once SubmitCost
+// elapses. Reports whether the sweep parked.
+func (s *reactorStep) submitA(req *Request, ret uint8) bool {
+	r := s.r
+	di := req.Dev
+	// A dead device answers nothing: fail fast instead of burning a
+	// timeout per command.
+	if r.d.failed[di] {
+		req.Status = nvme.StatusDevFailed
+		r.d.rec.FastFails++
+		r.deliver(req)
+		return false
+	}
+	// Respect the in-flight bound without blocking the reactor: requeue
+	// if the pair is full.
+	if !r.slots[di].TryAcquire(1) {
+		r.pending = append(r.pending, req)
+		return false
+	}
+	s.subReq = req
+	s.subRet = ret
+	s.phase = rpSubmitB
+	r.d.e.ScheduleCallbackOn(s.wheel, r.d.cfg.SubmitCost, s)
+	return true
+}
+
+// deadlineWake is the idle-wait deadline timer: it re-enters the sweep with
+// a direct call (no event), exactly as the process version's timer resumed
+// the blocked process via a direct hand-off. If the wake signal's Fire
+// already consumed the parked waiter at this same instant, the cancel fails
+// and the timer is a no-op — the scheduled wake event wins the tie.
+func (s *reactorStep) deadlineWake() {
+	if !s.sig.CancelWaitCallback(s) {
+		return
+	}
+	s.timer = nil
+	s.sig = nil
+	s.chargeWait()
+	s.phase = rpIterStart
+	s.Run()
+}
+
+// chargeWait accounts the poll cycles a real poll-mode reactor would have
+// burned through the just-finished idle wait.
+func (s *reactorStep) chargeWait() {
+	r := s.r
+	waited := r.d.e.Now() - s.waitStart
+	if waited > 0 {
+		iters := float64(waited) / float64(r.d.cfg.PollIterCost*sim.Time(len(r.devs))+1)
+		r.Stat.Charge(iters*r.d.cfg.PollIterInstr*float64(len(r.devs)), r.d.cfg.IPC)
+	}
 }
 
 // finishOrRetry routes a failed command: retryable statuses re-submit with
 // exponential backoff until MaxRetries; everything else is delivered.
-func (r *Reactor) finishOrRetry(p *sim.Proc, req *Request) {
+func (r *Reactor) finishOrRetry(req *Request) {
 	cfg := r.d.cfg
 	if cfg.CmdTimeout > 0 && req.Status.Retryable() &&
 		req.attempts <= cfg.MaxRetries && !r.d.failed[req.Dev] {
@@ -573,7 +853,7 @@ func (r *Reactor) finishOrRetry(p *sim.Proc, req *Request) {
 		r.d.rec.Retries++
 		r.d.tr.Emit(trace.IORetry, r.d.devs[req.Dev].Name,
 			fmt.Sprintf("%s attempt %d in %s", req.Op, req.attempts+1, backoff), int64(req.SLBA))
-		r.retries = append(r.retries, retryEntry{req: req, at: p.Now() + backoff})
+		r.retries = append(r.retries, retryEntry{req: req, at: r.d.e.Now() + backoff})
 		return
 	}
 	r.deliver(req)
@@ -611,7 +891,7 @@ func (r *Reactor) deliver(req *Request) {
 // aborted and failed, queued work for it fails fast, and r.submit rejects
 // all future commands with StatusDevFailed. The engine degrades instead of
 // wedging — RAID0 callers observe per-request errors and accurate stats.
-func (r *Reactor) markDeviceFailed(p *sim.Proc, di int) {
+func (r *Reactor) markDeviceFailed(di int) {
 	r.d.failed[di] = true
 	r.d.rec.DeviceFailures++
 	r.d.tr.Emit(trace.DeviceFail, r.d.devs[di].Name,
@@ -655,15 +935,6 @@ func (r *Reactor) markDeviceFailed(p *sim.Proc, di int) {
 	r.pending = keptPending
 }
 
-// admitPending submits one deferred request if a slot freed up.
-func (r *Reactor) admitPending(p *sim.Proc) {
-	if len(r.pending) > 0 {
-		next := r.pending[0]
-		r.pending = r.pending[1:]
-		r.submit(p, next)
-	}
-}
-
 // anythingPending reports whether there is immediate work.
 func (r *Reactor) anythingPending() bool {
 	if r.queue.Len() > 0 {
@@ -675,33 +946,6 @@ func (r *Reactor) anythingPending() bool {
 		}
 	}
 	return false
-}
-
-// waitForWork blocks until a submission or completion signal fires — or,
-// when recovery is armed, until the earliest pending command deadline or
-// retry backoff, whichever comes first. Without that bound an idle reactor
-// holding only a dropped command (no CQE will ever post) would sleep
-// forever and wedge the engine. Poll cycles burned while "waiting" are
-// accounted at wake-up: a real poll-mode reactor spins through this
-// interval, so its instruction counters advance even though the simulation
-// sleeps.
-func (r *Reactor) waitForWork(p *sim.Proc) {
-	start := p.Now()
-	sig := r.wakeSignal()
-	if next := r.nextWake(); next > 0 {
-		if next > start {
-			p.WaitTimeout(sig, next-start)
-		}
-		// A deadline already due falls through without sleeping; the next
-		// loop iteration expires it.
-	} else {
-		p.Wait(sig)
-	}
-	waited := p.Now() - start
-	if waited > 0 {
-		iters := float64(waited) / float64(r.d.cfg.PollIterCost*sim.Time(len(r.devs))+1)
-		r.Stat.Charge(iters*r.d.cfg.PollIterInstr*float64(len(r.devs)), r.d.cfg.IPC)
-	}
 }
 
 // nextWake reports the earliest armed command deadline or retry-backoff
@@ -751,86 +995,28 @@ func (r *Reactor) wakeSignal() *sim.Signal {
 	return sig
 }
 
+// cqRelay forwards one CQ post to a reactor wake signal. It replaces the
+// per-arm watcher process this used to spawn: registering a callback waiter
+// costs one slice append where the process cost an event plus two goroutine
+// rendezvous per idle cycle per CQ — the dominant idle-path overhead with
+// many devices per reactor.
+type cqRelay struct {
+	cq  *nvme.CQ
+	sig *sim.Signal
+}
+
+// Run relays the post (engine-callback context). Stale relays from earlier
+// idle cycles fire alongside the live one, exactly as the stale watcher
+// processes did: the extra Reset is a no-op and firing an abandoned wake
+// signal is idempotent.
+func (c *cqRelay) Run() {
+	c.cq.OnPost.Reset()
+	c.sig.Fire()
+}
+
 // cqWatch fires sig when cq posts next.
 func (r *Reactor) cqWatch(cq *nvme.CQ, sig *sim.Signal) {
-	r.d.e.Go("cqwatch", func(p *sim.Proc) {
-		p.Wait(cq.OnPost)
-		cq.OnPost.Reset()
-		sig.Fire()
-	})
-}
-
-// submit pushes one request into its queue pair (reactor CPU time).
-func (r *Reactor) submit(p *sim.Proc, req *Request) {
-	cfg := r.d.cfg
-	di := req.Dev
-	// A dead device answers nothing: fail fast instead of burning a
-	// timeout per command.
-	if r.d.failed[di] {
-		req.Status = nvme.StatusDevFailed
-		r.d.rec.FastFails++
-		r.deliver(req)
-		return
-	}
-	// Respect the in-flight bound without blocking the reactor: requeue
-	// if the pair is full.
-	if !r.slots[di].TryAcquire(1) {
-		r.pending = append(r.pending, req)
-		return
-	}
-	p.Sleep(cfg.SubmitCost)
-	r.Stat.Charge(cfg.SubmitInstr, cfg.IPC)
-
-	cid := r.allocCID(di)
-	req.cid = cid
-	req.attempts++
-	if cfg.CmdTimeout > 0 {
-		req.deadline = p.Now() + cfg.CmdTimeout
-	}
-	r.flight[di][cid] = req
-	sqe := nvme.SQE{
-		Opcode: req.Op, CID: cid, NSID: 1,
-		PRP1: uint64(req.Addr), SLBA: req.SLBA, NLB: req.NLB,
-	}
-	qp := r.qps[di]
-	if err := qp.SQ.Push(sqe); err != nil {
-		panic("spdk: SQ overflow despite slot limiter: " + err.Error())
-	}
-	// Writes whose source is host DRAM cost a DRAM read crossing when the
-	// device fetches the data.
-	if req.Op == nvme.OpWrite && r.d.isHostAddr(req.Addr) {
-		r.d.hm.ReserveTraffic(req.Bytes())
-	}
-	r.d.devs[di].Ring(qp)
-}
-
-// complete reaps one CQE (reactor CPU time) and routes it: retryable
-// failures re-submit (recovery armed), everything else is delivered via
-// Sink callback, then OnDone, then the Done signal.
-func (r *Reactor) complete(p *sim.Proc, di int, cqe nvme.CQE) {
-	cfg := r.d.cfg
-	req := r.flight[di][cqe.CID]
-	if req == nil {
-		panic("spdk: completion for unknown CID")
-	}
-	r.flight[di][cqe.CID] = nil
-	p.Sleep(cfg.CompleteCost)
-	r.Stat.Charge(cfg.CompleteInstr, cfg.IPC)
-	// Reads that landed in host DRAM cost one DRAM write crossing.
-	if req.Op == nvme.OpRead && r.d.isHostAddr(req.Addr) {
-		r.d.hm.ReserveTraffic(req.Bytes())
-	}
-	req.Status = cqe.Status
-	r.Stat.Done(1)
-	r.slots[di].Release(1)
-	r.consecTO[di] = 0
-	if cqe.Status != nvme.StatusSuccess {
-		r.finishOrRetry(p, req)
-	} else {
-		r.deliver(req)
-	}
-	// Admit a deferred request if any.
-	r.admitPending(p)
+	cq.OnPost.WaitCallback(0, &cqRelay{cq: cq, sig: sig})
 }
 
 func (r *Reactor) allocCID(di int) uint16 {

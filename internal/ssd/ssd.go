@@ -121,10 +121,17 @@ type Device struct {
 	ftl   *FTL
 	rng   *sim.RNG
 
+	// wheel is the device's private event wheel: the controller process and
+	// every event it schedules (command phases, completions) heap together,
+	// keeping the per-device pending set shallow and cache-hot. Dispatch
+	// order across devices is unchanged — wheels merge by global (time, seq).
+	wheel int
+
 	qps         []*nvme.QueuePair
 	admin       *adminState
 	anyDoorbell *sim.Signal
 	running     bool
+	ctrl        ctrlPoll
 
 	// inj is the device's fault-decision stream; nil means every command
 	// succeeds (every call on it is nil-safe, so the hot path never
@@ -170,12 +177,16 @@ func New(e *sim.Engine, name string, cfg Config, fab *pcie.Fabric, space *mem.Sp
 	if op <= 0 {
 		op = 0.07
 	}
+	if fab.Engine() != e {
+		panic("ssd: " + name + " constructed on a different engine/shard than its fabric; device and fabric must share a shard")
+	}
 	return &Device{
 		Name:        name,
 		cfg:         cfg,
 		e:           e,
 		fab:         fab,
 		space:       space,
+		wheel:       e.NewWheel(),
 		store:       NewStore(uint64(cfg.CapacityBytes) / nvme.LBASize),
 		ftl:         NewFTL(DefaultFTLConfig(cfg.CapacityBytes, op)),
 		rng:         sim.NewRNG(cfg.Seed),
@@ -204,6 +215,14 @@ func (d *Device) SetTracer(tr *trace.Tracer) { d.tr = tr }
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// Wheel reports the device's private event wheel. Host-side pollers bound
+// to one device (completion loops, CQ relays) schedule their wake events on
+// it so the device's whole event stream stays on one heap.
+func (d *Device) Wheel() int { return d.wheel }
+
+// Engine reports the engine the device lives on (its shard affinity).
+func (d *Device) Engine() *sim.Engine { return d.e }
 
 // Store exposes the backing store (tests and dataset loaders use it to
 // pre-populate data without paying simulated time).
@@ -248,14 +267,25 @@ func (d *Device) Start() {
 		panic("ssd: Start called twice on " + d.Name)
 	}
 	d.running = true
-	d.e.Go(d.Name+".ctrl", d.controller)
+	d.ctrl.d = d
+	d.e.ScheduleCallbackOn(d.wheel, 0, &d.ctrl)
 }
 
-// controller is the device main loop: drain SQEs from every queue pair,
-// start their execution, sleep on the doorbell when idle.
+// ctrlPoll is the controller main loop as an engine-callback state machine.
+// It used to be a process; callback form makes each doorbell wake a direct
+// call instead of a goroutine rendezvous — the hottest wake edge in the
+// simulator — while consuming exactly the same events: one per doorbell
+// fire, one at Start.
+type ctrlPoll struct {
+	d *Device
+}
+
+// Run drains SQEs from every queue pair, starts their execution, and re-arms
+// on the doorbell signal once fully idle.
 //
 //camlint:hotpath
-func (d *Device) controller(p *sim.Proc) {
+func (c *ctrlPoll) Run() {
+	d := c.d
 	for {
 		progressed := d.drainAdmin()
 		for qi, qp := range d.qps {
@@ -270,7 +300,10 @@ func (d *Device) controller(p *sim.Proc) {
 		}
 		if !progressed {
 			if !d.anyDoorbell.Fired() {
-				p.Wait(d.anyDoorbell)
+				// Park until the next doorbell; the fire schedules this
+				// callback again exactly where a process resume would go.
+				d.anyDoorbell.WaitCallback(d.wheel, c)
+				return
 			}
 			d.anyDoorbell.Reset()
 		}
