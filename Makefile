@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-strict lint-sarif race vuln check check-fast bench bench-smoke bench-diff cover cover-smoke
+.PHONY: all build test vet lint lint-strict lint-sarif race vuln check check-fast bench bench-smoke bench-smoke-fig10a bench-diff cover cover-smoke profile
 
 all: build
 
@@ -56,15 +56,20 @@ check-fast: build vet lint test
 # harness and records ns/op, allocs/op, sim-ns/op, and the derived
 # simulation rate in the next free BENCH_<n>.json — the repo's perf
 # trajectory, one file per recorded run. Each benchmark runs in its own
-# `go test` process: in-suite, a figure's wall time depends on its
-# position (large arena allocations recycle the previous figure's dirty
-# heap spans and pay a memclr a standalone run never sees), so per-figure
-# processes are what make the numbers hermetic and comparable.
+# process: in-suite, a figure's wall time depends on its position (large
+# arena allocations recycle the previous figure's dirty heap spans and
+# pay a memclr a standalone run never sees), so per-figure processes are
+# what make the numbers hermetic and comparable. The test binary is
+# compiled once up front and reused for every figure: recompiling per
+# figure burned CPU between measurements, which on burst-budgeted
+# machines throttled the benchmarks that followed.
 # CAMSIM_SHARDS (default 4) sets the shard workers for clustered
 # experiments; output is identical at any value.
 bench:
-	@{ for b in $$($(GO) test -run XXX -list 'Benchmark(Fig|Abl).*' . | grep '^Benchmark'); do \
-		CAMSIM_SHARDS=$${CAMSIM_SHARDS:-4} $(GO) test -run XXX -bench "^$${b}\$$" -benchmem -benchtime 1x .; \
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) test -c -o "$$tmp/camsim.test" . && \
+	{ for b in $$("$$tmp/camsim.test" -test.list 'Benchmark(Fig|Abl).*' | grep '^Benchmark'); do \
+		CAMSIM_SHARDS=$${CAMSIM_SHARDS:-4} "$$tmp/camsim.test" -test.run XXX -test.bench "^$${b}\$$" -test.benchmem -test.benchtime 1x; \
 	done; } | $(GO) run ./cmd/benchjson -o auto
 
 # bench-smoke is the CI variant: same per-benchmark process structure,
@@ -74,8 +79,10 @@ bench:
 # simulation rate drops by more than 20%. Runs at CAMSIM_SHARDS=1 —
 # serial shard windows — so the gate tracks the single-worker engine.
 bench-smoke:
-	@{ for b in $$($(GO) test -run XXX -list 'Benchmark.*' . | grep '^Benchmark'); do \
-		CAMSIM_SHARDS=1 $(GO) test -run XXX -bench "^$${b}\$$" -benchmem -benchtime 1x .; \
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) test -c -o "$$tmp/camsim.test" . && \
+	{ for b in $$("$$tmp/camsim.test" -test.list 'Benchmark.*' | grep '^Benchmark'); do \
+		CAMSIM_SHARDS=1 "$$tmp/camsim.test" -test.run XXX -test.bench "^$${b}\$$" -test.benchmem -test.benchtime 1x; \
 	done; } | $(GO) run ./cmd/benchjson -o bench-smoke.json
 	@base=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1); \
 	if [ -n "$$base" ]; then \
@@ -84,6 +91,26 @@ bench-smoke:
 		echo "bench-smoke: no committed BENCH_<n>.json baseline, skipping diff"; \
 	fi
 	@rm -f bench-smoke.json
+	@$(MAKE) --no-print-directory bench-smoke-fig10a
+
+# bench-smoke-fig10a is the focused single-shard sim-rate gate: one run of
+# the Fig 10a sort benchmark pinned to CAMSIM_SHARDS=1, diffed against the
+# committed baseline with the same warn-only 20% threshold. The full smoke
+# pass above covers every figure, but this step names the single-worker
+# engine explicitly so a single-shard dispatch regression is called out on
+# its own line even if someone retunes the suite-wide smoke shard count.
+bench-smoke-fig10a:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) test -c -o "$$tmp/camsim.test" . && \
+	CAMSIM_SHARDS=1 "$$tmp/camsim.test" -test.run XXX -test.bench '^BenchmarkFig10a_Sort$$' -test.benchmem -test.benchtime 1x \
+		| $(GO) run ./cmd/benchjson -o bench-smoke-fig10a.json
+	@base=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1); \
+	if [ -n "$$base" ]; then \
+		$(GO) run ./cmd/benchjson -diff -warn-sim-regress 20 "$$base" bench-smoke-fig10a.json; \
+	else \
+		echo "bench-smoke-fig10a: no committed BENCH_<n>.json baseline, skipping diff"; \
+	fi
+	@rm -f bench-smoke-fig10a.json
 
 # cover profiles the fault-critical data plane — the packages the fault
 # injection and recovery machinery runs through — and prints per-function
@@ -110,6 +137,19 @@ cover-smoke: cover
 		echo "cover-smoke: no COVERAGE_BASELINE.txt baseline, skipping diff"; \
 	fi
 	@rm -f cover.out
+
+# profile captures CPU and allocation profiles of the two hottest figure
+# reproductions — the Fig 8 throughput sweep (driver/device data plane) and
+# the Fig 10a out-of-core sort (application pipeline) — under the quick
+# workloads, writing pprof files under profiles/. Start perf work from
+# these (see README "Profiling" for the read workflow) instead of guessing.
+profile:
+	@mkdir -p profiles
+	$(GO) run ./cmd/cambench -exp fig8 -quick \
+		-cpuprofile profiles/fig8.cpu.pprof -memprofile profiles/fig8.mem.pprof >/dev/null
+	$(GO) run ./cmd/cambench -exp fig10a -quick \
+		-cpuprofile profiles/fig10a.cpu.pprof -memprofile profiles/fig10a.mem.pprof >/dev/null
+	@ls -l profiles/
 
 # bench-diff compares the two most recent BENCH_<n>.json snapshots,
 # printing per-benchmark percentage deltas (ns/op, allocs/op, and the

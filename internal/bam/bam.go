@@ -100,6 +100,10 @@ type System struct {
 	deadq []deadlineQueue
 	// faninFree recycles batch fan-in counters (and their signals).
 	faninFree []*fanin
+	// batchFree recycles batch state machines; syncFree recycles the
+	// signal adapters the synchronous wrappers park on.
+	batchFree []*batchMachine
+	syncFree  []*syncSink
 
 	stats Stats
 	tr    *trace.Tracer
@@ -129,7 +133,7 @@ type deadlineEnt struct {
 }
 
 func (q *deadlineQueue) push(cid uint16, deadline sim.Time) {
-	q.ents = append(q.ents, deadlineEnt{cid: cid, deadline: deadline})
+	q.ents = append(q.ents, deadlineEnt{cid: cid, deadline: deadline}) //camlint:allow hotalloc -- amortized growth to the in-flight high-water mark; steady state reuses capacity
 }
 
 // earliest reports the soonest still-armed deadline on dev (0 when nothing
@@ -192,7 +196,7 @@ func (s *System) Stats() Stats { return s.stats }
 // putFanin recycles a finished counter.
 //
 //camlint:pool release
-func (s *System) putFanin(f *fanin) { s.faninFree = append(s.faninFree, f) }
+func (s *System) putFanin(f *fanin) { s.faninFree = append(s.faninFree, f) } //camlint:allow hotalloc -- free list grows to the fan-in high-water mark, then reuses capacity
 
 // faninRef adjusts a fan-in count, firing completion at zero.
 func (s *System) faninRef(f *fanin, delta int) {
@@ -223,6 +227,7 @@ func New(e *sim.Engine, cfg Config, g *gpu.GPU, devs []*ssd.Device) *System {
 		// It rides the device's event wheel: every wake is a direct callback
 		// on the heap the device's own events live in.
 		poll := &devPoll{s: s, dev: i}
+		poll.wake = poll.expireWake
 		s.pollers = append(s.pollers, poll)
 		e.ScheduleCallbackOn(d.Wheel(), 0, poll)
 	}
@@ -317,71 +322,270 @@ func (a *Array) Scatter(p *sim.Proc, blocks []uint64, src *gpu.Buffer, srcOff in
 	return a.batch(p, nvme.OpWrite, blocks, src, srcOff)
 }
 
+// batch runs the synchronous array access by driving the asynchronous
+// batch machine and parking the caller on its completion.
 func (a *Array) batch(p *sim.Proc, op nvme.Opcode, blocks []uint64, buf *gpu.Buffer, off int64) int {
 	if len(blocks) == 0 {
 		return 0
 	}
 	s := a.s
-	need := s.ThreadsNeeded(len(s.devs))
-	held, release := s.g.PinThreads(p, need)
-	_ = held
-	defer release()
+	ss := s.getSyncSink()
+	a.batchAsync(op, blocks, buf, off, ss)
+	p.Wait(ss.done)
+	errs := ss.errs
+	s.putSyncSink(ss)
+	return errs
+}
 
+// BatchSink receives a batch's failed-block count when it completes
+// (engine-callback context).
+type BatchSink interface {
+	BatchDone(errs int)
+}
+
+// GatherAsync is the callback-machine form of Gather: the sink runs once
+// every block is resident (or failed). The blocks slice must stay unchanged
+// until then.
+func (a *Array) GatherAsync(blocks []uint64, dst *gpu.Buffer, dstOff int64, sink BatchSink) {
+	a.batchAsync(nvme.OpRead, blocks, dst, dstOff, sink)
+}
+
+// ScatterAsync is the callback-machine form of Scatter.
+func (a *Array) ScatterAsync(blocks []uint64, src *gpu.Buffer, srcOff int64, sink BatchSink) {
+	a.batchAsync(nvme.OpWrite, blocks, src, srcOff, sink)
+}
+
+// syncSink adapts BatchSink to a signal for the synchronous wrappers.
+type syncSink struct {
+	errs int
+	done *sim.Signal
+}
+
+func (ss *syncSink) BatchDone(errs int) {
+	ss.errs = errs
+	ss.done.Fire()
+}
+
+func (s *System) getSyncSink() *syncSink {
+	if n := len(s.syncFree); n > 0 {
+		ss := s.syncFree[n-1]
+		s.syncFree = s.syncFree[:n-1]
+		ss.done.Reset()
+		ss.errs = 0
+		return ss
+	}
+	return &syncSink{done: s.e.NewSignal("bam.sync")}
+}
+
+func (s *System) putSyncSink(ss *syncSink) { s.syncFree = append(s.syncFree, ss) }
+
+// batchMachine phases (the bmLoop scan resumes directly in Run's default
+// arm).
+const (
+	bmLoop     uint8 = iota // scanning blocks / between submissions
+	bmGranted               // queue slot granted for the pending run
+	bmHitSlept              // cache-hit service time slept
+	bmDone                  // fan-in drained; finish the batch
+)
+
+// batchMachine runs one Gather/Scatter as a callback state machine: pin the
+// I/O warps, walk the block list submitting stripe-runs (each submission
+// sleeps the warp-serialized doorbell cost), sleep accumulated cache-hit
+// time, then park on the batch fan-in. This removes two goroutine switches
+// per submitted command from the synchronous loop.
+type batchMachine struct {
+	a       *Array
+	op      nvme.Opcode
+	blocks  []uint64
+	buf     *gpu.Buffer
+	off     int64
+	sink    BatchSink
+	fan     *fanin
+	held    int64
+	limit   int
+	phase   uint8
+	i       int
+	hitTime sim.Time
+	missIdx []int
+	// pending run while blocked on a queue slot
+	runDev  int
+	runLBA  uint64
+	runNLB  uint32
+	runAddr mem.Addr
+	runLen  int
+}
+
+func (s *System) getBatch() *batchMachine {
+	if n := len(s.batchFree); n > 0 {
+		m := s.batchFree[n-1]
+		s.batchFree = s.batchFree[:n-1]
+		return m
+	}
+	return &batchMachine{}
+}
+
+// batchAsync starts a batch machine; empty batches complete inline.
+func (a *Array) batchAsync(op nvme.Opcode, blocks []uint64, buf *gpu.Buffer, off int64, sink BatchSink) {
+	if len(blocks) == 0 {
+		sink.BatchDone(0)
+		return
+	}
+	s := a.s
+	m := s.getBatch()
+	m.a, m.op, m.blocks, m.buf, m.off, m.sink = a, op, blocks, buf, off, sink
+	m.limit = 1
+	if a.cache == nil && a.CoalesceLimit > 1 {
+		m.limit = a.CoalesceLimit
+		if max := int((spdkMDTS) / a.BlockBytes); m.limit > max {
+			m.limit = max
+		}
+	}
 	// Hold the fan-in above zero until every command is submitted:
 	// submission can block on queue slots, so early completions may race
 	// the rest of the batch.
-	fan := s.getFanin()
-	fan.remaining = 1
-	limit := 1
-	if a.cache == nil && a.CoalesceLimit > 1 {
-		limit = a.CoalesceLimit
-		if max := int((spdkMDTS) / a.BlockBytes); limit > max {
-			limit = max
-		}
+	m.fan = s.getFanin()
+	m.fan.remaining = 1
+	m.phase = bmLoop
+	need := s.ThreadsNeeded(len(s.devs))
+	held, ok := s.g.PinThreadsCallback(need, 0, m)
+	m.held = held
+	if ok {
+		m.Run()
 	}
+}
+
+// Run advances the batch one phase (engine-callback context).
+//
+//camlint:hotpath
+func (m *batchMachine) Run() {
+	a := m.a
+	s := a.s
+	switch m.phase {
+	case bmGranted:
+		m.pushRun()
+		return
+	case bmHitSlept:
+		m.awaitFan()
+		return
+	case bmDone:
+		m.finish()
+		return
+	}
+	// bmLoop: resume the block scan.
+	blocks := m.blocks
 	ndev := uint64(len(s.devs))
-	var missIdx []int
-	var hitTime sim.Time
-	for i := 0; i < len(blocks); {
+	for m.i < len(blocks) {
+		i := m.i
 		b := blocks[i]
-		if a.cache != nil && op == nvme.OpRead {
-			dst := buf.Data[off+int64(i)*a.BlockBytes:]
+		if a.cache != nil && m.op == nvme.OpRead {
+			dst := m.buf.Data[m.off+int64(i)*a.BlockBytes:]
 			if data, hit := a.cache.Lookup(b); hit {
 				copy(dst[:a.BlockBytes], data)
-				hitTime += a.CacheHitCost
-				i++
+				m.hitTime += a.CacheHitCost
+				m.i++
 				continue
 			}
-			missIdx = append(missIdx, i)
+			m.missIdx = append(m.missIdx, i) //camlint:allow hotalloc -- amortized miss-list growth
 		}
-		if a.cache != nil && op == nvme.OpWrite {
+		if a.cache != nil && m.op == nvme.OpWrite {
 			a.cache.Invalidate(b)
 		}
 		// Extend a stripe-contiguous run (same device, consecutive LBAs;
 		// batch order makes destinations contiguous).
-		run := coalesceRun(blocks, i, limit, ndev)
+		run := coalesceRun(blocks, i, m.limit, ndev)
 		dev, lba := a.locate(b)
-		addr := buf.Addr + mem.Addr(off) + mem.Addr(int64(i)*a.BlockBytes)
-		s.submit(p, op, dev, lba, uint32(int64(run)*a.BlockBytes/nvme.LBASize), addr, run, fan)
-		i += run
+		m.runDev, m.runLBA = dev, lba
+		m.runNLB = uint32(int64(run) * a.BlockBytes / nvme.LBASize)
+		m.runAddr = m.buf.Addr + mem.Addr(m.off) + mem.Addr(int64(i)*a.BlockBytes)
+		m.runLen = run
+		m.phase = bmGranted
+		if !s.slots[dev].AcquireCallback(1, 0, m) {
+			return
+		}
+		m.pushRun()
+		return
 	}
-	if hitTime > 0 {
-		p.Sleep(hitTime)
+	// Scan complete: serve the accumulated cache-hit time, then wait out
+	// the in-flight commands.
+	if m.hitTime > 0 {
+		m.phase = bmHitSlept
+		t := m.hitTime
+		m.hitTime = 0
+		s.e.ScheduleCallback(t, m)
+		return
 	}
-	s.faninRef(fan, -1) // release the publishing hold
-	p.Wait(fan.done)
+	m.awaitFan()
+}
+
+// pushRun publishes the pending stripe-run (queue slot already held) and
+// sleeps the warp-serialized submission cost before resuming the scan.
+//
+//camlint:hotpath
+func (m *batchMachine) pushRun() {
+	s := m.a.s
+	dev := m.runDev
+	cid := s.allocCID(dev)
+	m.fan.remaining++
+	ent := flightEntry{fan: m.fan, blocks: m.runLen}
+	if s.cfg.CmdTimeout > 0 {
+		ent.deadline = s.e.Now() + s.cfg.CmdTimeout
+		// Constant timeout at non-decreasing submit times: FIFO order keeps
+		// the queue sorted, so the poller's earliest() head stays exact.
+		s.deadq[dev].push(cid, ent.deadline)
+	}
+	s.flight[dev][cid] = ent
+	sqe := nvme.SQE{Opcode: m.op, CID: cid, NSID: 1, PRP1: uint64(m.runAddr), SLBA: m.runLBA, NLB: m.runNLB}
+	if err := s.qps[dev].SQ.Push(sqe); err != nil {
+		panic("bam: SQ overflow despite slot limiter: " + err.Error())
+	}
+	s.devs[dev].Ring(s.qps[dev])
+	if s.cfg.CmdTimeout > 0 {
+		// A poller parked on a plain Wait before this command was armed
+		// would sleep through its deadline if the device silently drops
+		// it (no CQE ever fires OnPost). Nudge it so it re-arms its
+		// sleep against the new deadline.
+		s.qps[dev].CQ.OnPost.Fire()
+	}
+	m.i += m.runLen
+	m.phase = bmLoop
+	// Warp-serialized submission cost; amortized across the batch by
+	// submitting from many warps in reality — charge a fraction.
+	s.e.ScheduleCallback(s.cfg.SubmitLatency/8, m)
+}
+
+// awaitFan drops the publishing hold and parks on the batch fan-in.
+func (m *batchMachine) awaitFan() {
+	s := m.a.s
+	m.phase = bmDone
+	s.faninRef(m.fan, -1) // release the publishing hold
+	m.fan.done.WaitCallback(0, m)
+}
+
+// finish fills the cache, releases resources, and reports to the sink.
+func (m *batchMachine) finish() {
+	a := m.a
+	s := a.s
+	fan := m.fan
 	errs := fan.errors
 	// Fill the cache with the freshly fetched blocks. With any failures
 	// the batch's data is suspect — do not cache possibly-bad lines.
-	if a.cache != nil && op == nvme.OpRead && errs == 0 {
-		for _, i := range missIdx {
-			src := buf.Data[off+int64(i)*a.BlockBytes:]
-			line := a.cache.Insert(blocks[i])
+	if a.cache != nil && m.op == nvme.OpRead && errs == 0 {
+		for _, i := range m.missIdx {
+			src := m.buf.Data[m.off+int64(i)*a.BlockBytes:]
+			line := a.cache.Insert(m.blocks[i])
 			copy(line, src[:a.BlockBytes])
 		}
 	}
 	s.putFanin(fan)
-	return errs
+	if m.held > 0 {
+		s.g.UnpinThreads(m.held)
+	}
+	sink := m.sink
+	m.a, m.blocks, m.buf, m.sink, m.fan = nil, nil, nil, nil, nil
+	m.missIdx = m.missIdx[:0]
+	m.i, m.hitTime, m.held = 0, 0, 0
+	s.batchFree = append(s.batchFree, m) //camlint:allow hotalloc -- amortized free-list growth
+	sink.BatchDone(errs)
 }
 
 // coalesceRun reports the length of the stripe-contiguous run starting at
@@ -403,38 +607,6 @@ func coalesceRun(blocks []uint64, i, limit int, ndev uint64) int {
 // (spdk.MaxTransfer; duplicated to avoid an import cycle with the CAM
 // backend packages).
 const spdkMDTS = 128 << 10
-
-// submit pushes one SQE from the GPU side; the submitting warp is
-// serialized on the doorbell for SubmitLatency. The command joins fan and
-// carries blocks application blocks.
-func (s *System) submit(p *sim.Proc, op nvme.Opcode, dev int, lba uint64, nlb uint32, addr mem.Addr, blocks int, fan *fanin) {
-	s.slots[dev].Acquire(p, 1)
-	cid := s.allocCID(dev)
-	fan.remaining++
-	ent := flightEntry{fan: fan, blocks: blocks}
-	if s.cfg.CmdTimeout > 0 {
-		ent.deadline = p.Now() + s.cfg.CmdTimeout
-		// Constant timeout at non-decreasing submit times: FIFO order keeps
-		// the queue sorted, so the poller's earliest() head stays exact.
-		s.deadq[dev].push(cid, ent.deadline)
-	}
-	s.flight[dev][cid] = ent
-	sqe := nvme.SQE{Opcode: op, CID: cid, NSID: 1, PRP1: uint64(addr), SLBA: lba, NLB: nlb}
-	if err := s.qps[dev].SQ.Push(sqe); err != nil {
-		panic("bam: SQ overflow despite slot limiter: " + err.Error())
-	}
-	s.devs[dev].Ring(s.qps[dev])
-	if s.cfg.CmdTimeout > 0 {
-		// A poller parked on a plain Wait before this command was armed
-		// would sleep through its deadline if the device silently drops
-		// it (no CQE ever fires OnPost). Nudge it so it re-arms its
-		// sleep against the new deadline.
-		s.qps[dev].CQ.OnPost.Fire()
-	}
-	// Warp-serialized submission cost; amortized across the batch by
-	// submitting from many warps in reality — charge a fraction.
-	p.Sleep(s.cfg.SubmitLatency / 8)
-}
 
 func (s *System) allocCID(dev int) uint16 {
 	depth := uint16(s.cfg.QueueDepth)
@@ -458,21 +630,29 @@ func (s *System) allocCID(dev int) uint16 {
 type devPoll struct {
 	s   *System
 	dev int
-	// timer is the armed deadline timer while parked with a timeout, nil
-	// otherwise. A wake via OnPost.Fire cancels it (the fire won the race);
-	// the timer firing first deregisters the OnPost waiter and re-enters
-	// the poll loop directly, mirroring WaitTimeout's exact-tie rules.
+	// timer is the pending deadline timer, kept across parks: a
+	// cancel+re-arm per wake would push one far-horizon overflow-heap
+	// event per command, and that churn dominates heap depth under load.
+	// Instead the timer re-checks the deadline FIFO when it fires and
+	// re-arms itself if the horizon moved (deadlines are non-decreasing,
+	// so a pending timer never fires late — only early). Parking with
+	// nothing in flight marks it dead — so a live timer never stretches
+	// quiescence — and the next deadline park revives the still-pending
+	// event in place instead of pushing a fresh one.
 	timer *sim.Timer
+	// timerAt is the fire time of the pending timer, for the park path to
+	// decide whether the pending timer still covers the current horizon.
+	timerAt sim.Time
+	// wake is expireWake bound once, so arming the timer does not allocate
+	// a fresh method-value closure per park.
+	wake func()
 }
 
-// Run re-enters the poller after an OnPost fire (or at startup).
+// Run re-enters the poller after an OnPost fire (or at startup). The
+// deadline timer, if pending, stays armed — expireWake re-aims it.
 //
 //camlint:hotpath
 func (c *devPoll) Run() {
-	if t := c.timer; t != nil {
-		t.Cancel()
-		c.timer = nil
-	}
 	onPost := c.s.qps[c.dev].CQ.OnPost
 	if onPost.Fired() {
 		onPost.Reset()
@@ -513,8 +693,22 @@ func (c *devPoll) poll() {
 					continue // deadline already due; expire on the next pass
 				}
 				qp.CQ.OnPost.WaitCallback(s.devs[dev].Wheel(), c)
-				c.timer = s.e.ScheduleTimer(next-s.e.Now(), c.expireWake)
+				if c.timer == nil || c.timerAt > next || !c.timer.Revive(c.wake) {
+					if c.timer != nil {
+						c.timer.Cancel()
+					}
+					c.timer = s.e.ScheduleTimer(next-s.e.Now(), c.wake)
+					c.timerAt = next
+				}
 				return
+			}
+			if c.timer != nil {
+				// Nothing in flight: a live timer left pending would drag
+				// the clock forward at quiescence. Mark it dead — the
+				// pending event is discarded without advancing the clock
+				// if the run drains, and the next deadline park revives
+				// it in place.
+				c.timer.Cancel()
 			}
 			qp.CQ.OnPost.WaitCallback(s.devs[dev].Wheel(), c)
 			return
@@ -523,15 +717,27 @@ func (c *devPoll) poll() {
 	}
 }
 
-// expireWake is the deadline-timer body: if the poller is still parked
-// (OnPost has not fired), deregister it and re-enter the loop on the
-// deadline path — which skips the OnPost.Reset, as the process form's
-// timed-out WaitTimeout did.
+// expireWake is the deadline-timer body. The timer may fire early — it was
+// aimed at a deadline whose command has since completed — in which case it
+// re-arms itself at the current horizon and the poller stays parked. When a
+// deadline really is due and the poller is still parked (OnPost has not
+// fired), deregister it and re-enter the loop on the deadline path — which
+// skips the OnPost.Reset, as the process form's timed-out WaitTimeout did.
 func (c *devPoll) expireWake() {
-	if !c.s.qps[c.dev].CQ.OnPost.CancelWaitCallback(c) {
+	c.timer = nil
+	s, dev := c.s, c.dev
+	next := s.earliest(dev)
+	if next == 0 {
+		return // nothing in flight anymore; plain OnPost park
+	}
+	if now := s.e.Now(); next > now {
+		c.timer = s.e.ScheduleTimer(next-now, c.wake)
+		c.timerAt = next
+		return
+	}
+	if !s.qps[dev].CQ.OnPost.CancelWaitCallback(c) {
 		return // fire beat the timer at this exact instant; Run handles it
 	}
-	c.timer = nil
 	c.poll()
 }
 
@@ -566,4 +772,3 @@ func (s *System) expire(dev int) bool {
 	}
 	return progressed
 }
-

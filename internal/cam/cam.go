@@ -189,6 +189,7 @@ type Manager struct {
 	region4 *gpu.Buffer     // completion sequence number (GPU memory)
 
 	doorbell *sim.Signal // polling thread wake (models region-3 poll)
+	poller   *pollStep   // the polling-thread state machine
 	// fireDoorbell is the doorbell's Fire bound once, so publish schedules
 	// it without allocating a method value per batch.
 	fireDoorbell func()
@@ -287,7 +288,11 @@ func New(e *sim.Engine, cfg Config, g *gpu.GPU, hm *hostmem.Memory, space *mem.S
 		m.wantCores = start
 	}
 	m.drv.Start()
-	e.Go("cam.poller", m.pollingThread)
+	// The polling thread is a callback state machine: it parks on the
+	// doorbell and drains the batch queue whenever it rings (no goroutine).
+	m.poller = &pollStep{m: m}
+	m.lastChange = e.Now()
+	m.doorbell.WaitCallback(0, m.poller)
 	return m
 }
 
@@ -447,72 +452,87 @@ func (m *Manager) publish(p *sim.Proc, op Op, blocks []uint64, buf *gpu.Buffer, 
 	return b
 }
 
-// pollingThread is the persistent CPU thread of §III-B: it discovers
-// published batches, decodes the regions, fans requests out to the
-// reactors, and reports completions through region 4.
+// pollStep is the persistent CPU polling thread of §III-B as a callback
+// state machine: it parks on the doorbell signal and, each time it runs,
+// acknowledges the doorbell, drains every published batch, and re-parks.
+// The drain is synchronous (batch dispatch costs no virtual time beyond the
+// per-command backend model), so a single phase suffices.
+type pollStep struct {
+	m *Manager
+}
+
+// Run discovers published batches, decodes the regions, fans requests out
+// to the reactors, and re-arms the doorbell wait (engine-callback context).
 //
 //camlint:hotpath
-func (m *Manager) pollingThread(p *sim.Proc) {
-	m.lastChange = p.Now()
+func (s *pollStep) Run() {
+	m := s.m
+	if m.doorbell.Fired() {
+		m.doorbell.Reset()
+	}
 	for {
 		b, ok := m.batchQ.TryGet()
 		if !ok {
-			if !m.doorbell.Fired() {
-				p.Wait(m.doorbell)
-			}
-			m.doorbell.Reset()
-			continue
+			m.doorbell.WaitCallback(0, s)
+			return
 		}
-		m.markBusy(p.Now())
-
-		// Decode regions (the data path of the handshake).
-		abase := int64(b.slot) * argsSlotBytes
-		op := Op(m.region2.Data[abase])
-		count := int(binary.LittleEndian.Uint64(m.region2.Data[abase+8:]))
-		dest := mem.Addr(binary.LittleEndian.Uint64(m.region2.Data[abase+16:]))
-		blockBytes := int64(binary.LittleEndian.Uint64(m.region2.Data[abase+24:]))
-		if op != b.Op || count != b.Count || blockBytes != m.cfg.BlockBytes {
-			panic("cam: region-2 decode mismatch")
-		}
-
-		nvop := nvme.OpRead
-		if op == OpWriteBack {
-			nvop = nvme.OpWrite
-		}
-		slotBase := int64(b.slot) * int64(m.cfg.MaxBatch) * 8
-		limit := m.runLimit(blockBytes)
-		ndev := uint64(len(m.devs))
-		blockLBAs := uint32(blockBytes / nvme.LBASize)
-		// Hold the fan-in counter above zero until every command of the
-		// batch is submitted, then drop the hold.
-		b.remaining = 1
-		lbaArr := m.region1.Data[slotBase:]
-		for i := 0; i < count; {
-			blk := binary.LittleEndian.Uint64(lbaArr[i*8:])
-			run := coalesceRun(lbaArr, i, count, limit, ndev)
-			dev, lba := m.locate(blk)
-			req := m.drv.GetRequest()
-			req.Op, req.Dev, req.SLBA = nvop, dev, lba
-			req.NLB = uint32(run) * blockLBAs
-			req.Addr = dest + mem.Addr(int64(i)*blockBytes)
-			req.Blocks = run
-			req.Sink, req.Tag = m, b
-			b.remaining++
-			m.stats.Commands++
-			m.drv.Submit(req)
-			i += run
-		}
-		m.inFlight++
-		m.tracer.Emit(trace.BatchDispatch, "cam", op.String(), int64(b.Seq))
-		m.stats.Batches++
-		m.stats.Requests += uint64(count)
-		if nvop == nvme.OpRead {
-			m.stats.BytesRead += int64(count) * blockBytes
-		} else {
-			m.stats.BytesWritten += int64(count) * blockBytes
-		}
-		m.batchRef(b, -1) // release the publishing hold
+		m.dispatchBatch(b)
 	}
+}
+
+// dispatchBatch is the CPU-side half of the handshake for one batch.
+//
+//camlint:hotpath
+func (m *Manager) dispatchBatch(b *Batch) {
+	m.markBusy(m.e.Now())
+
+	// Decode regions (the data path of the handshake).
+	abase := int64(b.slot) * argsSlotBytes
+	op := Op(m.region2.Data[abase])
+	count := int(binary.LittleEndian.Uint64(m.region2.Data[abase+8:]))
+	dest := mem.Addr(binary.LittleEndian.Uint64(m.region2.Data[abase+16:]))
+	blockBytes := int64(binary.LittleEndian.Uint64(m.region2.Data[abase+24:]))
+	if op != b.Op || count != b.Count || blockBytes != m.cfg.BlockBytes {
+		panic("cam: region-2 decode mismatch")
+	}
+
+	nvop := nvme.OpRead
+	if op == OpWriteBack {
+		nvop = nvme.OpWrite
+	}
+	slotBase := int64(b.slot) * int64(m.cfg.MaxBatch) * 8
+	limit := m.runLimit(blockBytes)
+	ndev := uint64(len(m.devs))
+	blockLBAs := uint32(blockBytes / nvme.LBASize)
+	// Hold the fan-in counter above zero until every command of the
+	// batch is submitted, then drop the hold.
+	b.remaining = 1
+	lbaArr := m.region1.Data[slotBase:]
+	for i := 0; i < count; {
+		blk := binary.LittleEndian.Uint64(lbaArr[i*8:])
+		run := coalesceRun(lbaArr, i, count, limit, ndev)
+		dev, lba := m.locate(blk)
+		req := m.drv.GetRequest()
+		req.Op, req.Dev, req.SLBA = nvop, dev, lba
+		req.NLB = uint32(run) * blockLBAs
+		req.Addr = dest + mem.Addr(int64(i)*blockBytes)
+		req.Blocks = run
+		req.Sink, req.Tag = m, b
+		b.remaining++
+		m.stats.Commands++
+		m.drv.Submit(req)
+		i += run
+	}
+	m.inFlight++
+	m.tracer.Emit(trace.BatchDispatch, "cam", op.String(), int64(b.Seq))
+	m.stats.Batches++
+	m.stats.Requests += uint64(count)
+	if nvop == nvme.OpRead {
+		m.stats.BytesRead += int64(count) * blockBytes
+	} else {
+		m.stats.BytesWritten += int64(count) * blockBytes
+	}
+	m.batchRef(b, -1) // release the publishing hold
 }
 
 // coalesceRun reports the length of the stripe-contiguous run starting at

@@ -52,6 +52,9 @@ type Driver struct {
 
 	// fsBusyUntil serializes the per-page software path.
 	fsBusyUntil sim.Time
+
+	// freeIO recycles asynchronous io machines.
+	freeIO []*ioMachine
 }
 
 // New builds the driver; one backing NVMe thread is plenty because the
@@ -86,22 +89,72 @@ func (d *Driver) Write(p *sim.Proc, off int64, n int64, srcAddr mem.Addr) {
 }
 
 func (d *Driver) io(p *sim.Proc, op nvme.Opcode, off, n int64, addr mem.Addr) {
+	done := d.e.NewSignal("gds.io")
+	d.ioAsync(op, off, n, addr, done)
+	p.Wait(done)
+}
+
+// ReadAsync is the callback-machine form of Read: done fires once every
+// NVMe command of the transfer has completed.
+func (d *Driver) ReadAsync(off, n int64, dstAddr mem.Addr, done *sim.Signal) {
+	d.ioAsync(nvme.OpRead, off, n, dstAddr, done)
+}
+
+// WriteAsync is the callback-machine form of Write.
+func (d *Driver) WriteAsync(off, n int64, srcAddr mem.Addr, done *sim.Signal) {
+	d.ioAsync(nvme.OpWrite, off, n, srcAddr, done)
+}
+
+// ioMachine runs one cuFileRead/Write as a callback state machine: the
+// serialized software-path delay, then the stripe/MDTS-split hardware
+// submissions with completion fan-in. Machines recycle through the driver's
+// free list.
+type ioMachine struct {
+	d         *Driver
+	op        nvme.Opcode
+	off, n    int64
+	addr      mem.Addr
+	remaining int
+	done      *sim.Signal
+}
+
+// ioAsync claims the software-path window at call time (matching the
+// synchronous path's serialization point) and parks the machine until it
+// closes.
+func (d *Driver) ioAsync(op nvme.Opcode, off, n int64, addr mem.Addr, done *sim.Signal) {
 	if n <= 0 || n%nvme.LBASize != 0 || off%nvme.LBASize != 0 {
 		panic(fmt.Sprintf("gds: unaligned io off=%d n=%d", off, n))
 	}
 	// Per-call plus per-page serialized software path.
 	pages := (n + 4095) / 4096
 	cost := d.cfg.PerCallCost + sim.Time(pages)*d.cfg.PerPageSoftwareCost
-	start := p.Now()
+	start := d.e.Now()
 	if d.fsBusyUntil > start {
 		start = d.fsBusyUntil
 	}
 	end := start + cost
 	d.fsBusyUntil = end
-	p.SleepUntil(end)
 
+	var m *ioMachine
+	if k := len(d.freeIO); k > 0 {
+		m = d.freeIO[k-1]
+		d.freeIO = d.freeIO[:k-1]
+	} else {
+		m = &ioMachine{d: d}
+	}
+	m.op, m.off, m.n, m.addr, m.done = op, off, n, addr, done
+	d.e.ScheduleCallback(end-d.e.Now(), m)
+}
+
+// Run submits the hardware path once the software window closes
+// (engine-callback context).
+//
+//camlint:hotpath
+func (m *ioMachine) Run() {
+	d := m.d
 	// Hardware path: split on stripes and MDTS, direct to GPU.
-	var reqs []*spdk.Request
+	off, n, addr := m.off, m.n, m.addr
+	m.remaining = 1 // submission hold, dropped below
 	for n > 0 {
 		chunk := d.cfg.StripeBytes - off%d.cfg.StripeBytes
 		if chunk > n {
@@ -111,14 +164,33 @@ func (d *Driver) io(p *sim.Proc, op nvme.Opcode, off, n int64, addr mem.Addr) {
 			chunk = spdk.MaxTransfer()
 		}
 		dev, lba := d.locate(off)
-		r := &spdk.Request{Op: op, Dev: dev, SLBA: lba, NLB: uint32(chunk / nvme.LBASize), Addr: addr}
+		r := d.nv.GetRequest()
+		r.Op, r.Dev, r.SLBA = m.op, dev, lba
+		r.NLB = uint32(chunk / nvme.LBASize)
+		r.Addr = addr
+		r.Sink, r.Tag = m, nil
+		m.remaining++
 		d.nv.Submit(r)
-		reqs = append(reqs, r)
 		off += chunk
 		addr += mem.Addr(chunk)
 		n -= chunk
 	}
-	for _, r := range reqs {
-		p.Wait(r.Done)
+	m.finish(-1)
+}
+
+// RequestDone implements spdk.Completion: fan one NVMe completion into the
+// machine (reactor context).
+//
+//camlint:hotpath
+func (m *ioMachine) RequestDone(r *spdk.Request) { m.finish(-1) }
+
+func (m *ioMachine) finish(delta int) {
+	m.remaining += delta
+	if m.remaining != 0 {
+		return
 	}
+	done := m.done
+	m.done = nil
+	m.d.freeIO = append(m.d.freeIO, m) //camlint:allow hotalloc -- amortized free-list growth
+	done.Fire()
 }

@@ -184,9 +184,18 @@ func (c TrainConfig) ComputeTimePerNode(m Model, d Dataset) sim.Time {
 // features the iteration must extract.
 func SampleBatch(d Dataset, c TrainConfig, iter int) []uint64 {
 	rng := sim.NewRNG(c.Seed + uint64(iter)*0x9e3779b97f4a7c15)
-	seen := make(map[uint64]struct{}, c.Batch*8)
+	// Size the dedup set and result for the full multi-hop draw count up
+	// front: the sampler runs once per training iteration, and growing the
+	// map and slice incrementally dominated its profile.
+	draws := c.Batch
+	width := c.Batch
+	for _, fan := range c.Fanouts {
+		width *= fan
+		draws += width
+	}
+	seen := make(map[uint64]struct{}, draws)
 	frontier := make([]uint64, 0, c.Batch)
-	var unique []uint64
+	unique := make([]uint64, 0, draws)
 	add := func(v uint64) bool {
 		if _, ok := seen[v]; ok {
 			return false

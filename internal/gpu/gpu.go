@@ -11,9 +11,7 @@
 package gpu
 
 import (
-	"bytes"
 	"fmt"
-	"sync"
 
 	"camsim/internal/mem"
 	"camsim/internal/sim"
@@ -140,7 +138,7 @@ func (g *GPU) alloc(name string, n int64, pinned bool) *Buffer {
 	if g.allocated+n > g.cfg.MemBytes {
 		panic(fmt.Sprintf("gpu: out of memory allocating %q (%d bytes)", name, n))
 	}
-	data := backingGet(n)
+	data := mem.BackingGet(n)
 	addr := g.arena.Alloc(n, 4096)
 	g.space.Register(g.Name+"."+name, addr, data, mem.GPUHBM)
 	g.allocated += n
@@ -152,82 +150,8 @@ func (g *GPU) alloc(name string, n int64, pinned bool) *Buffer {
 func (b *Buffer) Free() {
 	b.g.space.Unregister(b.Addr)
 	b.g.allocated -= int64(len(b.Data))
-	backingPut(b.Data)
+	mem.BackingPut(b.Data)
 	b.Data = nil
-}
-
-// backingPool recycles buffer backing slices across GPU instances. Figure
-// workloads construct a fresh platform per measured configuration, and the
-// multi-megabyte feature buffers allocated each time dominated the heap
-// churn of the whole suite: every make() recycled a dirty span (a forced
-// memclr) and kept the collector scanning gigabytes of transient arenas.
-// Freed backings are handed back verbatim and re-zeroed on the way out, so
-// a pooled allocation observes exactly the zeroed-memory contract a fresh
-// make() provides.
-var backingPool struct {
-	mu    sync.Mutex
-	slabs [][]byte
-}
-
-// poolMinBytes keeps small allocations (queue memory, doorbell words) out
-// of the pool: they are cheap to make fresh, and letting an 8-byte request
-// claim a multi-megabyte slab would strand it on a long-lived tiny buffer.
-const poolMinBytes = 1 << 20
-
-// backingGet returns a zeroed slice of length n, preferring the smallest
-// pooled slab that fits. Only slabs within 4x of the request qualify, so a
-// small buffer never wastes a much larger recycled arena.
-func backingGet(n int64) []byte {
-	if n < poolMinBytes {
-		return make([]byte, n)
-	}
-	backingPool.mu.Lock()
-	best := -1
-	for i, s := range backingPool.slabs {
-		if int64(cap(s)) >= n && int64(cap(s)) <= 4*n && (best < 0 || cap(s) < cap(backingPool.slabs[best])) {
-			best = i
-		}
-	}
-	var data []byte
-	if best >= 0 {
-		last := len(backingPool.slabs) - 1
-		data = backingPool.slabs[best][:n]
-		backingPool.slabs[best] = backingPool.slabs[last]
-		backingPool.slabs[last] = nil
-		backingPool.slabs = backingPool.slabs[:last]
-	}
-	backingPool.mu.Unlock()
-	if data == nil {
-		return make([]byte, n)
-	}
-	// Re-zero the handed-out range. The scan-first order matters: recycled
-	// buffers are usually still zero (sparse datasets read zeros into them),
-	// and the vectorized compare is cheaper than an unconditional clear that
-	// would dirty every cache line it touches.
-	for rest := data; len(rest) > 0; {
-		chunk := rest
-		if len(chunk) > len(zeroRef) {
-			chunk = chunk[:len(zeroRef)]
-		}
-		if !bytes.Equal(chunk, zeroRef[:len(chunk)]) {
-			clear(chunk)
-		}
-		rest = rest[len(chunk):]
-	}
-	return data
-}
-
-// zeroRef is the reference block backingGet compares recycled memory against.
-var zeroRef [4096]byte
-
-// backingPut returns a backing slice to the pool at full capacity.
-func backingPut(b []byte) {
-	if cap(b) < poolMinBytes {
-		return
-	}
-	backingPool.mu.Lock()
-	backingPool.slabs = append(backingPool.slabs, b[:cap(b)])
-	backingPool.mu.Unlock()
 }
 
 // Size reports the buffer length.
@@ -248,6 +172,26 @@ func (g *GPU) PinThreads(p *sim.Proc, n int64) (held int64, release func()) {
 	}
 	g.threads.Acquire(p, n)
 	return n, func() { g.threads.Release(n) }
+}
+
+// PinThreadsCallback is the callback-machine form of PinThreads: it reports
+// the clamped slot count and whether it was acquired inline; if not, cb
+// runs on wheel once the slots are held. Release with UnpinThreads(held).
+func (g *GPU) PinThreadsCallback(n int64, wheel int, cb sim.Callback) (held int64, acquired bool) {
+	if n > g.TotalThreads() {
+		n = g.TotalThreads()
+	}
+	if n <= 0 {
+		return 0, true
+	}
+	return n, g.threads.AcquireCallback(n, wheel, cb)
+}
+
+// UnpinThreads releases slots held via PinThreadsCallback.
+func (g *GPU) UnpinThreads(n int64) {
+	if n > 0 {
+		g.threads.Release(n)
+	}
 }
 
 // KernelSpec describes one compute kernel launch.

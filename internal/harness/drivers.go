@@ -101,6 +101,10 @@ func camThroughput(cfg RunConfig, ssds int, op nvme.Opcode, gran int64, cores, o
 		}
 	})
 	end := runEnv(cfg, env)
+	// Return the bench buffer's backing to the shared pool: figure sweeps
+	// build a fresh platform per point, and an unfreed multi-megabyte
+	// destination forces a fresh (cleared) allocation every time.
+	mgr.Free(buf)
 	return float64(total) / end.Seconds(), env, mgr
 }
 
@@ -140,6 +144,7 @@ func bamThroughput(cfg RunConfig, ssds int, op nvme.Opcode, gran int64) (float64
 		}
 	})
 	end := runEnv(cfg, env)
+	buf.Free()
 	return float64(total) / end.Seconds(), env
 }
 
@@ -232,6 +237,9 @@ func spdkContigThroughput(cfg RunConfig, ssds int, op nvme.Opcode, gran int64, e
 		p.SleepUntil(copyEnd[last])
 	})
 	end := runEnv(cfg, env)
+	for _, s := range staging {
+		s.Free()
+	}
 	return float64(total) / end.Seconds(), env, d
 }
 
@@ -303,6 +311,7 @@ func spdkRawThroughput(cfg RunConfig, ssds int, op nvme.Opcode, gran int64) (flo
 		}
 	})
 	end := runEnv(cfg, env)
+	buf.Free()
 	return float64(int64(reqs)*gran) / end.Seconds(), d, env
 }
 

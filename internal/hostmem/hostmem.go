@@ -88,17 +88,18 @@ func (m *Memory) Alloc(name string, n int64) *Buffer {
 	if m.allocated+n > m.cfg.Capacity {
 		panic(fmt.Sprintf("hostmem: out of capacity allocating %q (%d bytes)", name, n))
 	}
-	data := make([]byte, n)
+	data := mem.BackingGet(n)
 	addr := m.arena.Alloc(n, 4096)
 	m.space.Register(name, addr, data, mem.HostDRAM)
 	m.allocated += n
 	return &Buffer{Name: name, Addr: addr, Data: data, m: m}
 }
 
-// Free releases the buffer's address range.
+// Free releases the buffer's address range and recycles the backing bytes.
 func (b *Buffer) Free() {
 	b.m.space.Unregister(b.Addr)
 	b.m.allocated -= int64(len(b.Data))
+	mem.BackingPut(b.Data)
 	b.Data = nil
 }
 

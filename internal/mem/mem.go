@@ -91,7 +91,18 @@ func (s *Space) Unregister(base Addr) {
 // within a single region; crossing a region boundary is an error (real DMA
 // would fault).
 func (s *Space) Resolve(addr Addr, n int) ([]byte, Kind, error) {
-	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].End() > addr })
+	// Open-coded binary search for the first region ending past addr:
+	// Resolve sits on the per-DMA path, and the sort.Search closure was a
+	// measurable allocation there.
+	i, j := 0, len(s.regions)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if s.regions[h].End() > addr {
+			j = h
+		} else {
+			i = h + 1
+		}
+	}
 	if i == len(s.regions) || addr < s.regions[i].Base {
 		return nil, 0, fmt.Errorf("mem: unmapped address %#x", uint64(addr))
 	}

@@ -215,7 +215,7 @@ func NewSQ(e *sim.Engine, name string, memory []byte, depth uint32) *SQ {
 	if depth < 2 {
 		panic("nvme: SQ depth must be >= 2")
 	}
-	return &SQ{entries: memory, size: depth, Doorbell: e.NewSignal(name + ".sqdb")}
+	return &SQ{entries: memory, size: depth, Doorbell: e.NewSignal(name + ".sqdb")} //camlint:allow hotalloc -- queue construction is setup/admin work, not per-I/O
 }
 
 // Depth reports the ring size.
@@ -291,7 +291,7 @@ func NewCQ(e *sim.Engine, name string, memory []byte, depth uint32) *CQ {
 	if depth < 2 {
 		panic("nvme: CQ depth must be >= 2")
 	}
-	return &CQ{entries: memory, size: depth, phase: true, hostPh: true, OnPost: e.NewSignal(name + ".cqpost")}
+	return &CQ{entries: memory, size: depth, phase: true, hostPh: true, OnPost: e.NewSignal(name + ".cqpost")} //camlint:allow hotalloc -- queue construction is setup/admin work, not per-I/O
 }
 
 // Depth reports the ring size.

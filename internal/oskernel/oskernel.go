@@ -190,6 +190,9 @@ type Stack struct {
 	inflight []map[uint16]*Request
 	nextCID  []uint16
 
+	// freeSubmit recycles SubmitAsync machines.
+	freeSubmit []*submitMachine
+
 	// bounce is the per-device kernel DMA staging area: one slot of
 	// StripeBytes per command identifier, so concurrent commands never
 	// share staging memory.
@@ -227,14 +230,17 @@ func NewStack(e *sim.Engine, kind StackKind, cfg Config, hm *hostmem.Memory, dev
 			int64(cfg.QueueDepth)*cfg.StripeBytes))
 	}
 	for i := range devs {
-		i := i
-		e.Go(fmt.Sprintf("kcq%d-%d", kind, i), func(p *sim.Proc) { s.completionLoop(p, i) })
+		k := &kcqStep{s: s, dev: i}
+		s.qps[i].CQ.OnPost.WaitCallback(0, k)
 	}
 	return s
 }
 
 // Devices reports the number of striped devices.
 func (s *Stack) Devices() int { return len(s.devs) }
+
+// StripeBytes reports the RAID0 chunk size (callers split I/O on it).
+func (s *Stack) StripeBytes() int64 { return s.cfg.StripeBytes }
 
 // locate maps a byte offset to (device, device LBA) under RAID0 striping.
 func (s *Stack) locate(off int64) (dev int, lba uint64) {
@@ -332,6 +338,133 @@ func (s *Stack) Submit(p *sim.Proc, r *Request) {
 	s.devs[dev].Ring(s.qps[dev])
 }
 
+// SubmitAsync is the callback-machine form of Submit: it walks the same
+// user → serialized-kernel-path → tag-allocation phases through scheduled
+// callbacks and runs onSubmitted (engine-callback context) once the SQE has
+// been pushed and the doorbell rung. r.Done fires when the completion has
+// been delivered, exactly as with Submit.
+func (s *Stack) SubmitAsync(r *Request, onSubmitted sim.Callback) {
+	n := int64(len(r.Data))
+	if n == 0 || n%nvme.LBASize != 0 {
+		panic("oskernel: request length must be a positive multiple of 512")
+	}
+	if r.Offset%nvme.LBASize != 0 {
+		panic("oskernel: offset must be 512-aligned")
+	}
+	if r.Offset/s.cfg.StripeBytes != (r.Offset+n-1)/s.cfg.StripeBytes {
+		panic("oskernel: request crosses RAID0 stripe boundary")
+	}
+	r.Done = s.e.NewSignal("kreq")
+	c := s.costs(r.Op)
+
+	m := s.getSubmit()
+	m.r, m.onSubmitted = r, onSubmitted
+
+	// User layer runs on the caller.
+	s.LayerTime["user"] += c.User
+	m.phase = smKernel
+	s.e.ScheduleCallback(c.User, m)
+}
+
+// submitMachine phases.
+const (
+	smKernel  uint8 = iota // user layer slept; claim the kernel window
+	smSlot                 // kernel path slept; acquire a device tag
+	smGranted              // tag granted; push the SQE
+)
+
+// submitMachine carries one SubmitAsync through the kernel path.
+type submitMachine struct {
+	s           *Stack
+	r           *Request
+	phase       uint8
+	onSubmitted sim.Callback
+}
+
+func (s *Stack) getSubmit() *submitMachine {
+	if k := len(s.freeSubmit); k > 0 {
+		m := s.freeSubmit[k-1]
+		s.freeSubmit = s.freeSubmit[:k-1]
+		return m
+	}
+	return &submitMachine{s: s} //camlint:allow hotalloc -- pool miss grows to the concurrency high-water mark, then reuses
+}
+
+// Run advances the submission one phase (engine-callback context).
+//
+//camlint:hotpath
+func (m *submitMachine) Run() {
+	s, r := m.s, m.r
+	switch m.phase {
+	case smKernel:
+		n := int64(len(r.Data))
+		c := s.costs(r.Op)
+		// The kernel path (fs → io_map → block, plus the eventual
+		// completion handling reserved up front) is serialized across all
+		// submitters — claimed here, after the user layer, exactly where
+		// the synchronous path claims it.
+		iomap := c.IOMap + c.IOMapPage*sim.Time(extraPages(n))
+		kcost := c.Filesystem + iomap + c.BlockIO + c.Completion
+		start := s.e.Now()
+		if s.kernelBusyUntil > start {
+			start = s.kernelBusyUntil
+		}
+		end := start + kcost
+		s.kernelBusyUntil = end
+		s.LayerTime["filesystem"] += c.Filesystem
+		s.LayerTime["iomap"] += iomap
+		s.LayerTime["blockio"] += c.BlockIO
+		s.LayerTime["completion"] += c.Completion
+		m.phase = smSlot
+		s.e.ScheduleCallback(end-s.e.Now(), m)
+
+	case smSlot:
+		n := int64(len(r.Data))
+		instr := s.cfg.PathInstructions + 120*float64(extraPages(n))
+		if r.Op == nvme.OpWrite {
+			instr *= 1.12
+		}
+		s.Stat.Charge(instr, s.cfg.IPC)
+		dev, _ := s.locate(r.Offset)
+		r.dev = dev
+		m.phase = smGranted
+		// Respect the in-flight bound (kernel tag allocation).
+		if !s.slots[dev].AcquireCallback(1, 0, m) {
+			return
+		}
+		m.Run()
+
+	case smGranted:
+		n := int64(len(r.Data))
+		_, lba := s.locate(r.Offset)
+		dev := r.dev
+		cid := s.allocCID(dev)
+		r.cid = cid
+		s.inflight[dev][cid] = r
+		slot := s.bounceSlot(dev, cid, n)
+		if r.Op == nvme.OpWrite {
+			copy(slot, r.Data)
+			s.hm.ReserveTraffic(2 * n)
+		}
+		sqe := nvme.SQE{
+			Opcode: r.Op,
+			CID:    cid,
+			NSID:   1,
+			PRP1:   uint64(s.bounce[dev].Addr) + uint64(int64(cid)*s.cfg.StripeBytes),
+			SLBA:   lba,
+			NLB:    uint32(n / nvme.LBASize),
+		}
+		if err := s.qps[dev].SQ.Push(sqe); err != nil {
+			panic("oskernel: SQ overflow despite slot limiter: " + err.Error())
+		}
+		s.devs[dev].Ring(s.qps[dev])
+		onSubmitted := m.onSubmitted
+		m.r, m.onSubmitted = nil, nil
+		s.freeSubmit = append(s.freeSubmit, m) //camlint:allow hotalloc -- amortized free-list growth
+		onSubmitted.Run()
+	}
+}
+
 // bounceSlot returns command cid's staging slice on dev.
 func (s *Stack) bounceSlot(dev int, cid uint16, n int64) []byte {
 	off := int64(cid) * s.cfg.StripeBytes
@@ -351,51 +484,101 @@ func (s *Stack) allocCID(dev int) uint16 {
 	panic("oskernel: no free CID despite slot limiter")
 }
 
-// completionLoop delivers completions for one device: interrupt-driven
-// stacks add the interrupt latency; the polled stack reaps inline.
-func (s *Stack) completionLoop(p *sim.Proc, dev int) {
-	qp := s.qps[dev]
+// kcqStep reaps completions for one device as a callback state machine
+// parked on the CQ doorbell: interrupt-driven stacks add the interrupt
+// latency through pooled delivery records; the polled stack reaps inline.
+type kcqStep struct {
+	s   *Stack
+	dev int
+	// free recycles interrupt-delivery records so the steady-state
+	// completion path does not allocate.
+	free []*kDeliver
+}
+
+// kDeliver carries one interrupt-delayed completion delivery.
+type kDeliver struct {
+	k      *kcqStep
+	r      *Request
+	cid    uint16
+	status nvme.Status
+}
+
+// Run finishes the delayed delivery (engine-callback context). The record
+// recycles before the copy-out so delivery can park a fresh one
+// immediately.
+//
+//camlint:hotpath
+func (d *kDeliver) Run() {
+	k, r, cid, status := d.k, d.r, d.cid, d.status
+	d.r = nil
+	k.free = append(k.free, d) //camlint:allow hotalloc -- amortized free-list growth
+	k.deliver(r, cid, status)
+}
+
+// Run drains the device CQ and re-arms the doorbell wait (engine-callback
+// context).
+//
+//camlint:hotpath
+func (k *kcqStep) Run() {
+	s := k.s
+	qp := s.qps[k.dev]
+	if qp.CQ.OnPost.Fired() {
+		qp.CQ.OnPost.Reset()
+	}
 	for {
 		cqe, ok := qp.CQ.Poll()
 		if !ok {
-			if !qp.CQ.OnPost.Fired() {
-				p.Wait(qp.CQ.OnPost)
-			}
-			qp.CQ.OnPost.Reset()
-			continue
+			qp.CQ.OnPost.WaitCallback(0, k)
+			return
 		}
-		r := s.inflight[dev][cqe.CID]
+		r := s.inflight[k.dev][cqe.CID]
 		if r == nil {
 			panic("oskernel: completion for unknown CID")
-		}
-		cid := cqe.CID
-		status := cqe.Status
-		deliver := func() {
-			// The CID (and its bounce slot) stays reserved until the
-			// copy-out finishes, so a reissued command cannot clobber it.
-			delete(s.inflight[dev], cid)
-			n := int64(len(r.Data))
-			if r.Op == nvme.OpRead {
-				// DMA landed in the staging slot: one DRAM crossing for
-				// the DMA write, one for the copy-to-user read.
-				copy(r.Data, s.bounceSlot(dev, cid, n))
-				s.hm.ReserveTraffic(2 * n)
-			}
-			r.Status = status
-			s.Stat.Done(1)
-			s.slots[dev].Release(1)
-			r.Done.Fire()
 		}
 		if s.cfg.InterruptDelay > 0 {
 			// Interrupt delivery adds latency (and stall-heavy cycles)
 			// but interrupts fan out across cores, so it does not
 			// serialize completions.
 			s.Stat.ChargeCycles(cpustat.TimeToCycles(s.cfg.InterruptDelay) * 0.3)
-			s.e.Schedule(s.cfg.InterruptDelay, deliver)
+			d := k.getDeliver()
+			d.r, d.cid, d.status = r, cqe.CID, cqe.Status
+			s.e.ScheduleCallback(s.cfg.InterruptDelay, d)
 		} else {
-			deliver()
+			k.deliver(r, cqe.CID, cqe.Status)
 		}
 	}
+}
+
+// getDeliver returns a recycled (or fresh) delivery record.
+func (k *kcqStep) getDeliver() *kDeliver {
+	if n := len(k.free); n > 0 {
+		d := k.free[n-1]
+		k.free = k.free[:n-1]
+		return d
+	}
+	return &kDeliver{k: k} //camlint:allow hotalloc -- pool miss grows to the concurrency high-water mark, then reuses
+}
+
+// deliver finishes one completion: staging copy-out, accounting, tag and
+// slot release, Done signal.
+//
+//camlint:hotpath
+func (k *kcqStep) deliver(r *Request, cid uint16, status nvme.Status) {
+	s, dev := k.s, k.dev
+	// The CID (and its bounce slot) stays reserved until the copy-out
+	// finishes, so a reissued command cannot clobber it.
+	delete(s.inflight[dev], cid)
+	n := int64(len(r.Data))
+	if r.Op == nvme.OpRead {
+		// DMA landed in the staging slot: one DRAM crossing for the DMA
+		// write, one for the copy-to-user read.
+		copy(r.Data, s.bounceSlot(dev, cid, n))
+		s.hm.ReserveTraffic(2 * n)
+	}
+	r.Status = status
+	s.Stat.Done(1)
+	s.slots[dev].Release(1)
+	r.Done.Fire()
 }
 
 // ReadAt performs a synchronous read of len(data) bytes at off (pread).

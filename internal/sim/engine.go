@@ -226,10 +226,15 @@ func (e *Engine) ScheduleCallbackOn(wheel int, delay Time, cb Callback) {
 type Timer struct {
 	fn   func()
 	dead bool
+	// done marks the scheduled event consumed — fired, or discarded by the
+	// dispatch loop after a Cancel. A done timer's queue slot is gone, so
+	// Revive can no longer reclaim it.
+	done bool
 }
 
 // Run implements Callback; it is invoked by the engine, not by users.
 func (t *Timer) Run() {
+	t.done = true
 	if !t.dead {
 		t.fn()
 	}
@@ -239,6 +244,21 @@ func (t *Timer) Run() {
 func (t *Timer) Cancel() {
 	t.dead = true
 	t.fn = nil
+}
+
+// Revive re-arms a canceled timer whose event is still pending in the
+// queue, restoring fn; it reports whether the pending event could be
+// reclaimed. A revived timer fires at its original due time, so callers
+// must be content with an early fire (and typically re-check their own
+// deadline and re-arm from the callback). Deadline pollers lean on this to
+// park and re-park without pushing a fresh far-horizon event per cycle: the
+// one pending event flips between live and dead instead.
+func (t *Timer) Revive(fn func()) bool {
+	if t.done {
+		return false
+	}
+	t.dead, t.fn = false, fn
+	return true
 }
 
 // ScheduleTimer runs fn at now+delay unless the returned timer is canceled
@@ -253,6 +273,7 @@ func (e *Engine) ScheduleTimer(delay Time, fn func()) *Timer {
 // control to p at now+delay. Every internal wakeup (Sleep, Signal.Fire,
 // Store.Put, Resource.Release, Go) goes through here instead of boxing a
 // fresh closure per event.
+//
 //camlint:hotpath
 func (e *Engine) scheduleResume(p *Proc, delay Time) {
 	if delay < 0 {
@@ -470,6 +491,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		e.heads[w] = q.head()
 		e.pending--
 		if t, ok := ev.cb.(*Timer); ok && t.dead {
+			t.done = true
 			continue // canceled: discard without advancing the clock
 		}
 		if ev.at > e.now {
@@ -550,6 +572,9 @@ type sigWaiter struct {
 	p     *Proc
 	cb    Callback
 	wheel int
+	// inline runs cb synchronously inside Fire instead of scheduling an
+	// event (see WaitInline).
+	inline bool
 }
 
 // Signal is a one-shot event: processes Wait on it (or callbacks register
@@ -577,19 +602,29 @@ func (s *Signal) Fire() {
 		return
 	}
 	s.fired = true
-	for i := range s.waiters {
-		w := s.waiters[i]
-		s.waiters[i] = sigWaiter{}
-		if w.p != nil {
+	// Take ownership of the waiter list before running anything: an inline
+	// waiter may Reset this signal and re-arm waiters mid-loop, and those
+	// must land on a fresh list, not overwrite entries still being walked.
+	ws := s.waiters
+	s.waiters = nil
+	for i := range ws {
+		w := ws[i]
+		ws[i] = sigWaiter{}
+		switch {
+		case w.p != nil:
 			s.e.scheduleResume(w.p, 0)
-		} else {
+		case w.inline:
+			w.cb.Run()
+		default:
 			s.e.seq++
 			s.e.pushEvent(w.wheel, event{at: s.e.now, seq: s.e.seq, cb: w.cb})
 		}
 	}
-	// Keep the backing array: a signal that is re-armed with Reset and
-	// waited on again reuses it instead of growing a fresh one.
-	s.waiters = s.waiters[:0]
+	if s.waiters == nil {
+		// Keep the backing array: a signal that is re-armed with Reset and
+		// waited on again reuses it instead of growing a fresh one.
+		s.waiters = ws[:0]
+	}
 }
 
 // Reset re-arms a fired signal so it can be waited on and fired again.
@@ -617,13 +652,32 @@ func (p *Proc) Wait(s *Signal) {
 // instead of a goroutine rendezvous. If the signal has already fired the
 // callback is scheduled immediately; pollers that must not consume an event
 // in that case check Fired() first, exactly as process loops do before Wait.
+//
+//camlint:hotpath
 func (s *Signal) WaitCallback(wheel int, cb Callback) {
 	if s.fired {
 		s.e.seq++
 		s.e.pushEvent(wheel, event{at: s.e.now, seq: s.e.seq, cb: cb})
 		return
 	}
-	s.waiters = append(s.waiters, sigWaiter{cb: cb, wheel: wheel})
+	s.waiters = append(s.waiters, sigWaiter{cb: cb, wheel: wheel}) //camlint:allow hotalloc -- Fire recycles the backing array; steady state appends into retained capacity
+}
+
+// WaitInline registers cb to run synchronously inside Fire, at the firing
+// instant, instead of through a scheduled event. It is for tiny relay
+// callbacks on hot signals (a CQ-post forwarder, a doorbell nudge) where
+// the event hop would double the cost of the edge: the callback runs in
+// the firer's stack frame, so it must be reentrancy-safe and must not
+// assume the firer has finished its own state update beyond the signal.
+// If the signal has already fired, cb runs immediately.
+//
+//camlint:hotpath
+func (s *Signal) WaitInline(cb Callback) {
+	if s.fired {
+		cb.Run()
+		return
+	}
+	s.waiters = append(s.waiters, sigWaiter{cb: cb, inline: true}) //camlint:allow hotalloc -- Fire recycles the backing array; steady state appends into retained capacity
 }
 
 // WaitTimeout blocks until the signal fires or d elapses. It reports whether

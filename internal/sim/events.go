@@ -1,5 +1,10 @@
 package sim
 
+import (
+	"math/bits"
+	"slices"
+)
+
 // event is one pending queue entry as handed across the queue API: the
 // common resume case (p != nil) carries the process to hand control to with
 // no closure and no heap allocation; cb carries a pre-built Callback object
@@ -22,54 +27,122 @@ const slotBits = 24
 
 const slotMask = 1<<slotBits - 1
 
-// eventKey is the heap lane's compact ordering record: the event timestamp
+// eventKey is the timed lanes' compact ordering record: the event timestamp
 // plus the insertion sequence packed above the payload-slot index. Ordering
 // by (at, sq) equals ordering by (at, seq) — sequences are unique, so the
-// slot bits can never decide a comparison — while keeping heap entries at
-// 16 bytes: sift operations move and compare a third of the full event
-// struct, and a 4-ary node's children pack into a single cache line.
+// slot bits can never decide a comparison — while keeping entries at
+// 16 bytes: bucket sorts and heap sifts move and compare a third of the
+// full event struct, and four keys pack into a single cache line. The same
+// key format flows between the near-horizon wheel buckets and the overflow
+// heap, so promotion moves 16 bytes and never touches the payload slab.
 type eventKey struct {
 	at Time
 	sq uint64 // seq<<slotBits | payload slot
 }
 
-// eventPayload is the callback part of a heap-lane event, parked in a slab
-// indexed by the key's slot bits so heap sifts never move it.
+func keyLess(a, b eventKey) bool {
+	return a.at < b.at || (a.at == b.at && a.sq < b.sq)
+}
+
+func keyCmp(a, b eventKey) int {
+	if a.at != b.at {
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	}
+	if a.sq != b.sq {
+		if a.sq < b.sq {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// eventPayload is the callback part of a timed-lane event, parked in a slab
+// indexed by the key's slot bits so bucket sorts and heap sifts never move
+// it.
 type eventPayload struct {
 	p  *Proc
 	cb Callback
 	fn func()
 }
 
-// eventQueue is a value-typed 4-ary min-heap of compact keys over a slotted
-// payload slab. Compared to the previous container/heap of *event it
-// performs no interface boxing and no per-event allocation (push/pop each
-// cost one amortized slice append), and the wider fan-out halves the tree
-// depth, trading a few extra comparisons per level for far fewer
-// cache-missing element moves — the right trade when siftDown dominates, as
-// it does in a DES where pop count equals push count.
+// Timing-wheel geometry. One bucket spans 8.192 µs and the ring holds 64
+// buckets, so the near horizon covers ≈524 µs past the queue's floor —
+// comfortably beyond the NVMe poll/completion latencies (60 ns poll
+// iterations through ≈82 µs write media latency) that dominate the event
+// mix, while millisecond-scale timeouts and harness sleeps take the
+// overflow heap.
+const (
+	wheelWidthBits = 13
+	wheelBuckets   = 64
+	wheelSlotMask  = wheelBuckets - 1
+)
+
+// bucketOf maps a timestamp to its absolute bucket number.
+func bucketOf(at Time) uint64 { return uint64(at) >> wheelWidthBits }
+
+// wheelBucket is one ring slot: an append-mostly vector of keys with a
+// consumed prefix. Only keys[hidx:] are live; sorted reports whether that
+// live region is ordered by (at, sq). Buckets sort lazily — on first
+// consumption — so off-horizon inserts cost an append and nothing else.
+type wheelBucket struct {
+	keys   []eventKey
+	hidx   int
+	sorted bool
+}
+
+// eventQueue orders pending events through three lanes:
+//
+//   - nowq: the zero-delay lane. Events whose timestamp equals the engine's
+//     current instant at push time; the clock never rewinds and seq is
+//     globally monotone, so appends arrive already sorted and a plain ring
+//     replaces any sifting — the dominant case in a polling-heavy DES.
+//   - the near-horizon timing wheel: 64 buckets of 8.192 µs covering
+//     [floor, floor+524 µs). Inserts are O(1) appends (or an ordered insert
+//     into the active bucket); the active bucket sorts once when dispatch
+//     reaches it, so per-event cost is one amortized small sort share
+//     instead of a full-heap siftDown per pop.
+//   - the overflow 4-ary heap: everything at or beyond the horizon. As the
+//     floor (the latest timestamp dispatched from this queue) advances past
+//     bucket boundaries, newly addressable overflow events promote into the
+//     wheel — each event promotes at most once.
+//
+// All three lanes index one shared payload slab through the key's slot
+// bits; moving a key between lanes never touches the payload. The dispatch
+// order is exactly the global (at, seq) minimum: the wheel strictly
+// precedes the overflow heap whenever it is non-empty (wheel events live in
+// buckets below the horizon, heap events at or beyond it), so the head is a
+// three-way compare away.
 //
 // An Engine holds one eventQueue per wheel (see Engine.NewWheel): sharding
-// the pending set by device keeps each heap a few levels deep and hot in
-// cache, while the global dispatch order stays exactly (at, seq) via the
-// wheel-head merge in RunUntil.
+// the pending set by device keeps each bucket ring hot in cache, while the
+// global dispatch order stays exactly (at, seq) via the wheel-head merge in
+// RunUntil.
 type eventQueue struct {
-	keys []eventKey     // heap lane ordering records
+	// Near-horizon wheel lane. occ is the ring occupancy bitmap (bit i =
+	// ring slot i holds live keys); wbase is the absolute bucket number of
+	// the window start, advanced only by dispatch (every pending and future
+	// event of this queue times at or after the latest dispatched event, so
+	// buckets behind it are empty forever); wlen counts wheel-lane events.
+	bks   [wheelBuckets]wheelBucket
+	occ   uint64
+	wbase uint64
+	wlen  int
+
+	keys []eventKey     // overflow heap lane ordering records
 	pay  []eventPayload // payload slab, indexed by key slot bits
 	free []int32        // recycled slab slots
-	// nowq is the zero-delay lane: events whose timestamp equals the
-	// engine's current instant at push time. The engine's clock never
-	// rewinds and seq is globally monotone, so appends arrive already
-	// sorted by (at, seq) and a plain ring replaces heap sift entirely —
-	// the dominant case in a polling-heavy DES, where most scheduling is
-	// "run this after the events already queued right now".
+	// nowq is the zero-delay lane (see above).
 	nowq    []event
 	nowHead int
 }
 
 // wheelHead mirrors the (at, seq) key of a wheel's earliest event so the
 // cross-wheel minimum is a scan over a compact array instead of a pointer
-// chase into every heap. An empty wheel parks at (MaxTime, ^0), which no
+// chase into every queue. An empty wheel parks at (MaxTime, ^0), which no
 // real event can tie: seq starts at 1 and at is clamped to MaxTime.
 type wheelHead struct {
 	at  Time
@@ -79,13 +152,117 @@ type wheelHead struct {
 // emptyHead is the parked key of a wheel with no pending events.
 var emptyHead = wheelHead{at: MaxTime, seq: ^uint64(0)}
 
-// head reports the queue's current minimum key across both lanes. The nowq
-// lane is sorted, so its head is its first live entry; heap-lane ties are
-// impossible (seq is unique) and the lexicographic (at, seq) comparison
-// picks the global lane minimum.
+// minSlot reports the ring slot of the earliest occupied bucket. Callers
+// guarantee q.occ != 0. The rotation turns "first occupied slot at or after
+// the window start, circularly" into a trailing-zeros count.
+func (q *eventQueue) minSlot() int {
+	r := bits.RotateLeft64(q.occ, -int(q.wbase&wheelSlotMask))
+	return int((q.wbase + uint64(bits.TrailingZeros64(r))) & wheelSlotMask)
+}
+
+// wheelMin returns the wheel lane's earliest key, sorting the active bucket
+// on first consumption. Callers guarantee q.wlen > 0.
+func (q *eventQueue) wheelMin() eventKey {
+	b := &q.bks[q.minSlot()]
+	if !b.sorted {
+		slices.SortFunc(b.keys[b.hidx:], keyCmp)
+		b.sorted = true
+	}
+	return b.keys[b.hidx]
+}
+
+// wheelInsert files k into its ring bucket. The active (minimum) bucket
+// takes an ordered insert into its live region so the queue head stays
+// exact; every other bucket takes a plain append, staying sorted for free
+// when pushes arrive in order.
+//
+//camlint:hotpath
+func (q *eventQueue) wheelInsert(k eventKey) {
+	s := int(bucketOf(k.at) & wheelSlotMask)
+	b := &q.bks[s]
+	n := len(b.keys)
+	if n == 0 {
+		b.keys = append(b.keys, k) //camlint:allow hotalloc -- amortized bucket growth; steady state reuses capacity
+		b.hidx = 0
+		b.sorted = true
+		q.occ |= 1 << uint(s)
+		q.wlen++
+		return
+	}
+	if b.sorted && s == q.minSlot() {
+		// Ordered insert into the live region of the active bucket: a push
+		// can land before already-filed keys (the consumed prefix is always
+		// earlier — wheel pushes time strictly after the queue floor).
+		lo, hi := b.hidx, n
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if keyLess(b.keys[mid], k) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		b.keys = append(b.keys, eventKey{}) //camlint:allow hotalloc -- amortized bucket growth; steady state reuses capacity
+		copy(b.keys[lo+1:], b.keys[lo:])
+		b.keys[lo] = k
+	} else {
+		if b.sorted && keyLess(k, b.keys[n-1]) {
+			b.sorted = false
+		}
+		b.keys = append(b.keys, k) //camlint:allow hotalloc -- amortized bucket growth; steady state reuses capacity
+	}
+	q.wlen++
+}
+
+// wheelPop removes and returns the wheel lane's earliest key. Callers
+// guarantee q.wlen > 0.
+//
+//camlint:hotpath
+func (q *eventQueue) wheelPop() eventKey {
+	s := q.minSlot()
+	b := &q.bks[s]
+	if !b.sorted {
+		slices.SortFunc(b.keys[b.hidx:], keyCmp)
+		b.sorted = true
+	}
+	k := b.keys[b.hidx]
+	b.hidx++
+	if b.hidx == len(b.keys) {
+		b.keys = b.keys[:0]
+		b.hidx = 0
+		b.sorted = false
+		q.occ &^= 1 << uint(s)
+	}
+	q.wlen--
+	return k
+}
+
+// advance slides the window start to the bucket of the just-dispatched
+// timestamp and promotes overflow events that became addressable. Every
+// remaining event of this queue times at or after at (dispatch takes the
+// queue minimum), so the buckets being slid past are empty by construction;
+// each overflow event promotes into the ring at most once.
+func (q *eventQueue) advance(at Time) {
+	ab := bucketOf(at)
+	if ab <= q.wbase {
+		return
+	}
+	q.wbase = ab
+	for len(q.keys) > 0 && bucketOf(q.keys[0].at) < q.wbase+wheelBuckets {
+		q.wheelInsert(q.heapPop())
+	}
+}
+
+// head reports the queue's current minimum key across all three lanes. The
+// wheel strictly precedes the overflow heap when non-empty, the nowq lane
+// is sorted so its head is its first live entry, and the lexicographic
+// (at, seq) comparison picks the global lane minimum.
 func (q *eventQueue) head() wheelHead {
 	h := emptyHead
-	if len(q.keys) > 0 {
+	if q.wlen > 0 {
+		k := q.wheelMin()
+		h = wheelHead{at: k.at, seq: k.sq >> slotBits}
+	} else if len(q.keys) > 0 {
 		h = wheelHead{at: q.keys[0].at, seq: q.keys[0].sq >> slotBits}
 	}
 	if q.nowHead < len(q.nowq) {
@@ -97,7 +274,7 @@ func (q *eventQueue) head() wheelHead {
 	return h
 }
 
-func (q *eventQueue) len() int { return len(q.keys) + len(q.nowq) - q.nowHead }
+func (q *eventQueue) len() int { return q.wlen + len(q.keys) + len(q.nowq) - q.nowHead }
 
 // pushNow appends ev to the zero-delay lane. Callers guarantee ev.at equals
 // the engine's current instant, which keeps the lane sorted by construction.
@@ -107,13 +284,27 @@ func (q *eventQueue) pushNow(ev event) {
 	q.nowq = append(q.nowq, ev) //camlint:allow hotalloc -- amortized ring growth; steady state reuses capacity
 }
 
-// popMin removes and returns the earliest event across both lanes.
+// popMin removes and returns the earliest event across all lanes.
 //
 //camlint:hotpath
 func (q *eventQueue) popMin() event {
+	// Candidate from the timed lanes: the wheel wins over the overflow heap
+	// outright (its buckets all precede the horizon; the heap starts at it).
+	var k eventKey
+	haveTimed := true
+	fromWheel := false
+	switch {
+	case q.wlen > 0:
+		k = q.wheelMin()
+		fromWheel = true
+	case len(q.keys) > 0:
+		k = q.keys[0]
+	default:
+		haveTimed = false
+	}
 	if q.nowHead < len(q.nowq) {
 		f := &q.nowq[q.nowHead]
-		if len(q.keys) == 0 || f.at < q.keys[0].at || (f.at == q.keys[0].at && f.seq < q.keys[0].sq>>slotBits) {
+		if !haveTimed || f.at < k.at || (f.at == k.at && f.seq < k.sq>>slotBits) {
 			ev := *f
 			*f = event{} // never pin a dead callback or process
 			q.nowHead++
@@ -121,14 +312,26 @@ func (q *eventQueue) popMin() event {
 				q.nowq = q.nowq[:0]
 				q.nowHead = 0
 			}
+			q.advance(ev.at)
 			return ev
 		}
 	}
-	return q.pop()
+	if fromWheel {
+		k = q.wheelPop()
+	} else {
+		k = q.heapPop()
+	}
+	slot := int32(k.sq & slotMask)
+	pl := q.pay[slot]
+	q.pay[slot] = eventPayload{}
+	q.free = append(q.free, slot) //camlint:allow hotalloc -- free list grows to the pending-event high-water mark, then reuses capacity
+	q.advance(k.at)
+	return event{at: k.at, seq: k.sq >> slotBits, p: pl.p, cb: pl.cb, fn: pl.fn}
 }
 
 // push inserts ev: the callback part parks in a slab slot, and a compact
-// (at, seq|slot) key sifts up the heap.
+// (at, seq|slot) key files into the near-horizon wheel or, past the
+// horizon, sifts up the overflow heap.
 func (q *eventQueue) push(ev event) {
 	if ev.seq >= 1<<(64-slotBits) {
 		panic("sim: event sequence overflows key packing")
@@ -146,6 +349,15 @@ func (q *eventQueue) push(ev event) {
 	}
 	q.pay[slot] = eventPayload{p: ev.p, cb: ev.cb, fn: ev.fn}
 	k := eventKey{at: ev.at, sq: ev.seq<<slotBits | uint64(slot)}
+	if bucketOf(ev.at) < q.wbase+wheelBuckets {
+		q.wheelInsert(k)
+		return
+	}
+	q.heapPush(k)
+}
+
+// heapPush sifts k up the overflow heap.
+func (q *eventQueue) heapPush(k eventKey) {
 	q.keys = append(q.keys, k) //camlint:allow hotalloc -- amortized heap growth; steady state reuses capacity
 	i := len(q.keys) - 1
 	for i > 0 {
@@ -160,21 +372,17 @@ func (q *eventQueue) push(ev event) {
 	q.keys[i] = k
 }
 
-// pop removes and returns the earliest event, recycling its slab slot and
-// zeroing the payload so the queue never pins a dead callback or process.
-func (q *eventQueue) pop() event {
+// heapPop removes and returns the overflow heap's earliest key. Callers
+// guarantee len(q.keys) > 0.
+func (q *eventQueue) heapPop() eventKey {
 	top := q.keys[0]
-	slot := int32(top.sq & slotMask)
-	pl := q.pay[slot]
-	q.pay[slot] = eventPayload{}
-	q.free = append(q.free, slot) //camlint:allow hotalloc -- free list grows to the pending-event high-water mark, then reuses capacity
 	n := len(q.keys) - 1
 	q.keys[0] = q.keys[n]
 	q.keys = q.keys[:n]
 	if n > 1 {
 		q.siftDown(0)
 	}
-	return event{at: top.at, seq: top.sq >> slotBits, p: pl.p, cb: pl.cb, fn: pl.fn}
+	return top
 }
 
 func (q *eventQueue) siftDown(i int) {

@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refQueue is the reference ordering the timing wheel must reproduce: the
+// old 4-ary heap's comparator, (at, then seq), applied as a total sort.
+type refQueue struct {
+	evs []event
+}
+
+func (r *refQueue) push(ev event) { r.evs = append(r.evs, ev) }
+
+func (r *refQueue) popMin() event {
+	best := 0
+	for i := 1; i < len(r.evs); i++ {
+		e, b := r.evs[i], r.evs[best]
+		if e.at < b.at || (e.at == b.at && e.seq < b.seq) {
+			best = i
+		}
+	}
+	ev := r.evs[best]
+	r.evs = append(r.evs[:best], r.evs[best+1:]...)
+	return ev
+}
+
+// drive pushes the schedule into both queues, interleaving pops so the
+// wheel's floor advances (exercising bucket sliding and overflow
+// promotion), and checks every pop agrees with the reference comparator.
+func driveDifferential(t *testing.T, schedule []Time) {
+	t.Helper()
+	var q eventQueue
+	var ref refQueue
+	var seq uint64
+	var now Time
+	pending := 0
+	push := func(at Time) {
+		if at < now {
+			at = now
+		}
+		seq++
+		ev := event{at: at, seq: seq, fn: func() {}}
+		if at <= now {
+			q.pushNow(ev)
+		} else {
+			q.push(ev)
+		}
+		ref.push(ev)
+		pending++
+	}
+	pop := func() {
+		got := q.popMin()
+		want := ref.popMin()
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("pop mismatch: wheel (at=%d seq=%d), reference heap (at=%d seq=%d)",
+				got.at, got.seq, want.at, want.seq)
+		}
+		if got.at > now {
+			now = got.at
+		}
+		pending--
+	}
+	for i, at := range schedule {
+		push(at)
+		// Interleave pops: drain roughly half the backlog every few pushes
+		// so the window slides through the schedule instead of sorting it
+		// in one shot.
+		if i%3 == 2 {
+			for pending > 2 {
+				pop()
+			}
+		}
+	}
+	for pending > 0 {
+		pop()
+	}
+	if q.len() != 0 {
+		t.Fatalf("queue reports %d events after draining", q.len())
+	}
+}
+
+func TestWheelDifferentialExactTies(t *testing.T) {
+	// Clusters of events at identical timestamps: only seq may decide.
+	var schedule []Time
+	base := Time(0)
+	for c := 0; c < 200; c++ {
+		base += Time(c%7) * 777 * Nanosecond
+		for k := 0; k < 5; k++ {
+			schedule = append(schedule, base)
+		}
+	}
+	driveDifferential(t, schedule)
+}
+
+func TestWheelDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var schedule []Time
+	base := Time(0)
+	for i := 0; i < 5000; i++ {
+		// Mix of zero-delay, near-horizon, and far-overflow offsets,
+		// including exact repeats for tie coverage.
+		var d Time
+		switch rng.Intn(10) {
+		case 0:
+			d = 0
+		case 1, 2, 3, 4, 5:
+			d = Time(rng.Int63n(int64(100 * Microsecond)))
+		case 6, 7, 8:
+			d = Time(rng.Int63n(int64(2 * Millisecond)))
+		default:
+			d = Time(rng.Int63n(int64(50 * Millisecond)))
+		}
+		schedule = append(schedule, base+d)
+		if rng.Intn(4) == 0 {
+			base += Time(rng.Int63n(int64(20 * Microsecond)))
+		}
+	}
+	driveDifferential(t, schedule)
+}
+
+// TestWheelHorizonBoundary pins the wheel↔overflow split: events scheduled
+// exactly at, just below, and beyond the horizon must file into the
+// expected lane and still pop in exact (at, seq) order after promotion.
+func TestWheelHorizonBoundary(t *testing.T) {
+	var q eventQueue
+	span := Time(wheelBuckets) << wheelWidthBits
+	var seq uint64
+	push := func(at Time) {
+		seq++
+		q.push(event{at: at, seq: seq, fn: func() {}})
+	}
+	// Floor at bucket 0: horizon covers [0, span).
+	push(span - 1)    // last wheel-addressable instant
+	push(span)        // first overflow instant
+	push(span + 1)    //
+	push(2*span + 17) // deep overflow
+	push(1)           // active bucket
+	if q.wlen != 2 {
+		t.Fatalf("wheel lane holds %d events, want 2 (span-1 and 1)", q.wlen)
+	}
+	if len(q.keys) != 3 {
+		t.Fatalf("overflow heap holds %d events, want 3", len(q.keys))
+	}
+
+	// Popping the active-bucket event advances the floor by 0 buckets;
+	// popping span-1 slides the window to the last bucket and promotes the
+	// overflow events now inside [span-1's bucket, +span).
+	if got := q.popMin(); got.at != 1 {
+		t.Fatalf("first pop at=%d, want 1", got.at)
+	}
+	if got := q.popMin(); got.at != span-1 {
+		t.Fatalf("second pop at=%d, want %d", got.at, span-1)
+	}
+	if q.wlen != 2 || len(q.keys) != 1 {
+		t.Fatalf("after sliding past span-1: wheel=%d overflow=%d, want 2 and 1 (span and span+1 promoted)",
+			q.wlen, len(q.keys))
+	}
+	wantOrder := []Time{span, span + 1, 2*span + 17}
+	for _, want := range wantOrder {
+		if got := q.popMin(); got.at != want {
+			t.Fatalf("pop at=%d, want %d", got.at, want)
+		}
+	}
+	if q.len() != 0 {
+		t.Fatalf("queue not empty after drain: %d", q.len())
+	}
+}
+
+// TestWheelPromotionPreservesTies schedules ties that straddle a promotion:
+// identical timestamps land in the overflow heap and the wheel through
+// different routes, and must still dispatch in seq order.
+func TestWheelPromotionPreservesTies(t *testing.T) {
+	var q eventQueue
+	span := Time(wheelBuckets) << wheelWidthBits
+	var seq uint64
+	push := func(at Time) uint64 {
+		seq++
+		q.push(event{at: at, seq: seq, fn: func() {}})
+		return seq
+	}
+	tieAt := span + 5000
+	first := push(tieAt)  // overflow (beyond horizon at floor 0)
+	push(1)               // wheel; popping it keeps floor near 0
+	q.popMin()            // floor → bucket 0, no promotion
+	push(span - 1)        // wheel
+	q.popMin()            // floor → last bucket: tieAt promotes into the ring
+	second := push(tieAt) // lands directly in the wheel
+	got1 := q.popMin()
+	got2 := q.popMin()
+	if got1.at != tieAt || got1.seq != first {
+		t.Fatalf("first tie pop (at=%d seq=%d), want (at=%d seq=%d)", got1.at, got1.seq, tieAt, first)
+	}
+	if got2.at != tieAt || got2.seq != second {
+		t.Fatalf("second tie pop (at=%d seq=%d), want (at=%d seq=%d)", got2.at, got2.seq, tieAt, second)
+	}
+}
+
+// TestWheelEngineOrderMatchesSchedule runs ordering through the full engine
+// to cover the nowq lane and cross-wheel merge on top of the bucket ring.
+func TestWheelEngineOrderMatchesSchedule(t *testing.T) {
+	e := New()
+	w := e.NewWheel()
+	rng := rand.New(rand.NewSource(7))
+	type stamp struct {
+		at  Time
+		ord int
+	}
+	var fired []stamp
+	var delays []Time
+	for i := 0; i < 400; i++ {
+		delays = append(delays, Time(rng.Int63n(int64(3*Millisecond))))
+	}
+	for i, d := range delays {
+		i, d := i, d
+		wheel := i % 2 * w // alternate wheel 0 and the extra wheel
+		e.ScheduleCallbackOn(wheel, d, callbackFunc(func() {
+			fired = append(fired, stamp{at: e.Now(), ord: i})
+		}))
+	}
+	e.Run()
+	if len(fired) != len(delays) {
+		t.Fatalf("fired %d of %d callbacks", len(fired), len(delays))
+	}
+	if !sort.SliceIsSorted(fired, func(a, b int) bool {
+		if fired[a].at != fired[b].at {
+			return fired[a].at < fired[b].at
+		}
+		return fired[a].ord < fired[b].ord
+	}) {
+		t.Fatal("engine dispatched events out of (at, seq) order")
+	}
+	e.Shutdown()
+}
+
+// callbackFunc adapts a func to Callback for tests.
+type callbackFunc func()
+
+func (f callbackFunc) Run() { f() }
+
+// TestWheelDispatchAllocsCeiling pins the steady-state dispatch cost: once
+// bucket rings, slab, and free list reach their high-water marks, a
+// push/pop cycle through the wheel (near events) and the overflow heap (far
+// events) must not allocate.
+func TestWheelDispatchAllocsCeiling(t *testing.T) {
+	var q eventQueue
+	var seq uint64
+	var now Time
+	cycle := func() {
+		for k := 0; k < 50; k++ {
+			seq++
+			q.push(event{at: now + Time(k%13)*Microsecond + 1, seq: seq, fn: nil, cb: nil, p: nil})
+			seq++
+			q.push(event{at: now + Millisecond + Time(k)*Microsecond, seq: seq})
+		}
+		for k := 0; k < 100; k++ {
+			ev := q.popMin()
+			if ev.at > now {
+				now = ev.at
+			}
+		}
+	}
+	cycle() // warm up capacities
+	allocs := testing.AllocsPerRun(100, cycle)
+	if allocs > 2 {
+		t.Fatalf("steady-state dispatch allocates %.1f times per 100-event cycle, want <= 2", allocs)
+	}
+}

@@ -18,7 +18,13 @@ type Resource struct {
 
 type resWaiter struct {
 	p *Proc
-	n int64
+	// cb/wheel are the callback-machine variant: when cb is non-nil the
+	// grant is delivered as a zero-delay event on wheel instead of a
+	// process resume. Both kinds share the one FIFO ring, so admission
+	// order between processes and state machines is exact arrival order.
+	cb    Callback
+	wheel int
+	n     int64
 }
 
 // NewResource creates a resource with the given capacity (> 0).
@@ -82,6 +88,27 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 	p.block()
 }
 
+// AcquireCallback is the callback-machine form of Acquire: it reports true
+// if the units were taken immediately; otherwise the waiter is parked FIFO
+// (interleaved with process waiters) and cb runs via a zero-delay event on
+// wheel once the units have been assigned to it. Callers should return
+// after a false result and treat cb.Run as the continuation.
+func (r *Resource) AcquireCallback(n int64, wheel int, cb Callback) bool {
+	if n <= 0 {
+		return true
+	}
+	if n > r.capacity {
+		panic("sim: Acquire larger than capacity on " + r.name)
+	}
+	if r.waiters.len() == 0 && r.inUse+n <= r.capacity {
+		r.integrate()
+		r.inUse += n
+		return true
+	}
+	r.waiters.pushBack(resWaiter{cb: cb, wheel: wheel, n: n})
+	return false
+}
+
 // TryAcquire holds n units if immediately available (respecting FIFO order)
 // and reports whether it did.
 func (r *Resource) TryAcquire(n int64) bool {
@@ -113,7 +140,11 @@ func (r *Resource) Release(n int64) {
 		}
 		r.integrate()
 		r.inUse += w.n
-		r.e.scheduleResume(w.p, 0)
+		if w.cb != nil {
+			r.e.ScheduleCallbackOn(w.wheel, 0, w.cb)
+		} else {
+			r.e.scheduleResume(w.p, 0)
+		}
 		r.waiters.popFront()
 	}
 }

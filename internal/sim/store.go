@@ -18,9 +18,30 @@ type Store[T any] struct {
 }
 
 type storeGetter[T any] struct {
-	p  *Proc
-	v  T
-	ok bool
+	p *Proc
+	// sink/wheel are the callback-consumer variant: when sink is non-nil
+	// the getter is itself the scheduled Callback that delivers to it.
+	sink  StoreSink[T]
+	wheel int
+	s     *Store[T]
+	v     T
+	ok    bool
+}
+
+// Run delivers the value to the parked sink (engine-callback context). The
+// getter record is released before the sink runs so the sink can
+// immediately register again and reuse it.
+func (g *storeGetter[T]) Run() {
+	sink, v, ok := g.sink, g.v, g.ok
+	g.s.release(g)
+	sink.StoreItem(v, ok)
+}
+
+// StoreSink receives items from GetCallback in engine-callback context. It
+// is the callback-state-machine analogue of a blocked Get: a converted
+// consumer implements it and resumes its phase loop from StoreItem.
+type StoreSink[T any] interface {
+	StoreItem(v T, ok bool)
 }
 
 // NewStore creates an empty store. The type parameter is supplied at the
@@ -41,7 +62,7 @@ func (s *Store[T]) getter(p *Proc) *storeGetter[T] {
 		g.p = p
 		return g
 	}
-	return &storeGetter[T]{p: p}
+	return &storeGetter[T]{p: p} //camlint:allow hotalloc -- pool miss grows to the concurrency high-water mark, then reuses
 }
 
 // release zeroes g and parks it for reuse once its value has been consumed.
@@ -59,7 +80,11 @@ func (s *Store[T]) Put(v T) {
 	if s.getters.len() > 0 {
 		g := s.getters.popFront()
 		g.v, g.ok = v, true
-		s.e.scheduleResume(g.p, 0)
+		if g.sink != nil {
+			s.e.ScheduleCallbackOn(g.wheel, 0, g)
+		} else {
+			s.e.scheduleResume(g.p, 0)
+		}
 		return
 	}
 	s.items.pushBack(v)
@@ -82,6 +107,29 @@ func (s *Store[T]) Get(p *Proc) (v T, ok bool) {
 	return v, ok
 }
 
+// GetCallback is the callback-machine form of Get: if an item is queued it
+// is delivered to sink synchronously (before GetCallback returns), otherwise
+// the sink is parked FIFO alongside blocked process getters and receives the
+// item via a zero-delay event on wheel when one is Put. Callers should
+// return immediately after GetCallback and treat StoreItem as the
+// continuation.
+//
+//camlint:hotpath
+func (s *Store[T]) GetCallback(wheel int, sink StoreSink[T]) {
+	if s.items.len() > 0 {
+		sink.StoreItem(s.items.popFront(), true)
+		return
+	}
+	if s.closed {
+		var zero T
+		sink.StoreItem(zero, false)
+		return
+	}
+	g := s.getter(nil)
+	g.sink, g.wheel, g.s = sink, wheel, s
+	s.getters.pushBack(g)
+}
+
 // TryGet dequeues an item if one is queued.
 func (s *Store[T]) TryGet() (v T, ok bool) {
 	if s.items.len() == 0 {
@@ -99,7 +147,11 @@ func (s *Store[T]) Close() {
 	s.closed = true
 	for s.getters.len() > 0 {
 		g := s.getters.popFront()
-		s.e.scheduleResume(g.p, 0)
+		if g.sink != nil {
+			s.e.ScheduleCallbackOn(g.wheel, 0, g)
+		} else {
+			s.e.scheduleResume(g.p, 0)
+		}
 	}
 }
 

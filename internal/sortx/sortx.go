@@ -15,7 +15,6 @@ package sortx
 import (
 	"encoding/binary"
 	"fmt"
-	"slices"
 
 	"camsim/internal/gpu"
 	"camsim/internal/platform"
@@ -92,6 +91,11 @@ type Sorter struct {
 	filled  bool
 	dataOff int64 // region A
 	scratch int64 // region B
+
+	// keys/ktmp are the block-sort scratch buffers, sized once for the run
+	// length and reused across runs so the host-side sort allocates nothing
+	// in steady state.
+	keys, ktmp []uint32
 }
 
 // New creates a sorter; cfg must validate against the backend granularity.
@@ -206,15 +210,63 @@ func (s *Sorter) runPhase(p *sim.Proc, dstOff int64, st *Stats) {
 }
 
 // sortBuffer sorts the keys in buf (real bytes) and charges the modeled
-// GPU block-sort kernel.
+// GPU block-sort kernel. The host-side sort is an LSD radix sort over the
+// reusable scratch buffers: for uint32 keys its ascending output is
+// identical to a comparison sort, at a fraction of the wall cost.
 func (s *Sorter) sortBuffer(p *sim.Proc, buf *gpu.Buffer) {
-	keys := decode(buf.Data)
-	slices.Sort(keys)
+	n := len(buf.Data) / 4
+	if cap(s.keys) < n {
+		s.keys = make([]uint32, n)
+		s.ktmp = make([]uint32, n)
+	}
+	keys := s.keys[:n]
+	decodeInto(keys, buf.Data)
+	radixSort(keys, s.ktmp[:n])
 	encode(buf.Data, keys)
-	kT := sim.Time(float64(len(keys)) / s.cfg.SortRate * float64(sim.Second))
+	kT := sim.Time(float64(n) / s.cfg.SortRate * float64(sim.Second))
 	s.env.GPU.RunKernel(p, gpu.KernelSpec{
 		Name: "blocksort", Threads: s.env.GPU.TotalThreads(), FullOccupancyTime: kT,
 	})
+}
+
+// radixSort sorts keys ascending with a 4x8-bit LSD radix sort, ping-
+// ponging between keys and tmp (len(tmp) >= len(keys)). Histograms for
+// all four digit positions come from a single read pass, and passes whose
+// digit is constant across the input are skipped.
+func radixSort(keys, tmp []uint32) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	var hist [4][256]int
+	for _, v := range keys {
+		hist[0][v&0xff]++
+		hist[1][(v>>8)&0xff]++
+		hist[2][(v>>16)&0xff]++
+		hist[3][v>>24]++
+	}
+	src, dst := keys, tmp
+	for pass := uint(0); pass < 4; pass++ {
+		h := &hist[pass]
+		if h[(src[0]>>(8*pass))&0xff] == n {
+			continue // every key shares this digit
+		}
+		var ofs [256]int
+		sum := 0
+		for i, c := range h {
+			ofs[i] = sum
+			sum += c
+		}
+		for _, v := range src {
+			d := (v >> (8 * pass)) & 0xff
+			dst[ofs[d]] = v
+			ofs[d]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+	}
 }
 
 // mergePhase merges groups of Fanin runs until one remains, alternating
@@ -298,44 +350,6 @@ func (s *Sorter) mergeGroup(p *sim.Proc, srcOff, dstOff, width int64, lens []int
 	oi := 0
 	written := int64(0)
 
-	// Min-heap over the runs' current head values.
-	type entry struct {
-		v   uint32
-		idx int
-	}
-	h := make([]entry, 0, len(lens))
-	up := func(i int) {
-		for i > 0 {
-			parent := (i - 1) / 2
-			if h[parent].v <= h[i].v {
-				break
-			}
-			h[parent], h[i] = h[i], h[parent]
-			i = parent
-		}
-	}
-	down := func(i int) {
-		for {
-			l, r := 2*i+1, 2*i+2
-			min := i
-			if l < len(h) && h[l].v < h[min].v {
-				min = l
-			}
-			if r < len(h) && h[r].v < h[min].v {
-				min = r
-			}
-			if min == i {
-				return
-			}
-			h[i], h[min] = h[min], h[i]
-			i = min
-		}
-	}
-	for i := range readers {
-		h = append(h, entry{binary.LittleEndian.Uint32(cur[i]), i})
-		up(len(h) - 1)
-	}
-
 	flush := func() {
 		kT := sim.Time(float64(ck/4) / s.cfg.MergeRate * float64(sim.Second))
 		s.env.GPU.RunKernel(p, gpu.KernelSpec{
@@ -351,27 +365,107 @@ func (s *Sorter) mergeGroup(p *sim.Proc, srcOff, dstOff, width int64, lens []int
 		oi = 0
 	}
 
-	for len(h) > 0 {
-		top := h[0]
-		binary.LittleEndian.PutUint32(out[slot].Data[oi:], top.v)
-		oi += 4
-		i := top.idx
-		pos[i] += 4
-		if pos[i] == len(cur[i]) {
-			cur[i] = readers[i].next(p)
-			pos[i] = 0
+	if len(lens) == 2 {
+		// The default pairwise fan-in merges with a branch-light
+		// two-pointer loop; the tournament heap only pays for itself at
+		// k > 2. Ties take run 0 first, matching the heap's order.
+		a, b := cur[0], cur[1]
+		var pa, pb int
+		va := binary.LittleEndian.Uint32(a)
+		vb := binary.LittleEndian.Uint32(b)
+		od := out[slot].Data
+		for a != nil && b != nil {
+			if va <= vb {
+				binary.LittleEndian.PutUint32(od[oi:], va)
+				oi += 4
+				pa += 4
+				if int64(oi) == ck {
+					flush()
+					od = out[slot].Data
+				}
+				if pa == len(a) {
+					a = readers[0].next(p)
+					pa = 0
+					od = out[slot].Data
+					if a == nil {
+						break
+					}
+				}
+				va = binary.LittleEndian.Uint32(a[pa:])
+			} else {
+				binary.LittleEndian.PutUint32(od[oi:], vb)
+				oi += 4
+				pb += 4
+				if int64(oi) == ck {
+					flush()
+					od = out[slot].Data
+				}
+				if pb == len(b) {
+					b = readers[1].next(p)
+					pb = 0
+					od = out[slot].Data
+					if b == nil {
+						break
+					}
+				}
+				vb = binary.LittleEndian.Uint32(b[pb:])
+			}
 		}
-		if cur[i] == nil {
-			// Run i exhausted: shrink the heap.
-			h[0] = h[len(h)-1]
-			h = h[:len(h)-1]
-			down(0)
-		} else {
-			h[0].v = binary.LittleEndian.Uint32(cur[i][pos[i]:])
-			down(0)
+		// Drain the surviving run with bulk copies: the bytes are already
+		// little-endian keys in ascending order.
+		rest, pr, ri := a, pa, 0
+		if rest == nil {
+			rest, pr, ri = b, pb, 1
 		}
-		if int64(oi) == ck {
-			flush()
+		for rest != nil {
+			n := copy(out[slot].Data[oi:ck], rest[pr:])
+			oi += n
+			pr += n
+			if int64(oi) == ck {
+				flush()
+			}
+			if pr == len(rest) {
+				rest = readers[ri].next(p)
+				pr = 0
+			}
+		}
+	} else {
+		// k-way: replace-top min-heap over (value<<32 | run-index) packed
+		// keys — one sift per produced key instead of a pop+push pair.
+		h := make([]uint64, 0, len(lens))
+		for i := range readers {
+			h = append(h, uint64(binary.LittleEndian.Uint32(cur[i]))<<32|uint64(i))
+		}
+		for i := len(h)/2 - 1; i >= 0; i-- {
+			siftDown(h, i)
+		}
+		od := out[slot].Data
+		for len(h) > 0 {
+			top := h[0]
+			binary.LittleEndian.PutUint32(od[oi:], uint32(top>>32))
+			oi += 4
+			i := int(uint32(top))
+			pos[i] += 4
+			if pos[i] == len(cur[i]) {
+				cur[i] = readers[i].next(p)
+				pos[i] = 0
+				od = out[slot].Data
+			}
+			if cur[i] == nil {
+				// Run i exhausted: shrink the heap.
+				h[0] = h[len(h)-1]
+				h = h[:len(h)-1]
+				if len(h) > 0 {
+					siftDown(h, 0)
+				}
+			} else {
+				h[0] = uint64(binary.LittleEndian.Uint32(cur[i][pos[i]:]))<<32 | uint64(i)
+				siftDown(h, 0)
+			}
+			if int64(oi) == ck {
+				flush()
+				od = out[slot].Data
+			}
 		}
 	}
 	if written != total {
@@ -474,12 +568,30 @@ func (s *Sorter) Verify(p *sim.Proc) error {
 	return nil
 }
 
-func decode(b []byte) []uint32 {
-	out := make([]uint32, len(b)/4)
+// siftDown restores the min-heap property at index i for packed
+// (value<<32 | run-index) keys; uint64 order gives value-then-index ties.
+func siftDown(h []uint64, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && h[l] < h[min] {
+			min = l
+		}
+		if r < len(h) && h[r] < h[min] {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+func decodeInto(out []uint32, b []byte) {
 	for i := range out {
 		out[i] = binary.LittleEndian.Uint32(b[i*4:])
 	}
-	return out
 }
 
 func encode(b []byte, v []uint32) {

@@ -181,10 +181,15 @@ type Reactor struct {
 
 	// pending holds requests deferred because their queue pair was full.
 	pending []*Request
-	// submitWaiters are idle-wake signals armed by waitForWork.
-	submitWaiters []*sim.Signal
-	// wakeName is the pre-formatted name for idle-wake signals.
-	wakeName string
+	// wake is the reactor's persistent idle-wake signal: Submit and the
+	// per-CQ relays fire it, the idle sweep waits on it and resets it once
+	// consumed. Reusing one signal (instead of allocating a fresh one per
+	// idle cycle) keeps the idle path allocation-free.
+	wake *sim.Signal
+	// relays are the persistent per-device CQ-post relays, indexed by
+	// device number (nil for devices this reactor does not own, allocated
+	// lazily on first arm).
+	relays []*cqRelay
 
 	// retries holds failed requests waiting out their backoff; drained by
 	// the run loop once due. Only populated when recovery is armed.
@@ -253,8 +258,9 @@ func New(e *sim.Engine, cfg Config, hm *hostmem.Memory, space *mem.Space, devs [
 			flight:   make([][]*Request, len(devs)),
 			next:     make([]uint16, len(devs)),
 			consecTO: make([]int, len(devs)),
-			wakeName: fmt.Sprintf("spdk.wake%d", i),
+			relays:   make([]*cqRelay, len(devs)),
 		}
+		r.wake = e.NewSignal(fmt.Sprintf("spdk.wake%d", i))
 		d.reactors = append(d.reactors, r)
 	}
 	for di, dev := range devs {
@@ -280,7 +286,7 @@ func (d *Driver) GetRequest() *Request {
 		d.reqFree = d.reqFree[:n-1]
 		return r
 	}
-	return &Request{pooled: true}
+	return &Request{pooled: true} //camlint:allow hotalloc -- pool miss grows to the in-flight high-water mark, then reuses
 }
 
 // putRequest clears and recycles a pooled request.
@@ -380,6 +386,7 @@ func (d *Driver) Start() {
 	d.started = true
 	for _, r := range d.reactors {
 		st := &reactorStep{r: r, wheel: d.e.CurWheel(), armed: d.cfg.CmdTimeout > 0}
+		st.wake = st.deadlineWake
 		d.e.ScheduleCallbackOn(st.wheel, 0, st)
 	}
 }
@@ -422,12 +429,9 @@ func (d *Driver) Submit(r *Request) {
 	}
 	rc := d.reactorFor(r.Dev)
 	rc.queue.Put(r)
-	// Wake the reactor if it is idle-sleeping.
-	waiters := rc.submitWaiters
-	rc.submitWaiters = nil
-	for _, s := range waiters {
-		s.Fire()
-	}
+	// Wake the reactor if it is idle-sleeping (idempotent when already
+	// awake; the sweep consumes and resets the signal).
+	rc.wake.Fire()
 }
 
 // maxXfer is the maximum data transfer size per command (MDTS, 128 KiB on
@@ -496,10 +500,21 @@ type reactorStep struct {
 	expNow         sim.Time
 
 	// Idle-wait state: the armed wake signal, the optional deadline timer,
-	// and when the wait began (for the poll-cycle charge at wake-up).
+	// and when the wait began (for the poll-cycle charge at wake-up). The
+	// timer is kept across wake/park cycles — cancel+re-arm per cycle
+	// would push one far-horizon overflow-heap event per wake — and
+	// re-aims itself on an early fire; timerAt records its fire time so
+	// the park path can tell whether it still covers the current horizon.
+	// Parking with no armed deadline marks it dead — so a live timer
+	// never stretches quiescence — and the next bounded park revives the
+	// still-pending event in place instead of pushing a fresh one. wake
+	// is deadlineWake bound once, so arming never allocates a fresh
+	// method-value closure.
 	waitStart sim.Time
 	sig       *sim.Signal
 	timer     *sim.Timer
+	timerAt   sim.Time
+	wake      func()
 }
 
 // Run advances the sweep until it parks: on a cost callback (SubmitCost,
@@ -760,7 +775,9 @@ func (s *reactorStep) Run() {
 			}
 			if sig.Fired() {
 				// An already-fired wake returns immediately: no event, no
-				// waited time to charge.
+				// waited time to charge. Consume it — the work behind the
+				// fire is visible in the queues the resweep drains.
+				sig.Reset()
 				s.phase = rpIterStart
 				continue
 			}
@@ -768,18 +785,27 @@ func (s *reactorStep) Run() {
 			s.phase = rpSigWake
 			sig.WaitCallback(s.wheel, s)
 			if next > 0 {
-				s.timer = e.ScheduleTimer(next-start, s.deadlineWake)
+				if s.timer == nil || s.timerAt > next || !s.timer.Revive(s.wake) {
+					if s.timer != nil {
+						s.timer.Cancel()
+					}
+					s.timer = e.ScheduleTimer(next-start, s.wake)
+					s.timerAt = next
+				}
+			} else if s.timer != nil {
+				// No deadline to bound this wait: a live timer left
+				// pending would drag the clock forward at quiescence.
+				// Mark it dead — the next bounded park revives it.
+				s.timer.Cancel()
 			}
 			return
 
 		case rpSigWake:
-			// Woken by a submission or completion signal; a still-armed
-			// deadline timer is beaten and canceled, exactly as the
-			// process version canceled it after a fired WaitTimeout.
-			if s.timer != nil {
-				s.timer.Cancel()
-				s.timer = nil
-			}
+			// Woken by a submission or completion signal; a pending
+			// deadline timer stays armed — deadlineWake re-aims it.
+			// Re-arm the persistent wake: anything fired after this reset
+			// is still visible in the queues this resweep drains.
+			s.sig.Reset()
 			s.sig = nil
 			s.chargeWait()
 			s.phase = rpIterStart
@@ -816,16 +842,32 @@ func (s *reactorStep) submitA(req *Request, ret uint8) bool {
 	return true
 }
 
-// deadlineWake is the idle-wait deadline timer: it re-enters the sweep with
-// a direct call (no event), exactly as the process version's timer resumed
-// the blocked process via a direct hand-off. If the wake signal's Fire
-// already consumed the parked waiter at this same instant, the cancel fails
-// and the timer is a no-op — the scheduled wake event wins the tie.
+// deadlineWake is the idle-wait deadline timer. It may fire early — aimed
+// at a deadline whose command has since completed — in which case it
+// re-arms itself at the current horizon and the reactor stays parked. When
+// a deadline really is due it re-enters the sweep with a direct call (no
+// event), exactly as the process version's timer resumed the blocked
+// process via a direct hand-off. If the wake signal's Fire already consumed
+// the parked waiter at this same instant, the cancel fails and the timer is
+// a no-op — the scheduled wake event wins the tie.
 func (s *reactorStep) deadlineWake() {
+	s.timer = nil
+	if s.sig == nil {
+		return // stale: the sweep re-entered since this was armed
+	}
+	r := s.r
+	next := r.nextWake()
+	if next == 0 {
+		return // nothing armed anymore; plain signal wait
+	}
+	if now := r.d.e.Now(); next > now {
+		s.timer = r.d.e.ScheduleTimer(next-now, s.wake)
+		s.timerAt = next
+		return
+	}
 	if !s.sig.CancelWaitCallback(s) {
 		return
 	}
-	s.timer = nil
 	s.sig = nil
 	s.chargeWait()
 	s.phase = rpIterStart
@@ -970,15 +1012,18 @@ func (r *Reactor) nextWake() sim.Time {
 	return t
 }
 
-// wakeSignal returns a signal that fires on the next submission or
-// completion for this reactor.
+// wakeSignal arms the reactor's persistent wake signal to fire on the next
+// submission or completion: Submit fires it directly, and one persistent
+// relay per owned CQ forwards OnPost. Arming costs no allocations — the
+// signal and the relays live as long as the reactor, and a relay stays
+// armed across idle cycles until its CQ actually posts.
 func (r *Reactor) wakeSignal() *sim.Signal {
-	sig := r.d.e.NewSignal(r.wakeName)
-	// Watch the app queue by draining into it via a helper goroutine-free
-	// trick: Store has no signal, so poll it with CQ OnPost signals plus
-	// a queue watcher process is overkill — instead we piggyback: Submit
-	// fires per-reactor submitSig.
-	r.submitWaiters = append(r.submitWaiters, sig)
+	sig := r.wake
+	if sig.Fired() {
+		// A submission or post landed while the sweep was busy; the
+		// caller sees Fired and resweeps immediately.
+		return sig
+	}
 	for _, di := range r.devs {
 		qp := r.qps[di]
 		if qp == nil {
@@ -990,33 +1035,38 @@ func (r *Reactor) wakeSignal() *sim.Signal {
 			sig.Fire()
 			return sig
 		}
-		r.cqWatch(cq, sig)
+		rel := r.relays[di]
+		if rel == nil {
+			rel = &cqRelay{r: r, cq: cq}
+			r.relays[di] = rel
+		}
+		if !rel.armed {
+			rel.armed = true
+			cq.OnPost.WaitInline(rel)
+		}
 	}
 	return sig
 }
 
-// cqRelay forwards one CQ post to a reactor wake signal. It replaces the
-// per-arm watcher process this used to spawn: registering a callback waiter
-// costs one slice append where the process cost an event plus two goroutine
-// rendezvous per idle cycle per CQ — the dominant idle-path overhead with
-// many devices per reactor.
+// cqRelay forwards CQ posts to its reactor's wake signal. One relay per
+// (reactor, device) persists for the reactor's lifetime; it replaces both
+// the per-arm watcher process and the per-arm relay allocation this path
+// used to cost — registering a waiter is now one slice append of an
+// existing pointer, and an already-armed relay costs nothing.
 type cqRelay struct {
-	cq  *nvme.CQ
-	sig *sim.Signal
+	r     *Reactor
+	cq    *nvme.CQ
+	armed bool
 }
 
-// Run relays the post (engine-callback context). Stale relays from earlier
-// idle cycles fire alongside the live one, exactly as the stale watcher
-// processes did: the extra Reset is a no-op and firing an abandoned wake
-// signal is idempotent.
+// Run relays the post (engine-callback context). A post that lands while
+// the reactor is busy leaves the wake signal fired; the next idle check
+// consumes it and resweeps, exactly as the old inline OnPost.Fired() probe
+// did.
 func (c *cqRelay) Run() {
+	c.armed = false
 	c.cq.OnPost.Reset()
-	c.sig.Fire()
-}
-
-// cqWatch fires sig when cq posts next.
-func (r *Reactor) cqWatch(cq *nvme.CQ, sig *sim.Signal) {
-	cq.OnPost.WaitCallback(0, &cqRelay{cq: cq, sig: sig})
+	c.r.wake.Fire()
 }
 
 func (r *Reactor) allocCID(di int) uint16 {

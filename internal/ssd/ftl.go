@@ -30,9 +30,15 @@ type FTL struct {
 	cfg FTLConfig
 
 	// mapSegs is the forward directory: mapSegs[lpn>>mapSegBits][lpn&mapSegMask]
-	// holds the PPN for lpn, or -1. Segments allocate on first write.
+	// holds the PPN for lpn, or -1. A segment materializes only once it
+	// holds segDenseMin mappings; until then its entries live in overflow.
 	mapSegs [][]int64
-	// overflow holds mappings for LPNs at or beyond flatLimit.
+	// segCount tracks how many mappings each flat segment holds while it is
+	// still sparse (entries parked in overflow); -1 marks a materialized
+	// segment.
+	segCount []int32
+	// overflow holds mappings for LPNs at or beyond flatLimit, plus the
+	// entries of still-sparse flat segments.
 	overflow map[int64]int64
 	// flatLimit is the first LPN served by the overflow map.
 	flatLimit int64
@@ -73,6 +79,13 @@ const (
 	// this; multi-TB namespaces touched sparsely pay map cost only for
 	// the pages they actually write, as before.
 	maxFlatPages = 1 << 18
+	// segDenseMin is how many live mappings a flat segment needs before it
+	// materializes its 64 KiB PPN array. Random-write benchmarks that
+	// scatter a few hundred pages across each 32 MiB logical window stay in
+	// the overflow map (no allocation, no 64 KiB clear per segment); dense
+	// sequential fills cross the threshold almost immediately and get the
+	// flat array's O(1) lookups.
+	segDenseMin = mapSegSize / 16
 )
 
 type ftlBlock struct {
@@ -112,11 +125,11 @@ func DefaultFTLConfig(logicalBytes int64, overProvision float64) FTLConfig {
 
 // FTLStats aggregates the layer's counters.
 type FTLStats struct {
-	HostPages     int64 // pages the host asked to write
-	NANDPages     int64 // pages actually programmed (host + GC copies)
-	GCMigrations  int64 // valid pages copied by GC
-	Erases        int64
-	GCRuns        int64
+	HostPages       int64 // pages the host asked to write
+	NANDPages       int64 // pages actually programmed (host + GC copies)
+	GCMigrations    int64 // valid pages copied by GC
+	Erases          int64
+	GCRuns          int64
 	MappedPages     int64 // currently valid logical pages
 	PartialWrites   int64 // sub-page host writes (read-modify-write)
 	ProgramFailures int64 // injected NAND program failures (pages burned)
@@ -148,25 +161,25 @@ func NewFTL(cfg FTLConfig) *FTL {
 
 // mapGet reads the forward table.
 func (f *FTL) mapGet(lpn int64) (int64, bool) {
-	if lpn >= f.flatLimit {
-		ppn, ok := f.overflow[lpn]
-		return ppn, ok
+	if lpn < f.flatLimit {
+		seg := lpn >> mapSegBits
+		if seg < int64(len(f.mapSegs)) {
+			if s := f.mapSegs[seg]; s != nil {
+				if ppn := s[lpn&mapSegMask]; ppn >= 0 {
+					return ppn, true
+				}
+				return 0, false
+			}
+		}
+		// Sparse segment (or never touched): entries live in overflow.
 	}
-	seg := lpn >> mapSegBits
-	if seg >= int64(len(f.mapSegs)) {
-		return 0, false
-	}
-	s := f.mapSegs[seg]
-	if s == nil {
-		return 0, false
-	}
-	if ppn := s[lpn&mapSegMask]; ppn >= 0 {
-		return ppn, true
-	}
-	return 0, false
+	ppn, ok := f.overflow[lpn]
+	return ppn, ok
 }
 
-// mapSet writes the forward table, allocating its segment on first use.
+// mapSet writes the forward table. Sparse flat segments buffer their
+// entries in the overflow map and materialize the 64 KiB PPN array only at
+// segDenseMin mappings, migrating the buffered entries.
 func (f *FTL) mapSet(lpn, ppn int64) {
 	if lpn >= f.flatLimit {
 		f.overflow[lpn] = ppn
@@ -174,17 +187,38 @@ func (f *FTL) mapSet(lpn, ppn int64) {
 	}
 	seg := lpn >> mapSegBits
 	for int64(len(f.mapSegs)) <= seg {
-		f.mapSegs = append(f.mapSegs, nil)
+		f.mapSegs = append(f.mapSegs, nil) //camlint:allow hotalloc -- mapping-table growth, amortized over the LPN address space
+		f.segCount = append(f.segCount, 0) //camlint:allow hotalloc -- mapping-table growth, amortized over the LPN address space
 	}
-	s := f.mapSegs[seg]
-	if s == nil {
-		s = make([]int64, mapSegSize)
-		for i := range s {
-			s[i] = -1
+	if s := f.mapSegs[seg]; s != nil {
+		s[lpn&mapSegMask] = ppn
+		return
+	}
+	if _, exists := f.overflow[lpn]; !exists {
+		f.segCount[seg]++
+	}
+	f.overflow[lpn] = ppn
+	if f.segCount[seg] >= segDenseMin {
+		f.materializeSeg(seg)
+	}
+}
+
+// materializeSeg promotes a sparse segment to a flat PPN array, migrating
+// its buffered overflow entries.
+func (f *FTL) materializeSeg(seg int64) {
+	s := make([]int64, mapSegSize) //camlint:allow hotalloc -- one-time segment promotion, amortized over segDenseMin writes
+	for i := range s {
+		s[i] = -1
+	}
+	base := seg << mapSegBits
+	for i := int64(0); i < mapSegSize; i++ {
+		if ppn, ok := f.overflow[base+i]; ok {
+			s[i] = ppn
+			delete(f.overflow, base+i)
 		}
-		f.mapSegs[seg] = s
 	}
-	s[lpn&mapSegMask] = ppn
+	f.mapSegs[seg] = s
+	f.segCount[seg] = -1
 }
 
 // Stats returns a snapshot.
@@ -209,9 +243,9 @@ func (f *FTL) takeBlock() int {
 		panic("ssd: FTL out of physical blocks — over-provisioning exhausted")
 	}
 	f.nextFresh--
-	f.blocks = append(f.blocks, ftlBlock{})
+	f.blocks = append(f.blocks, ftlBlock{}) //camlint:allow hotalloc -- lazy block materialization, once per physical block ever
 	start := len(f.rmap)
-	f.rmap = append(f.rmap, make([]int64, f.cfg.PagesPerBlock)...)
+	f.rmap = append(f.rmap, make([]int64, f.cfg.PagesPerBlock)...) //camlint:allow hotalloc -- lazy block materialization, once per physical block ever
 	for i := start; i < len(f.rmap); i++ {
 		f.rmap[i] = -1
 	}
@@ -342,7 +376,7 @@ func (f *FTL) collect() (migrated int64) {
 	// Erase the victim.
 	*vb = ftlBlock{erases: vb.erases + 1}
 	f.stats.Erases++
-	f.freeList = append(f.freeList, victim)
+	f.freeList = append(f.freeList, victim) //camlint:allow hotalloc -- grows to the physical-block-count bound, then reuses capacity
 	return migrated
 }
 

@@ -22,6 +22,7 @@ import (
 	"camsim/internal/gds"
 	"camsim/internal/gpu"
 	"camsim/internal/mem"
+	"camsim/internal/nvme"
 	"camsim/internal/oskernel"
 	"camsim/internal/platform"
 	"camsim/internal/sim"
@@ -129,13 +130,40 @@ func (b *CAMBackend) StartWrite(p *sim.Proc, off, n int64, src *gpu.Buffer, srcO
 
 // ----- BaM -----
 
-// BaMBackend adapts a bam.System; its synchronous array interface is
-// wrapped in helper processes to present Start/Wait, but every operation
-// still pins the calibrated SM share while it runs.
+// BaMBackend adapts a bam.System through its asynchronous batch machines;
+// every operation still pins the calibrated SM share while it runs.
 type BaMBackend struct {
-	env *platform.Env
-	arr *bam.Array
-	g   int64
+	env   *platform.Env
+	arr   *bam.Array
+	g     int64
+	freeS []*bamSink
+}
+
+// bamSink fires a transfer's completion signal when its batch machine
+// finishes.
+type bamSink struct {
+	b   *BaMBackend
+	sig *sim.Signal
+}
+
+// BatchDone implements bam.BatchSink (engine-callback context).
+//
+//camlint:hotpath
+func (k *bamSink) BatchDone(errs int) {
+	sig := k.sig
+	k.sig = nil
+	k.b.freeS = append(k.b.freeS, k) //camlint:allow hotalloc -- amortized free-list growth
+	sig.Fire()
+}
+
+func (b *BaMBackend) getSink(sig *sim.Signal) *bamSink {
+	if n := len(b.freeS); n > 0 {
+		k := b.freeS[n-1]
+		b.freeS = b.freeS[:n-1]
+		k.sig = sig
+		return k
+	}
+	return &bamSink{b: b, sig: sig}
 }
 
 // NewBaM builds a BaM backend with the given granularity.
@@ -150,22 +178,14 @@ func (b *BaMBackend) Alloc(name string, n int64) *gpu.Buffer { return b.env.GPU.
 func (b *BaMBackend) StartRead(p *sim.Proc, off, n int64, dst *gpu.Buffer, dstOff int64) Handle {
 	checkAligned("bam", off, n, b.g)
 	s := b.env.E.NewSignal("bamxfer")
-	blocks := blockRange(off, n, b.g)
-	b.env.E.Go("bam.read", func(w *sim.Proc) {
-		b.arr.Gather(w, blocks, dst, dstOff)
-		s.Fire()
-	})
+	b.arr.GatherAsync(blockRange(off, n, b.g), dst, dstOff, b.getSink(s))
 	return sigHandle{s}
 }
 
 func (b *BaMBackend) StartWrite(p *sim.Proc, off, n int64, src *gpu.Buffer, srcOff int64) Handle {
 	checkAligned("bam", off, n, b.g)
 	s := b.env.E.NewSignal("bamxfer")
-	blocks := blockRange(off, n, b.g)
-	b.env.E.Go("bam.write", func(w *sim.Proc) {
-		b.arr.Scatter(w, blocks, src, srcOff)
-		s.Fire()
-	})
+	b.arr.ScatterAsync(blockRange(off, n, b.g), src, srcOff, b.getSink(s))
 	return sigHandle{s}
 }
 
@@ -179,6 +199,9 @@ type SPDKBackend struct {
 	d    *spdk.Driver
 	pool *sim.Store[*spdk.StagedGPUIO]
 	g    int64
+
+	freeX []*spdkXfer
+	freeG []*spdkGranule
 }
 
 // NewSPDK builds the backend; granules are striped across devices at
@@ -222,32 +245,91 @@ func (b *SPDKBackend) StartWrite(p *sim.Proc, off, n int64, src *gpu.Buffer, src
 	return b.start(p, off, n, src, srcOff, false)
 }
 
+// start launches a transfer as a callback state machine: granules proceed
+// in parallel, bounded by the helper pool — the classic SPDK app pattern of
+// keeping several staged transfers in flight per direction.
 func (b *SPDKBackend) start(p *sim.Proc, off, n int64, buf *gpu.Buffer, bufOff int64, read bool) Handle {
 	checkAligned("spdk", off, n, b.g)
 	s := b.env.E.NewSignal("spdkxfer")
-	granules := n / b.g
-	// Granules proceed in parallel, bounded by the helper pool — the
-	// classic SPDK app pattern of keeping several staged transfers in
-	// flight per direction.
-	remaining := granules
-	for gidx := int64(0); gidx < granules; gidx++ {
-		done := gidx * b.g
-		b.env.E.Go("spdk.xfer", func(w *sim.Proc) {
-			st, _ := b.pool.Get(w)
-			dev, slba := b.locate(off + done)
-			if read {
-				st.ReadToGPU(w, dev, slba, buf, bufOff+done, b.g)
-			} else {
-				st.WriteFromGPU(w, dev, slba, buf, bufOff+done, b.g)
-			}
-			b.pool.Put(st)
-			remaining--
-			if remaining == 0 {
-				s.Fire()
-			}
-		})
+	var x *spdkXfer
+	if k := len(b.freeX); k > 0 {
+		x = b.freeX[k-1]
+		b.freeX = b.freeX[:k-1]
+	} else {
+		x = &spdkXfer{b: b}
 	}
+	*x = spdkXfer{b: b, read: read, off: off, buf: buf, bufOff: bufOff,
+		granules: n / b.g, remaining: n / b.g, sig: s}
+	b.pool.GetCallback(0, x)
 	return sigHandle{s}
+}
+
+// spdkXfer dispatches one transfer's granules onto pooled staged helpers
+// as they free up, in granule order.
+type spdkXfer struct {
+	b         *SPDKBackend
+	read      bool
+	off       int64
+	buf       *gpu.Buffer
+	bufOff    int64
+	next      int64
+	granules  int64
+	remaining int64
+	sig       *sim.Signal
+}
+
+// StoreItem receives a free helper from the pool and starts the next
+// granule on it (engine-callback context).
+//
+//camlint:hotpath
+func (x *spdkXfer) StoreItem(st *spdk.StagedGPUIO, ok bool) {
+	if !ok {
+		panic("xfer(spdk): helper pool closed mid-transfer")
+	}
+	b := x.b
+	done := x.next * b.g
+	x.next++
+	var g *spdkGranule
+	if k := len(b.freeG); k > 0 {
+		g = b.freeG[k-1]
+		b.freeG = b.freeG[:k-1]
+	} else {
+		g = &spdkGranule{} //camlint:allow hotalloc -- pool miss grows to the window high-water mark, then reuses
+	}
+	g.x, g.st = x, st
+	dev, slba := b.locate(x.off + done)
+	if x.read {
+		st.ReadToGPUAsync(dev, slba, x.buf, x.bufOff+done, b.g, g)
+	} else {
+		st.WriteFromGPUAsync(dev, slba, x.buf, x.bufOff+done, b.g, g)
+	}
+	if x.next < x.granules {
+		b.pool.GetCallback(0, x)
+	}
+}
+
+// spdkGranule rides one granule through its staged helper and returns the
+// helper to the pool on completion.
+type spdkGranule struct {
+	x  *spdkXfer
+	st *spdk.StagedGPUIO
+}
+
+// Run is the granule-complete continuation (engine-callback context).
+//
+//camlint:hotpath
+func (g *spdkGranule) Run() {
+	x, st := g.x, g.st
+	g.x, g.st = nil, nil
+	x.b.freeG = append(x.b.freeG, g) //camlint:allow hotalloc -- amortized free-list growth
+	x.b.pool.Put(st)
+	x.remaining--
+	if x.remaining == 0 {
+		sig := x.sig
+		x.sig, x.buf = nil, nil
+		x.b.freeX = append(x.b.freeX, x) //camlint:allow hotalloc -- amortized free-list growth
+		sig.Fire()
+	}
 }
 
 // ----- GDS -----
@@ -273,20 +355,14 @@ func (b *GDSBackend) Alloc(name string, n int64) *gpu.Buffer { return b.env.GPU.
 func (b *GDSBackend) StartRead(p *sim.Proc, off, n int64, dst *gpu.Buffer, dstOff int64) Handle {
 	checkAligned("gds", off, n, b.g)
 	s := b.env.E.NewSignal("gdsxfer")
-	b.env.E.Go("gds.read", func(w *sim.Proc) {
-		b.d.Read(w, off, n, dst.Addr+mem.Addr(dstOff))
-		s.Fire()
-	})
+	b.d.ReadAsync(off, n, dst.Addr+mem.Addr(dstOff), s)
 	return sigHandle{s}
 }
 
 func (b *GDSBackend) StartWrite(p *sim.Proc, off, n int64, src *gpu.Buffer, srcOff int64) Handle {
 	checkAligned("gds", off, n, b.g)
 	s := b.env.E.NewSignal("gdsxfer")
-	b.env.E.Go("gds.write", func(w *sim.Proc) {
-		b.d.Write(w, off, n, src.Addr+mem.Addr(srcOff))
-		s.Fire()
-	})
+	b.d.WriteAsync(off, n, src.Addr+mem.Addr(srcOff), s)
 	return sigHandle{s}
 }
 
@@ -299,6 +375,9 @@ type POSIXBackend struct {
 	stack *oskernel.Stack
 	pool  *sim.Store[*posixHelper]
 	g     int64
+
+	freeX []*posixXfer
+	freeG []*posixGranule
 }
 
 type posixHelper struct {
@@ -338,32 +417,169 @@ func (b *POSIXBackend) StartWrite(p *sim.Proc, off, n int64, src *gpu.Buffer, sr
 
 // start issues granules in parallel, bounded by the helper-buffer pool —
 // the multi-threaded pread/pwrite worker pool a traditional implementation
-// uses.
+// uses — as a callback state machine.
 func (b *POSIXBackend) start(p *sim.Proc, off, n int64, buf *gpu.Buffer, bufOff int64, read bool) Handle {
 	checkAligned("posix", off, n, b.g)
 	s := b.env.E.NewSignal("posixxfer")
-	granules := n / b.g
-	remaining := granules
-	for gidx := int64(0); gidx < granules; gidx++ {
-		done := gidx * b.g
-		b.env.E.Go("posix.xfer", func(w *sim.Proc) {
-			h, _ := b.pool.Get(w)
-			if read {
-				b.stack.ReadAt(w, off+done, h.host)
-				// Stage host → GPU (one DRAM read crossing + one memcpy).
-				b.env.HM.ReserveTraffic(b.g)
-				b.env.CE.Copy(w, buf.Data[bufOff+done:], h.host, b.g)
-			} else {
-				b.env.HM.ReserveTraffic(b.g)
-				b.env.CE.Copy(w, h.host, buf.Data[bufOff+done:], b.g)
-				b.stack.WriteAt(w, off+done, h.host)
-			}
-			b.pool.Put(h)
-			remaining--
-			if remaining == 0 {
-				s.Fire()
-			}
-		})
+	var x *posixXfer
+	if k := len(b.freeX); k > 0 {
+		x = b.freeX[k-1]
+		b.freeX = b.freeX[:k-1]
+	} else {
+		x = &posixXfer{}
 	}
+	*x = posixXfer{b: b, read: read, off: off, buf: buf, bufOff: bufOff,
+		granules: n / b.g, remaining: n / b.g, sig: s}
+	b.pool.GetCallback(0, x)
 	return sigHandle{s}
+}
+
+// posixXfer dispatches granules onto pooled helper buffers in order as
+// they free up.
+type posixXfer struct {
+	b         *POSIXBackend
+	read      bool
+	off       int64
+	buf       *gpu.Buffer
+	bufOff    int64
+	next      int64
+	granules  int64
+	remaining int64
+	sig       *sim.Signal
+}
+
+// StoreItem receives a free helper buffer and starts the next granule
+// (engine-callback context).
+//
+//camlint:hotpath
+func (x *posixXfer) StoreItem(h *posixHelper, ok bool) {
+	if !ok {
+		panic("xfer(posix): helper pool closed mid-transfer")
+	}
+	b := x.b
+	done := x.next * b.g
+	x.next++
+	var g *posixGranule
+	if k := len(b.freeG); k > 0 {
+		g = b.freeG[k-1]
+		b.freeG = b.freeG[:k-1]
+	} else {
+		g = &posixGranule{} //camlint:allow hotalloc -- pool miss grows to the window high-water mark, then reuses
+	}
+	g.x, g.h = x, h
+	g.off, g.bufOff = x.off+done, x.bufOff+done
+	g.start()
+	if x.next < x.granules {
+		b.pool.GetCallback(0, x)
+	}
+}
+
+// posixGranule phases.
+const (
+	pgSubmit uint8 = iota // submit the next stripe chunk
+	pgWait                // wait for the next chunk completion
+	pgCopied              // final (read) or initial (write) memcpy done
+)
+
+// posixGranule walks one granule through the kernel stack: for reads,
+// stripe-chunked pread then one staging memcpy to the GPU; for writes, the
+// memcpy first, then chunked pwrite. Chunks submit sequentially (the kernel
+// path serializes them anyway) and their completions are reaped in order,
+// mirroring the synchronous worker.
+type posixGranule struct {
+	x      *posixXfer
+	h      *posixHelper
+	off    int64
+	bufOff int64
+	phase  uint8
+	reqs   []oskernel.Request
+	idx    int
+}
+
+func (g *posixGranule) start() {
+	b := g.x.b
+	// Pre-build the stripe-boundary chunk list over the helper buffer.
+	g.reqs = g.reqs[:0]
+	op := nvme.OpRead
+	if !g.x.read {
+		op = nvme.OpWrite
+	}
+	off, data := g.off, g.h.host
+	for len(data) > 0 {
+		chunk := b.stack.StripeBytes() - off%b.stack.StripeBytes()
+		if chunk > int64(len(data)) {
+			chunk = int64(len(data))
+		}
+		g.reqs = append(g.reqs, oskernel.Request{Op: op, Offset: off, Data: data[:chunk]}) //camlint:allow hotalloc -- pooled granule retains reqs capacity across reuse
+		off += chunk
+		data = data[chunk:]
+	}
+	g.idx = 0
+	if g.x.read {
+		g.phase = pgSubmit
+		b.stack.SubmitAsync(&g.reqs[0], g)
+		return
+	}
+	// Write: stage GPU → host first (one DRAM write crossing + one memcpy).
+	b.env.HM.ReserveTraffic(b.g)
+	end := b.env.CE.ReserveCopy(b.g)
+	copy(g.h.host, g.x.buf.Data[g.bufOff:g.bufOff+b.g])
+	g.phase = pgCopied
+	b.env.E.ScheduleCallback(end-b.env.E.Now(), g)
+}
+
+// Run advances the granule one phase (engine-callback context).
+//
+//camlint:hotpath
+func (g *posixGranule) Run() {
+	b := g.x.b
+	switch g.phase {
+	case pgSubmit: // chunk g.idx submitted
+		g.idx++
+		if g.idx < len(g.reqs) {
+			b.stack.SubmitAsync(&g.reqs[g.idx], g)
+			return
+		}
+		g.phase, g.idx = pgWait, 0
+		g.reqs[0].Done.WaitCallback(0, g)
+
+	case pgWait: // chunk g.idx completed
+		g.idx++
+		if g.idx < len(g.reqs) {
+			g.reqs[g.idx].Done.WaitCallback(0, g)
+			return
+		}
+		if !g.x.read {
+			g.finish()
+			return
+		}
+		// Read: stage host → GPU (one DRAM read crossing + one memcpy).
+		b.env.HM.ReserveTraffic(b.g)
+		end := b.env.CE.ReserveCopy(b.g)
+		copy(g.x.buf.Data[g.bufOff:g.bufOff+b.g], g.h.host)
+		g.phase = pgCopied
+		b.env.E.ScheduleCallback(end-b.env.E.Now(), g)
+
+	case pgCopied:
+		if g.x.read {
+			g.finish()
+			return
+		}
+		g.phase, g.idx = pgSubmit, 0
+		b.stack.SubmitAsync(&g.reqs[0], g)
+	}
+}
+
+func (g *posixGranule) finish() {
+	x, h := g.x, g.h
+	g.x, g.h = nil, nil
+	x.b.freeG = append(x.b.freeG, g) //camlint:allow hotalloc -- amortized free-list growth
+	x.b.pool.Put(h)
+	x.remaining--
+	if x.remaining == 0 {
+		sig := x.sig
+		x.sig, x.buf = nil, nil
+		x.b.freeX = append(x.b.freeX, x) //camlint:allow hotalloc -- amortized free-list growth
+		sig.Fire()
+	}
 }
