@@ -76,8 +76,12 @@ bench:
 # but the JSON goes to bench-smoke.json (discarded) instead of
 # accumulating files. It then diffs the fresh run against the latest
 # committed BENCH_<n>.json and warns (without failing) when any figure's
-# simulation rate drops by more than 20%. Runs at CAMSIM_SHARDS=1 —
-# serial shard windows — so the gate tracks the single-worker engine.
+# simulation rate drops by more than 20% or its heap traffic (B/op) grows
+# by more than 30% — the latter is the zero-copy data plane's regression
+# gate: a copy site reverting to eager materialization shows up as a
+# B/op jump long before it costs enough wall time to trip the sim-rate
+# warning. Runs at CAMSIM_SHARDS=1 — serial shard windows — so the gate
+# tracks the single-worker engine.
 bench-smoke:
 	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
 	$(GO) test -c -o "$$tmp/camsim.test" . && \
@@ -86,7 +90,7 @@ bench-smoke:
 	done; } | $(GO) run ./cmd/benchjson -o bench-smoke.json
 	@base=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1); \
 	if [ -n "$$base" ]; then \
-		$(GO) run ./cmd/benchjson -diff -warn-sim-regress 20 "$$base" bench-smoke.json; \
+		$(GO) run ./cmd/benchjson -diff -warn-sim-regress 20 -warn-bytes-regress 30 "$$base" bench-smoke.json; \
 	else \
 		echo "bench-smoke: no committed BENCH_<n>.json baseline, skipping diff"; \
 	fi
@@ -106,7 +110,7 @@ bench-smoke-fig10a:
 		| $(GO) run ./cmd/benchjson -o bench-smoke-fig10a.json
 	@base=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1); \
 	if [ -n "$$base" ]; then \
-		$(GO) run ./cmd/benchjson -diff -warn-sim-regress 20 "$$base" bench-smoke-fig10a.json; \
+		$(GO) run ./cmd/benchjson -diff -warn-sim-regress 20 -warn-bytes-regress 30 "$$base" bench-smoke-fig10a.json; \
 	else \
 		echo "bench-smoke-fig10a: no committed BENCH_<n>.json baseline, skipping diff"; \
 	fi
@@ -152,8 +156,8 @@ profile:
 	@ls -l profiles/
 
 # bench-diff compares the two most recent BENCH_<n>.json snapshots,
-# printing per-benchmark percentage deltas (ns/op, allocs/op, and the
-# sim_per_wall simulation rate).
+# printing per-benchmark percentage deltas (ns/op, B/op, allocs/op, and
+# the sim_per_wall simulation rate).
 bench-diff:
 	@set -- $$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -2); \
 	if [ $$# -lt 2 ]; then \

@@ -14,13 +14,15 @@
 // Diff mode compares two such snapshots:
 //
 //	go run ./cmd/benchjson -diff BENCH_1.json BENCH_2.json
-//	go run ./cmd/benchjson -diff -warn-sim-regress 20 old.json new.json
+//	go run ./cmd/benchjson -diff -warn-sim-regress 20 -warn-bytes-regress 30 old.json new.json
 //
-// printing per-benchmark percentage deltas for ns/op, allocs/op, and
+// printing per-benchmark percentage deltas for ns/op, B/op, allocs/op, and
 // sim_per_wall. With -warn-sim-regress N it additionally prints a warning
 // to stderr for every benchmark whose sim_per_wall dropped by more than
-// N percent; the exit status stays 0 so CI can surface regressions
-// without failing the build.
+// N percent, and with -warn-bytes-regress N for every benchmark whose
+// B/op grew by more than N percent (the data-plane copy-volume gate); the
+// exit status stays 0 in both cases so CI can surface regressions without
+// failing the build.
 //
 // Each benchmark entry keeps the standard testing metrics (ns/op, B/op,
 // allocs/op) plus the harness's custom sim-ns/op metric and the derived
@@ -71,6 +73,7 @@ func main() {
 	out := flag.String("o", "auto", "output: 'auto' (next free BENCH_<n>.json), '-' (stdout), or a path")
 	diffMode := flag.Bool("diff", false, "compare two snapshots: benchjson -diff old.json new.json")
 	warnPct := flag.Float64("warn-sim-regress", 0, "with -diff: warn on stderr when sim_per_wall drops by more than this percent")
+	warnBytesPct := flag.Float64("warn-bytes-regress", 0, "with -diff: warn on stderr when B/op grows by more than this percent")
 	flag.Parse()
 
 	if *diffMode {
@@ -78,7 +81,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		if err := runDiff(flag.Arg(0), flag.Arg(1), *warnPct); err != nil {
+		if err := runDiff(flag.Arg(0), flag.Arg(1), *warnPct, *warnBytesPct); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -118,7 +121,7 @@ func main() {
 }
 
 // runDiff prints per-benchmark percentage deltas between two snapshots.
-func runDiff(oldPath, newPath string, warnPct float64) error {
+func runDiff(oldPath, newPath string, warnPct, warnBytesPct float64) error {
 	oldRep, err := load(oldPath)
 	if err != nil {
 		return err
@@ -133,17 +136,18 @@ func runDiff(oldPath, newPath string, warnPct float64) error {
 	}
 
 	fmt.Printf("%s → %s\n", oldPath, newPath)
-	fmt.Printf("%-36s %12s %12s %14s\n", "benchmark", "ns/op", "allocs/op", "sim_per_wall")
+	fmt.Printf("%-36s %12s %12s %12s %14s\n", "benchmark", "ns/op", "B/op", "allocs/op", "sim_per_wall")
 	seen := make(map[string]bool, len(newRep.Benchmarks))
 	for _, nb := range newRep.Benchmarks {
 		seen[nb.Name] = true
 		ob, ok := oldBy[nb.Name]
 		if !ok {
-			fmt.Printf("%-36s %41s\n", nb.Name, "(new benchmark)")
+			fmt.Printf("%-36s %54s\n", nb.Name, "(new benchmark)")
 			continue
 		}
-		fmt.Printf("%-36s %12s %12s %14s\n", nb.Name,
+		fmt.Printf("%-36s %12s %12s %12s %14s\n", nb.Name,
 			pctDelta(ob.NsPerOp, nb.NsPerOp),
+			pctDelta(ob.BPerOp, nb.BPerOp),
 			pctDelta(ob.AllocsOp, nb.AllocsOp),
 			pctDelta(ob.SimPerWall, nb.SimPerWall))
 		if warnPct > 0 && ob.SimPerWall > 0 && nb.SimPerWall > 0 {
@@ -153,10 +157,17 @@ func runDiff(oldPath, newPath string, warnPct float64) error {
 					nb.Name, drop, ob.SimPerWall, nb.SimPerWall, warnPct)
 			}
 		}
+		if warnBytesPct > 0 && ob.BPerOp > 0 && nb.BPerOp > 0 {
+			growth := (nb.BPerOp - ob.BPerOp) / ob.BPerOp * 100
+			if growth > warnBytesPct {
+				fmt.Fprintf(os.Stderr, "benchjson: WARNING: %s B/op regressed %.1f%% (%.0f → %.0f, threshold %.0f%%)\n",
+					nb.Name, growth, ob.BPerOp, nb.BPerOp, warnBytesPct)
+			}
+		}
 	}
 	for _, ob := range oldRep.Benchmarks {
 		if !seen[ob.Name] {
-			fmt.Printf("%-36s %41s\n", ob.Name, "(removed)")
+			fmt.Printf("%-36s %54s\n", ob.Name, "(removed)")
 		}
 	}
 	return nil

@@ -26,19 +26,21 @@ import (
 
 	"camsim/internal/fault"
 	"camsim/internal/harness"
+	"camsim/internal/mem"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "", "experiment id (fig1..fig16, tab1..tab6) or 'all'")
-		list       = flag.Bool("list", false, "list available experiments")
-		quick      = flag.Bool("quick", false, "run scaled-down workloads")
-		csv        = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
-		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently (1 = serial)")
-		shards     = flag.Int("shards", 1, "shard workers per clustered simulation (1 = serial; output is identical for any value)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to `file`")
-		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the runs to `file`")
-		faults     = flag.String("faults", "", "fault injection `spec`: seed:rate shorthand or key=val,... (seed, rate, drop, slow, slowx, progfail, faildev, failat); empty or 'off' disables")
+		exp         = flag.String("exp", "", "experiment id (fig1..fig16, tab1..tab6) or 'all'")
+		list        = flag.Bool("list", false, "list available experiments")
+		quick       = flag.Bool("quick", false, "run scaled-down workloads")
+		csv         = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently (1 = serial)")
+		shards      = flag.Int("shards", 1, "shard workers per clustered simulation (1 = serial; output is identical for any value)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to `file`")
+		memprofile  = flag.String("memprofile", "", "write an allocation profile taken after the runs to `file`")
+		faults      = flag.String("faults", "", "fault injection `spec`: seed:rate shorthand or key=val,... (seed, rate, drop, slow, slowx, progfail, faildev, failat); empty or 'off' disables")
+		materialize = flag.Bool("materialize", false, "force the eager data plane: buffers carry real bytes instead of lazy payload references (output is identical either way)")
 	)
 	flag.Parse()
 
@@ -51,6 +53,9 @@ func main() {
 	// injectors and the driver DefaultConfigs arm their recovery timers off
 	// this plan.
 	fault.SetDefault(plan)
+	// Likewise before any buffer exists, so every payload is born in the
+	// selected mode.
+	mem.SetDefaultEager(*materialize)
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")

@@ -33,8 +33,9 @@ func main() {
 	const nBlocks = 64
 	src := mgr.Alloc("src", nBlocks*4096)
 	dst := mgr.Alloc("dst", nBlocks*4096)
-	for i := range src.Data {
-		src.Data[i] = byte(i % 251)
+	sb := src.Bytes()
+	for i := range sb {
+		sb[i] = byte(i % 251)
 	}
 
 	// Everything below runs as the "GPU kernel" inside virtual time.
@@ -60,7 +61,7 @@ func main() {
 	})
 	env.Run()
 
-	if !bytes.Equal(src.Data, dst.Data) {
+	if !bytes.Equal(src.Bytes(), dst.Bytes()) {
 		log.Fatal("round trip mismatch")
 	}
 	st := mgr.Stats()

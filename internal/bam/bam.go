@@ -216,7 +216,8 @@ func New(e *sim.Engine, cfg Config, g *gpu.GPU, devs []*ssd.Device) *System {
 	for i, d := range devs {
 		sqMem := g.Alloc(fmt.Sprintf("bam.sq%d", i), int64(cfg.QueueDepth)*nvme.SQESize)
 		cqMem := g.Alloc(fmt.Sprintf("bam.cq%d", i), int64(cfg.QueueDepth)*nvme.CQESize)
-		qp := d.CreateQueuePair("bam", sqMem.Data, cqMem.Data, cfg.QueueDepth)
+		// Ring memory is marshalled into and parsed continuously — eager.
+		qp := d.CreateQueuePair("bam", sqMem.MakeEager(), cqMem.MakeEager(), cfg.QueueDepth)
 		s.qps = append(s.qps, qp)
 		s.slots = append(s.slots, e.NewResource(fmt.Sprintf("bam.slots%d", i), int64(cfg.QueueDepth)-1))
 		s.flight = append(s.flight, make([]flightEntry, cfg.QueueDepth))
@@ -478,9 +479,9 @@ func (m *batchMachine) Run() {
 		i := m.i
 		b := blocks[i]
 		if a.cache != nil && m.op == nvme.OpRead {
-			dst := m.buf.Data[m.off+int64(i)*a.BlockBytes:]
-			if data, hit := a.cache.Lookup(b); hit {
-				copy(dst[:a.BlockBytes], data)
+			if lineOff, hit := a.cache.LookupRef(b); hit {
+				mem.PayloadCopy(m.buf.Payload(), m.off+int64(i)*a.BlockBytes,
+					a.cache.Payload(), lineOff, a.BlockBytes)
 				m.hitTime += a.CacheHitCost
 				m.i++
 				continue
@@ -571,9 +572,9 @@ func (m *batchMachine) finish() {
 	// the batch's data is suspect — do not cache possibly-bad lines.
 	if a.cache != nil && m.op == nvme.OpRead && errs == 0 {
 		for _, i := range m.missIdx {
-			src := m.buf.Data[m.off+int64(i)*a.BlockBytes:]
-			line := a.cache.Insert(m.blocks[i])
-			copy(line, src[:a.BlockBytes])
+			lineOff := a.cache.InsertRef(m.blocks[i])
+			mem.PayloadCopy(a.cache.Payload(), lineOff,
+				m.buf.Payload(), m.off+int64(i)*a.BlockBytes, a.BlockBytes)
 		}
 	}
 	s.putFanin(fan)

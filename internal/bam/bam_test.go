@@ -61,8 +61,8 @@ func TestGatherScatterRoundTrip(t *testing.T) {
 	src := r.g.Alloc("src", int64(n)*4096)
 	dst := r.g.Alloc("dst", int64(n)*4096)
 	rng := sim.NewRNG(11)
-	for i := range src.Data {
-		src.Data[i] = byte(rng.Uint64())
+	for i := range src.Bytes() {
+		src.Bytes()[i] = byte(rng.Uint64())
 	}
 	blocks := make([]uint64, n)
 	for i := range blocks {
@@ -73,7 +73,7 @@ func TestGatherScatterRoundTrip(t *testing.T) {
 		arr.Gather(p, blocks, dst, 0)
 	})
 	r.e.Run()
-	if !bytes.Equal(src.Data, dst.Data) {
+	if !bytes.Equal(src.Bytes(), dst.Bytes()) {
 		t.Fatal("BaM scatter/gather round trip mismatch")
 	}
 }
@@ -187,8 +187,8 @@ func TestGatherWithCacheServesHits(t *testing.T) {
 	src := r.g.Alloc("src", int64(n)*4096)
 	dst := r.g.Alloc("dst", int64(n)*4096)
 	rng := sim.NewRNG(13)
-	for i := range src.Data {
-		src.Data[i] = byte(rng.Uint64())
+	for i := range src.Bytes() {
+		src.Bytes()[i] = byte(rng.Uint64())
 	}
 	blocks := make([]uint64, n)
 	for i := range blocks {
@@ -197,13 +197,13 @@ func TestGatherWithCacheServesHits(t *testing.T) {
 	r.e.Go("kernel", func(p *sim.Proc) {
 		arr.Scatter(p, blocks, src, 0)
 		arr.Gather(p, blocks, dst, 0) // all misses, fills cache
-		for i := range dst.Data {
-			dst.Data[i] = 0
+		for i := range dst.Bytes() {
+			dst.Bytes()[i] = 0
 		}
 		arr.Gather(p, blocks, dst, 0) // all hits, served from GPU memory
 	})
 	r.e.Run()
-	if !bytes.Equal(dst.Data, src.Data) {
+	if !bytes.Equal(dst.Bytes(), src.Bytes()) {
 		t.Fatal("cached gather returned wrong data")
 	}
 	st := c.Stats()
@@ -228,16 +228,16 @@ func TestScatterInvalidatesCache(t *testing.T) {
 	buf := r.g.Alloc("buf", 4096)
 	dst := r.g.Alloc("dst", 4096)
 	r.e.Go("kernel", func(p *sim.Proc) {
-		buf.Data[0] = 1
+		buf.Bytes()[0] = 1
 		arr.Scatter(p, []uint64{5}, buf, 0)
 		arr.Gather(p, []uint64{5}, dst, 0) // miss, caches value 1
-		buf.Data[0] = 2
+		buf.Bytes()[0] = 2
 		arr.Scatter(p, []uint64{5}, buf, 0) // must invalidate
 		arr.Gather(p, []uint64{5}, dst, 0)  // must re-read from SSD
 	})
 	r.e.Run()
-	if dst.Data[0] != 2 {
-		t.Fatalf("stale cache data after scatter: got %d, want 2", dst.Data[0])
+	if dst.Bytes()[0] != 2 {
+		t.Fatalf("stale cache data after scatter: got %d, want 2", dst.Bytes()[0])
 	}
 }
 
@@ -261,8 +261,8 @@ func TestGatherCoalescesStripeRuns(t *testing.T) {
 	src := r.g.Alloc("src", int64(n)*4096)
 	dst := r.g.Alloc("dst", int64(n)*4096)
 	rng := sim.NewRNG(17)
-	for i := range src.Data {
-		src.Data[i] = byte(rng.Uint64())
+	for i := range src.Bytes() {
+		src.Bytes()[i] = byte(rng.Uint64())
 	}
 	// Two stripe-contiguous 4-runs: {0,3,6,9} on nvme0, {1,4,7,10} on
 	// nvme1 → one multi-block command per device instead of eight.
@@ -272,7 +272,7 @@ func TestGatherCoalescesStripeRuns(t *testing.T) {
 		arr.Gather(p, blocks, dst, 0)
 	})
 	r.e.Run()
-	if !bytes.Equal(src.Data, dst.Data) {
+	if !bytes.Equal(src.Bytes(), dst.Bytes()) {
 		t.Fatal("coalesced scatter/gather round trip mismatch")
 	}
 	var reads, writes uint64

@@ -6,6 +6,7 @@ import (
 	"math"
 	"testing"
 
+	"camsim/internal/mem"
 	"camsim/internal/sim"
 )
 
@@ -74,11 +75,26 @@ func FuzzCoalesce(f *testing.F) {
 }
 
 // roundTripBaM scatters small fuzzed block lists through a real array with
-// coalescing armed and gathers them back: bytes must survive unchanged.
+// coalescing armed and gathers them back, once per data-plane mode: bytes
+// must survive unchanged, and the lazy and eager planes must produce the
+// same destination bytes.
 func roundTripBaM(t *testing.T, blocks []uint64) {
 	if len(blocks) > 32 {
 		return
 	}
+	var dsts [2][]byte
+	for mode, eager := range []bool{false, true} {
+		prev := mem.DefaultEager()
+		mem.SetDefaultEager(eager)
+		dsts[mode] = roundTripBaMOnce(t, blocks, eager)
+		mem.SetDefaultEager(prev)
+	}
+	if !bytes.Equal(dsts[0], dsts[1]) {
+		t.Fatalf("lazy and eager destination bytes differ for blocks %v", blocks)
+	}
+}
+
+func roundTripBaMOnce(t *testing.T, blocks []uint64, eager bool) []byte {
 	r := newRig(3, DefaultConfig())
 	arr := r.sys.NewArray(4096)
 	arr.CoalesceLimit = 8
@@ -95,15 +111,16 @@ func roundTripBaM(t *testing.T, blocks []uint64) {
 	src := r.g.Alloc("src", int64(n)*4096)
 	dst := r.g.Alloc("dst", int64(n)*4096)
 	rng := sim.NewRNG(37)
-	for i := range src.Data {
-		src.Data[i] = byte(rng.Uint64())
+	for i := range src.Bytes() {
+		src.Bytes()[i] = byte(rng.Uint64())
 	}
 	r.e.Go("kernel", func(p *sim.Proc) {
 		arr.Scatter(p, uniq, src, 0)
 		arr.Gather(p, uniq, dst, 0)
 	})
 	r.e.Run()
-	if !bytes.Equal(src.Data, dst.Data) {
-		t.Fatalf("coalesced scatter/gather corrupted data for blocks %v", uniq)
+	if !bytes.Equal(src.Bytes(), dst.Bytes()) {
+		t.Fatalf("coalesced scatter/gather (eager=%v) corrupted data for blocks %v", eager, uniq)
 	}
+	return append([]byte(nil), dst.Bytes()...)
 }

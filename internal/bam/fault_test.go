@@ -105,8 +105,8 @@ func TestDeviceDropOutDegradesGather(t *testing.T) {
 	src := r.g.Alloc("src", int64(n)*4096)
 	dst := r.g.Alloc("dst", int64(n)*4096)
 	rng := sim.NewRNG(13)
-	for i := range src.Data {
-		src.Data[i] = byte(rng.Uint64())
+	for i := range src.Bytes() {
+		src.Bytes()[i] = byte(rng.Uint64())
 	}
 	blocks := make([]uint64, n)
 	for i := range blocks {
@@ -123,8 +123,8 @@ func TestDeviceDropOutDegradesGather(t *testing.T) {
 	}
 	// Odd blocks live on the healthy device: their bytes round-tripped.
 	for i := 1; i < n; i += 2 {
-		a := src.Data[i*4096 : (i+1)*4096]
-		b := dst.Data[i*4096 : (i+1)*4096]
+		a := src.Bytes()[i*4096 : (i+1)*4096]
+		b := dst.Bytes()[i*4096 : (i+1)*4096]
 		for j := range a {
 			if a[j] != b[j] {
 				t.Fatalf("healthy-device block %d corrupted at byte %d", i, j)

@@ -187,6 +187,10 @@ type Manager struct {
 	region2 *hostmem.Buffer // args, 32 B per slot
 	region3 *hostmem.Buffer // doorbell sequence number
 	region4 *gpu.Buffer     // completion sequence number (GPU memory)
+	// The regions are control state, not DMA payload: the handshake reads
+	// and writes individual words, so they stay eagerly materialized and
+	// the backing slices are cached once at construction.
+	r1, r2, r3, r4 []byte
 
 	doorbell *sim.Signal // polling thread wake (models region-3 poll)
 	poller   *pollStep   // the polling-thread state machine
@@ -269,6 +273,10 @@ func New(e *sim.Engine, cfg Config, g *gpu.GPU, hm *hostmem.Memory, space *mem.S
 		batchQ:   sim.NewStore[*Batch](e, "cam.batches"),
 		slotRes:  e.NewResource("cam.slots", int64(cfg.MaxOutstanding)),
 	}
+	m.r1 = m.region1.MakeEager()
+	m.r2 = m.region2.MakeEager()
+	m.r3 = m.region3.MakeEager()
+	m.r4 = m.region4.MakeEager()
 	m.fireDoorbell = m.doorbell.Fire
 	for i := 0; i < cfg.MaxOutstanding; i++ {
 		m.freeSlots = append(m.freeSlots, i)
@@ -396,7 +404,7 @@ func (m *Manager) synchronize(p *sim.Proc, b *Batch) {
 	}
 	// Leading thread notices the region-4 write on its next poll.
 	p.Sleep(m.cfg.GPUPickup)
-	if got := binary.LittleEndian.Uint64(m.region4.Data); got < b.Seq {
+	if got := binary.LittleEndian.Uint64(m.r4); got < b.Seq {
 		panic("cam: region-4 sequence behind completed batch")
 	}
 }
@@ -428,16 +436,16 @@ func (m *Manager) publish(p *sim.Proc, op Op, blocks []uint64, buf *gpu.Buffer, 
 	// Region 1: the LBA array (real bytes, GPU→CPU over PCIe).
 	slotBase := int64(b.slot) * int64(m.cfg.MaxBatch) * 8
 	for i, blk := range blocks {
-		binary.LittleEndian.PutUint64(m.region1.Data[slotBase+int64(i)*8:], blk)
+		binary.LittleEndian.PutUint64(m.r1[slotBase+int64(i)*8:], blk)
 	}
 	// Region 2: the batch arguments.
 	abase := int64(b.slot) * argsSlotBytes
-	m.region2.Data[abase] = byte(op)
-	binary.LittleEndian.PutUint64(m.region2.Data[abase+8:], uint64(len(blocks)))
-	binary.LittleEndian.PutUint64(m.region2.Data[abase+16:], uint64(buf.Addr)+uint64(off))
-	binary.LittleEndian.PutUint64(m.region2.Data[abase+24:], uint64(m.cfg.BlockBytes))
+	m.r2[abase] = byte(op)
+	binary.LittleEndian.PutUint64(m.r2[abase+8:], uint64(len(blocks)))
+	binary.LittleEndian.PutUint64(m.r2[abase+16:], uint64(buf.Addr)+uint64(off))
+	binary.LittleEndian.PutUint64(m.r2[abase+24:], uint64(m.cfg.BlockBytes))
 	// Region 3: the doorbell.
-	binary.LittleEndian.PutUint64(m.region3.Data, b.Seq)
+	binary.LittleEndian.PutUint64(m.r3, b.Seq)
 
 	// Publishing cost: the LBA array crosses PCIe (8 B per block) plus
 	// the posted doorbell write.
@@ -488,10 +496,10 @@ func (m *Manager) dispatchBatch(b *Batch) {
 
 	// Decode regions (the data path of the handshake).
 	abase := int64(b.slot) * argsSlotBytes
-	op := Op(m.region2.Data[abase])
-	count := int(binary.LittleEndian.Uint64(m.region2.Data[abase+8:]))
-	dest := mem.Addr(binary.LittleEndian.Uint64(m.region2.Data[abase+16:]))
-	blockBytes := int64(binary.LittleEndian.Uint64(m.region2.Data[abase+24:]))
+	op := Op(m.r2[abase])
+	count := int(binary.LittleEndian.Uint64(m.r2[abase+8:]))
+	dest := mem.Addr(binary.LittleEndian.Uint64(m.r2[abase+16:]))
+	blockBytes := int64(binary.LittleEndian.Uint64(m.r2[abase+24:]))
 	if op != b.Op || count != b.Count || blockBytes != m.cfg.BlockBytes {
 		panic("cam: region-2 decode mismatch")
 	}
@@ -507,7 +515,7 @@ func (m *Manager) dispatchBatch(b *Batch) {
 	// Hold the fan-in counter above zero until every command of the
 	// batch is submitted, then drop the hold.
 	b.remaining = 1
-	lbaArr := m.region1.Data[slotBase:]
+	lbaArr := m.r1[slotBase:]
 	for i := 0; i < count; {
 		blk := binary.LittleEndian.Uint64(lbaArr[i*8:])
 		run := coalesceRun(lbaArr, i, count, limit, ndev)
@@ -607,8 +615,8 @@ func (m *Manager) finishBatch(b *Batch) {
 	b.completed = m.e.Now() + m.fab.MMIODelay()
 	// Region 4 carries the highest completed sequence; batches can finish
 	// out of order when their device mixes differ.
-	if cur := binary.LittleEndian.Uint64(m.region4.Data); b.Seq > cur {
-		binary.LittleEndian.PutUint64(m.region4.Data, b.Seq)
+	if cur := binary.LittleEndian.Uint64(m.r4); b.Seq > cur {
+		binary.LittleEndian.PutUint64(m.r4, b.Seq)
 	}
 	m.tracer.Emit(trace.BatchComplete, "cam", b.Op.String(), int64(b.Seq))
 	m.e.ScheduleCallback(m.fab.MMIODelay(), b)

@@ -70,8 +70,8 @@ func TestWriteBackThenPrefetchRoundTrip(t *testing.T) {
 	src := r.m.Alloc("src", int64(n)*4096)
 	dst := r.m.Alloc("dst", int64(n)*4096)
 	rng := sim.NewRNG(21)
-	for i := range src.Data {
-		src.Data[i] = byte(rng.Uint64())
+	for i := range src.Bytes() {
+		src.Bytes()[i] = byte(rng.Uint64())
 	}
 	r.e.Go("kernel", func(p *sim.Proc) {
 		r.m.WriteBack(p, seqBlocks(n), src, 0)
@@ -80,7 +80,7 @@ func TestWriteBackThenPrefetchRoundTrip(t *testing.T) {
 		r.m.PrefetchSynchronize(p)
 	})
 	r.e.Run()
-	if !bytes.Equal(src.Data, dst.Data) {
+	if !bytes.Equal(src.Bytes(), dst.Bytes()) {
 		t.Fatal("CAM write_back → prefetch round trip mismatch")
 	}
 }
@@ -214,8 +214,8 @@ func TestMultipleOutstandingBatches(t *testing.T) {
 	for i := range bufs {
 		bufs[i] = r.m.Alloc(fmt.Sprintf("d%d", i), 32*4096)
 		srcs[i] = r.m.Alloc(fmt.Sprintf("s%d", i), 32*4096)
-		for j := range srcs[i].Data {
-			srcs[i].Data[j] = byte(i + j)
+		for j := range srcs[i].Bytes() {
+			srcs[i].Bytes()[j] = byte(i + j)
 		}
 	}
 	r.e.Go("kernel", func(p *sim.Proc) {
@@ -246,7 +246,7 @@ func TestMultipleOutstandingBatches(t *testing.T) {
 	})
 	r.e.Run()
 	for i := range bufs {
-		if !bytes.Equal(bufs[i].Data, srcs[i].Data) {
+		if !bytes.Equal(bufs[i].Bytes(), srcs[i].Bytes()) {
 			t.Fatalf("batch %d data mismatch", i)
 		}
 	}
@@ -386,14 +386,14 @@ func TestRegionEncodingHonest(t *testing.T) {
 	})
 	r.e.Run()
 	// region3 must hold the last sequence; region4 the completed one.
-	if got := r.m.region3.Data[0]; got != 1 {
+	if got := r.m.r3[0]; got != 1 {
 		t.Fatalf("region3 seq byte = %d, want 1", got)
 	}
-	if got := r.m.region4.Data[0]; got != 1 {
+	if got := r.m.r4[0]; got != 1 {
 		t.Fatalf("region4 seq byte = %d, want 1", got)
 	}
 	// region1 slot 0 begins with block id 42.
-	if got := r.m.region1.Data[0]; got != 42 {
+	if got := r.m.r1[0]; got != 42 {
 		t.Fatalf("region1 first LBA byte = %d, want 42", got)
 	}
 }

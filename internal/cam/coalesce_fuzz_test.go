@@ -6,6 +6,7 @@ import (
 	"math"
 	"testing"
 
+	"camsim/internal/mem"
 	"camsim/internal/sim"
 	"camsim/internal/spdk"
 )
@@ -27,11 +28,11 @@ func packBlocks(blocks ...uint64) []byte {
 // crossing, no LBA gap — and (c) never split a contiguous run short of the
 // limit.
 func FuzzCoalesce(f *testing.F) {
-	f.Add(packBlocks(0, 4, 8, 12, 16), uint16(8), uint8(3), uint8(3))     // one clean run, 4 devs
-	f.Add(packBlocks(0, 4, 8, 13, 17), uint16(8), uint8(3), uint8(3))     // gap mid-list
-	f.Add(packBlocks(0, 1, 2, 3), uint16(8), uint8(3), uint8(3))          // stripe-adjacent, never coalesces
-	f.Add(packBlocks(7, 7, 7), uint16(4), uint8(0), uint8(3))             // duplicates, 1 dev
-	f.Add(packBlocks(5), uint16(0), uint8(11), uint8(0))                  // single block, limit 0
+	f.Add(packBlocks(0, 4, 8, 12, 16), uint16(8), uint8(3), uint8(3))        // one clean run, 4 devs
+	f.Add(packBlocks(0, 4, 8, 13, 17), uint16(8), uint8(3), uint8(3))        // gap mid-list
+	f.Add(packBlocks(0, 1, 2, 3), uint16(8), uint8(3), uint8(3))             // stripe-adjacent, never coalesces
+	f.Add(packBlocks(7, 7, 7), uint16(4), uint8(0), uint8(3))                // duplicates, 1 dev
+	f.Add(packBlocks(5), uint16(0), uint8(11), uint8(0))                     // single block, limit 0
 	f.Add(packBlocks(0, 12, 24, 36, 48, 60), uint16(2), uint8(11), uint8(8)) // limit smaller than run
 	f.Add(packBlocks(math.MaxUint64, 2, 5), uint16(8), uint8(2), uint8(3))   // wraparound ids
 	f.Fuzz(func(t *testing.T, data []byte, climit uint16, ndevRaw, bbRaw uint8) {
@@ -97,12 +98,26 @@ func FuzzCoalesce(f *testing.F) {
 }
 
 // roundTripCAM pushes small fuzzed block lists through a real manager with
-// coalescing armed: data written via WriteBack must read back via Prefetch
-// byte-identical, with no failed requests.
+// coalescing armed, once per data-plane mode: data written via WriteBack
+// must read back via Prefetch byte-identical, with no failed requests, and
+// the lazy and eager planes must produce the same destination bytes.
 func roundTripCAM(t *testing.T, blocks []uint64) {
 	if len(blocks) > 32 {
 		return
 	}
+	var dsts [2][]byte
+	for mode, eager := range []bool{false, true} {
+		prev := mem.DefaultEager()
+		mem.SetDefaultEager(eager)
+		dsts[mode] = roundTripCAMOnce(t, blocks, eager)
+		mem.SetDefaultEager(prev)
+	}
+	if !bytes.Equal(dsts[0], dsts[1]) {
+		t.Fatalf("lazy and eager destination bytes differ for blocks %v", blocks)
+	}
+}
+
+func roundTripCAMOnce(t *testing.T, blocks []uint64, eager bool) []byte {
 	cfg := DefaultConfig(3)
 	cfg.CoalesceLimit = 8
 	r := newRig(3, cfg)
@@ -119,8 +134,8 @@ func roundTripCAM(t *testing.T, blocks []uint64) {
 	src := r.m.Alloc("src", int64(n)*cfg.BlockBytes)
 	dst := r.m.Alloc("dst", int64(n)*cfg.BlockBytes)
 	rng := sim.NewRNG(31)
-	for i := range src.Data {
-		src.Data[i] = byte(rng.Uint64())
+	for i := range src.Bytes() {
+		src.Bytes()[i] = byte(rng.Uint64())
 	}
 	r.e.Go("kernel", func(p *sim.Proc) {
 		r.m.WriteBack(p, uniq, src, 0)
@@ -129,10 +144,11 @@ func roundTripCAM(t *testing.T, blocks []uint64) {
 		r.m.PrefetchSynchronize(p)
 	})
 	r.e.Run()
-	if !bytes.Equal(src.Data, dst.Data) {
-		t.Fatalf("coalesced round trip corrupted data for blocks %v", uniq)
+	if !bytes.Equal(src.Bytes(), dst.Bytes()) {
+		t.Fatalf("coalesced round trip (eager=%v) corrupted data for blocks %v", eager, uniq)
 	}
 	if st := r.m.Stats(); st.FailedRequests != 0 {
-		t.Fatalf("round trip failed %d requests", st.FailedRequests)
+		t.Fatalf("round trip (eager=%v) failed %d requests", eager, st.FailedRequests)
 	}
+	return append([]byte(nil), dst.Bytes()...)
 }

@@ -108,8 +108,8 @@ func TestCoalescedRoundTripData(t *testing.T) {
 	src := r.m.Alloc("src", int64(n)*4096)
 	dst := r.m.Alloc("dst", int64(n)*4096)
 	rng := sim.NewRNG(33)
-	for i := range src.Data {
-		src.Data[i] = byte(rng.Uint64())
+	for i := range src.Bytes() {
+		src.Bytes()[i] = byte(rng.Uint64())
 	}
 	r.e.Go("kernel", func(p *sim.Proc) {
 		r.m.WriteBack(p, blocks, src, 0)
@@ -118,7 +118,7 @@ func TestCoalescedRoundTripData(t *testing.T) {
 		r.m.PrefetchSynchronize(p)
 	})
 	r.e.Run()
-	if !bytes.Equal(src.Data, dst.Data) {
+	if !bytes.Equal(src.Bytes(), dst.Bytes()) {
 		t.Fatal("coalesced write_back → prefetch round trip mismatch")
 	}
 	st := r.m.Stats()

@@ -244,12 +244,13 @@ func (t *Trainer) Run(p *sim.Proc, batches int) Stats {
 // records the touches for verification.
 func (t *Trainer) applyUpdate(rows []uint64, buf *gpu.Buffer) {
 	rb := int(t.cfg.RowBytes())
+	bb := buf.Bytes() // the update consumes row content: materialize here
 	for i, r := range rows {
 		base := i * rb
 		for j := 0; j < t.cfg.Dim; j++ {
 			off := base + j*4
-			v := math.Float32frombits(binary.LittleEndian.Uint32(buf.Data[off:]))
-			binary.LittleEndian.PutUint32(buf.Data[off:], math.Float32bits(v+1))
+			v := math.Float32frombits(binary.LittleEndian.Uint32(bb[off:]))
+			binary.LittleEndian.PutUint32(bb[off:], math.Float32bits(v+1))
 		}
 		if t.Verify {
 			t.touches[r]++

@@ -47,15 +47,15 @@ func TestReadWriteRoundTrip(t *testing.T) {
 	src := r.g.Alloc("src", n)
 	dst := r.g.Alloc("dst", n)
 	rng := sim.NewRNG(4)
-	for i := range src.Data {
-		src.Data[i] = byte(rng.Uint64())
+	for i := range src.Bytes() {
+		src.Bytes()[i] = byte(rng.Uint64())
 	}
 	r.e.Go("app", func(p *sim.Proc) {
 		r.d.Write(p, 0, n, src.Addr)
 		r.d.Read(p, 0, n, dst.Addr)
 	})
 	r.e.Run()
-	if !bytes.Equal(src.Data, dst.Data) {
+	if !bytes.Equal(src.Bytes(), dst.Bytes()) {
 		t.Fatal("GDS round trip mismatch")
 	}
 }

@@ -111,11 +111,12 @@ func (m *Multiplier) FillInputs(p *sim.Proc, seed uint64) {
 	buf := m.b.Alloc("gemm.fill", c.TileBytes())
 	defer buf.Free()
 	rng := sim.NewRNG(seed)
+	bb := buf.Bytes()
 	fill := func(off int64, tiles int) {
 		for t := 0; t < tiles; t++ {
 			for i := int64(0); i < c.TileBytes(); i += 4 {
 				v := float32(rng.Int63n(17) - 8)
-				binary.LittleEndian.PutUint32(buf.Data[i:], math.Float32bits(v))
+				binary.LittleEndian.PutUint32(bb[i:], math.Float32bits(v))
 			}
 			xfer.Write(p, m.b, off+int64(t)*c.TileBytes(), c.TileBytes(), buf, 0)
 		}
@@ -189,10 +190,13 @@ func (m *Multiplier) Run(p *sim.Proc) Stats {
 				cWrite.Wait(p)
 				cWrite = nil
 			}
-			zero(acc.Data)
+			// A zero extent reads as zeros in both modes; the accumulator
+			// only materializes when RealMath consumes it.
+			acc.Payload().SetZero(0, tb)
 		}
 		if c.RealMath {
-			accumulate(acc.Data, bufs[slot][0].Data, bufs[slot][1].Data, c.Tile)
+			// The accumulate consumes tile content: materialize here.
+			accumulate(acc.Bytes(), bufs[slot][0].Bytes(), bufs[slot][1].Bytes(), c.Tile)
 		}
 		m.env.GPU.RunKernel(p, gpu.KernelSpec{
 			Name: "gemm", Threads: m.env.GPU.TotalThreads(), FullOccupancyTime: kernelTime,
@@ -261,9 +265,10 @@ func (m *Multiplier) Verify(p *sim.Proc, seed uint64) error {
 	for i := 0; i < c.N/c.Tile; i++ {
 		for j := 0; j < c.M/c.Tile; j++ {
 			xfer.Read(p, m.b, c.cTileOff(i, j), c.TileBytes(), buf, 0)
+			bb := buf.Bytes()
 			for y := 0; y < c.Tile; y++ {
 				for x := 0; x < c.Tile; x++ {
-					got := math.Float32frombits(binary.LittleEndian.Uint32(buf.Data[(y*c.Tile+x)*4:]))
+					got := math.Float32frombits(binary.LittleEndian.Uint32(bb[(y*c.Tile+x)*4:]))
 					want := ref[(i*c.Tile+y)*c.M+j*c.Tile+x]
 					if got != want {
 						return fmt.Errorf("gemmx: C[%d,%d] = %g, want %g",

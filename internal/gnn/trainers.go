@@ -126,7 +126,7 @@ func (t *GIDSTrainer) RunIterations(p *sim.Proc, iters int) Breakdown {
 		t.arr.Gather(p, nodes, t.featBuf, 0)
 		b.Extract += p.Now() - t0
 		if t.Verify {
-			if bad := VerifyFeatures(t.Data, nodes, t.featBuf.Data); bad >= 0 {
+			if bad := VerifyFeatures(t.Data, nodes, t.featBuf.Bytes()); bad >= 0 {
 				panic(fmt.Sprintf("gids: feature mismatch at sampled index %d", bad))
 			}
 		}
@@ -212,7 +212,7 @@ func (t *CAMTrainer) RunIterations(p *sim.Proc, iters int) Breakdown {
 		t.readBuf, t.computeBuf = t.computeBuf, t.readBuf
 		b.Nodes += uint64(len(current))
 		if t.Verify {
-			if bad := VerifyFeatures(t.Data, current, t.computeBuf.Data); bad >= 0 {
+			if bad := VerifyFeatures(t.Data, current, t.computeBuf.Bytes()); bad >= 0 {
 				panic(fmt.Sprintf("cam: feature mismatch at sampled index %d", bad))
 			}
 		}

@@ -1,6 +1,9 @@
 package gpu
 
-import "camsim/internal/sim"
+import (
+	"camsim/internal/mem"
+	"camsim/internal/sim"
+)
 
 // CopyEngine models the cudaMemcpyAsync path between host DRAM and GPU HBM:
 // a dedicated PCIe x16 DMA domain (separate from the SSD fabric) with a
@@ -55,6 +58,15 @@ func (ce *CopyEngine) Copy(p *sim.Proc, dst, src []byte, n int64) {
 	ce.calls++
 	done := ce.link.Reserve(n)
 	copy(dst[:n], src[:n])
+	p.SleepUntil(done)
+}
+
+// CopyPayload is Copy for payload content: same timing (one memcpy call of
+// n bytes on the engine link), but the content moves by reference.
+func (ce *CopyEngine) CopyPayload(p *sim.Proc, dst *mem.Payload, dstOff int64, src *mem.Payload, srcOff, n int64) {
+	ce.calls++
+	done := ce.link.Reserve(n)
+	mem.PayloadCopy(dst, dstOff, src, srcOff, n)
 	p.SleepUntil(done)
 }
 

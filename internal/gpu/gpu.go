@@ -112,12 +112,15 @@ func (g *GPU) SMUtilization() float64 {
 // MeanSMUtilization reports the time-averaged occupancy since t=0.
 func (g *GPU) MeanSMUtilization() float64 { return g.threads.MeanUtilization() }
 
-// Buffer is device memory with real bytes, registered for DMA.
+// Buffer is device memory registered for DMA. Its content is a payload:
+// transfers into and out of it move references, and real bytes exist only
+// after a consumer calls Bytes or MakeEager.
 type Buffer struct {
 	Name   string
 	Addr   mem.Addr
-	Data   []byte
 	Pinned bool
+	size   int64
+	pay    *mem.Payload
 	g      *GPU
 }
 
@@ -138,24 +141,38 @@ func (g *GPU) alloc(name string, n int64, pinned bool) *Buffer {
 	if g.allocated+n > g.cfg.MemBytes {
 		panic(fmt.Sprintf("gpu: out of memory allocating %q (%d bytes)", name, n))
 	}
-	data := mem.BackingGet(n)
+	pay := mem.NewPayload(n, mem.DefaultEager())
 	addr := g.arena.Alloc(n, 4096)
-	g.space.Register(g.Name+"."+name, addr, data, mem.GPUHBM)
+	g.space.RegisterPayload(g.Name+"."+name, addr, pay, mem.GPUHBM)
 	g.allocated += n
-	return &Buffer{Name: name, Addr: addr, Data: data, Pinned: pinned, g: g}
+	return &Buffer{Name: name, Addr: addr, Pinned: pinned, size: n, pay: pay, g: g}
 }
 
 // Free releases the buffer (cudaFree / CAM_free analogue) and recycles its
-// backing bytes for future allocations on any GPU instance.
+// payload — chunk references and any materialized backing — for future
+// allocations on any GPU instance.
 func (b *Buffer) Free() {
 	b.g.space.Unregister(b.Addr)
-	b.g.allocated -= int64(len(b.Data))
-	mem.BackingPut(b.Data)
-	b.Data = nil
+	b.g.allocated -= b.size
+	b.pay.Release()
+	b.pay = nil
 }
 
 // Size reports the buffer length.
-func (b *Buffer) Size() int64 { return int64(len(b.Data)) }
+func (b *Buffer) Size() int64 { return b.size }
+
+// Payload exposes the buffer's content for reference-passing transfers.
+func (b *Buffer) Payload() *mem.Payload { return b.pay }
+
+// Bytes materializes the buffer and returns its backing slice; call it
+// again after a transfer into the buffer to re-synchronize. Writes through
+// the slice become the buffer's content.
+func (b *Buffer) Bytes() []byte { return b.pay.Bytes() }
+
+// MakeEager materializes the buffer and pins it eager, so the returned
+// slice tracks every subsequent transfer without re-calling Bytes. Queue
+// rings and control regions parsed continuously by device models use this.
+func (b *Buffer) MakeEager() []byte { return b.pay.MakeEager() }
 
 // Allocated reports bytes currently allocated on the device.
 func (g *GPU) Allocated() int64 { return g.allocated }

@@ -32,7 +32,7 @@ func TestAllocRegistersHBM(t *testing.T) {
 		t.Fatalf("kind = %v", kind)
 	}
 	got[5] = 0x99
-	if b.Data[5] != 0x99 {
+	if b.Bytes()[5] != 0x99 {
 		t.Fatal("resolve does not alias buffer")
 	}
 	b.Free()
@@ -213,7 +213,7 @@ func TestMultipleGPUsDisjointWindows(t *testing.T) {
 			t.Fatalf("gpu %d: resolve failed: %v %v", i, kind, err)
 		}
 		got[0] = byte(i + 1)
-		if b.Data[0] != byte(i+1) {
+		if b.Bytes()[0] != byte(i+1) {
 			t.Fatalf("gpu %d: aliasing broken", i)
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"camsim/internal/gpu"
+	"camsim/internal/mem"
 )
 
 // Config shapes the cache.
@@ -93,15 +94,35 @@ func (c *Cache) LineBytes() int64 { return c.cfg.LineBytes }
 
 func (c *Cache) set(block uint64) int { return int(block) & (c.cfg.Sets - 1) }
 
-// lineData returns the backing bytes of (set, way).
+// Payload exposes the line storage for reference-passing transfers; pair
+// it with the offsets from LookupRef and InsertRef.
+func (c *Cache) Payload() *mem.Payload { return c.data.Payload() }
+
+// lineOff returns the byte offset of (set, way) in the line storage.
+func (c *Cache) lineOff(set, way int) int64 {
+	return (int64(set)*int64(c.cfg.Ways) + int64(way)) * c.cfg.LineBytes
+}
+
+// lineData returns the materialized backing bytes of (set, way).
 func (c *Cache) lineData(set, way int) []byte {
-	off := (int64(set)*int64(c.cfg.Ways) + int64(way)) * c.cfg.LineBytes
-	return c.data.Data[off : off+c.cfg.LineBytes]
+	off := c.lineOff(set, way)
+	return c.data.Bytes()[off : off+c.cfg.LineBytes]
 }
 
 // Lookup returns the cached bytes for block and whether it hit; a hit
-// refreshes the line's recency.
+// refreshes the line's recency. It materializes the line storage —
+// zero-copy paths use LookupRef instead.
 func (c *Cache) Lookup(block uint64) ([]byte, bool) {
+	off, ok := c.LookupRef(block)
+	if !ok {
+		return nil, false
+	}
+	return c.data.Bytes()[off : off+c.cfg.LineBytes], true
+}
+
+// LookupRef reports the line-storage offset for block and whether it hit;
+// a hit refreshes the line's recency. Content moves by payload reference.
+func (c *Cache) LookupRef(block uint64) (int64, bool) {
 	s := c.set(block)
 	for w := range c.tags[s] {
 		l := &c.tags[s][w]
@@ -109,17 +130,24 @@ func (c *Cache) Lookup(block uint64) ([]byte, bool) {
 			c.clock++
 			l.lru = c.clock
 			c.stats.Hits++
-			return c.lineData(s, w), true
+			return c.lineOff(s, w), true
 		}
 	}
 	c.stats.Misses++
-	return nil, false
+	return 0, false
 }
 
-// Insert claims a line for block (evicting the set's LRU victim if full)
-// and returns its bytes for the caller to fill. Inserting a block that is
-// already resident refreshes it in place.
+// Insert claims a line for block and returns its materialized bytes for
+// the caller to fill; zero-copy paths use InsertRef instead.
 func (c *Cache) Insert(block uint64) []byte {
+	off := c.InsertRef(block)
+	return c.data.Bytes()[off : off+c.cfg.LineBytes]
+}
+
+// InsertRef claims a line for block (evicting the set's LRU victim if
+// full) and returns its line-storage offset for the caller to fill via
+// payload copy. Inserting a resident block refreshes it in place.
+func (c *Cache) InsertRef(block uint64) int64 {
 	s := c.set(block)
 	victim := 0
 	var oldest uint64 = ^uint64(0)
@@ -128,7 +156,7 @@ func (c *Cache) Insert(block uint64) []byte {
 		if l.valid && l.block == block {
 			c.clock++
 			l.lru = c.clock
-			return c.lineData(s, w)
+			return c.lineOff(s, w)
 		}
 		if !l.valid {
 			victim = w
@@ -146,7 +174,7 @@ func (c *Cache) Insert(block uint64) []byte {
 	}
 	c.clock++
 	*l = line{valid: true, block: block, lru: c.clock}
-	return c.lineData(s, victim)
+	return c.lineOff(s, victim)
 }
 
 // Contains reports residency without touching recency or counters.

@@ -264,13 +264,16 @@ func kernelThroughput(cfg RunConfig, kind oskernel.StackKind, ssds int, op nvme.
 		seed := rng.Uint64()
 		env.E.Go(fmt.Sprintf("w%d", w), func(p *sim.Proc) {
 			lr := sim.NewRNG(seed)
-			buf := make([]byte, gran)
+			// Payload-form I/O: nothing consumes the content, so the
+			// worker buffer never materializes.
+			buf := mem.NewPayload(gran, mem.DefaultEager())
+			defer buf.Release()
 			for i := 0; i < per; i++ {
 				off := lr.Int63n(span/gran) * gran
 				if op == nvme.OpRead {
-					st.ReadAt(p, off, buf)
+					st.ReadAtP(p, off, buf, 0, gran)
 				} else {
-					st.WriteAt(p, off, buf)
+					st.WriteAtP(p, off, buf, 0, gran)
 				}
 			}
 		})

@@ -73,12 +73,14 @@ func (m *Memory) Config() Config { return m.cfg }
 // Bandwidth reports the aggregate configured bandwidth in bytes/s.
 func (m *Memory) Bandwidth() float64 { return float64(m.cfg.Channels) * m.cfg.ChannelBandwidth }
 
-// Buffer is an allocation in host DRAM with real backing bytes and a
-// simulated physical address, usable as a DMA target.
+// Buffer is an allocation in host DRAM with a simulated physical address,
+// usable as a DMA target. Its content is a payload: transfers move
+// references, and real bytes exist only after Bytes or MakeEager.
 type Buffer struct {
 	Name string
 	Addr mem.Addr
-	Data []byte
+	size int64
+	pay  *mem.Payload
 	m    *Memory
 }
 
@@ -88,23 +90,34 @@ func (m *Memory) Alloc(name string, n int64) *Buffer {
 	if m.allocated+n > m.cfg.Capacity {
 		panic(fmt.Sprintf("hostmem: out of capacity allocating %q (%d bytes)", name, n))
 	}
-	data := mem.BackingGet(n)
+	pay := mem.NewPayload(n, mem.DefaultEager())
 	addr := m.arena.Alloc(n, 4096)
-	m.space.Register(name, addr, data, mem.HostDRAM)
+	m.space.RegisterPayload(name, addr, pay, mem.HostDRAM)
 	m.allocated += n
-	return &Buffer{Name: name, Addr: addr, Data: data, m: m}
+	return &Buffer{Name: name, Addr: addr, size: n, pay: pay, m: m}
 }
 
-// Free releases the buffer's address range and recycles the backing bytes.
+// Free releases the buffer's address range and recycles its payload.
 func (b *Buffer) Free() {
 	b.m.space.Unregister(b.Addr)
-	b.m.allocated -= int64(len(b.Data))
-	mem.BackingPut(b.Data)
-	b.Data = nil
+	b.m.allocated -= b.size
+	b.pay.Release()
+	b.pay = nil
 }
 
 // Size reports the buffer length in bytes.
-func (b *Buffer) Size() int64 { return int64(len(b.Data)) }
+func (b *Buffer) Size() int64 { return b.size }
+
+// Payload exposes the buffer's content for reference-passing transfers.
+func (b *Buffer) Payload() *mem.Payload { return b.pay }
+
+// Bytes materializes the buffer and returns its backing slice; call it
+// again after a transfer into the buffer to re-synchronize.
+func (b *Buffer) Bytes() []byte { return b.pay.Bytes() }
+
+// MakeEager materializes the buffer and pins it eager, so the returned
+// slice tracks every subsequent transfer (queue rings, control regions).
+func (b *Buffer) MakeEager() []byte { return b.pay.MakeEager() }
 
 // ReserveTraffic books n bytes of DRAM bandwidth (one crossing) and returns
 // the completion time without blocking. DMA writes into DRAM and CPU

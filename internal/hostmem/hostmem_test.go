@@ -53,7 +53,7 @@ func TestAllocRegistersInSpace(t *testing.T) {
 		t.Fatalf("kind = %v", kind)
 	}
 	got[0] = 0x42
-	if b.Data[0] != 0x42 {
+	if b.Bytes()[0] != 0x42 {
 		t.Fatal("resolved bytes do not alias buffer")
 	}
 }

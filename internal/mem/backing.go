@@ -1,7 +1,6 @@
 package mem
 
 import (
-	"bytes"
 	"sync"
 )
 
@@ -29,7 +28,7 @@ const backingMinBytes = 1 << 20
 // small buffer never wastes a much larger recycled arena.
 func BackingGet(n int64) []byte {
 	if n < backingMinBytes {
-		return make([]byte, n)
+		return make([]byte, n) //camlint:allow hotalloc -- small control allocations deliberately bypass the slab pool
 	}
 	backingPool.mu.Lock()
 	best := -1
@@ -48,22 +47,13 @@ func BackingGet(n int64) []byte {
 	}
 	backingPool.mu.Unlock()
 	if data == nil {
-		return make([]byte, n)
+		return make([]byte, n) //camlint:allow hotalloc -- pool-miss cold path: steady state recycles slabs
 	}
 	// Re-zero the handed-out range. The scan-first order matters: recycled
 	// buffers are usually still zero (sparse datasets read zeros into them),
 	// and the vectorized compare is cheaper than an unconditional clear that
 	// would dirty every cache line it touches.
-	for rest := data; len(rest) > 0; {
-		chunk := rest
-		if len(chunk) > len(zeroRef) {
-			chunk = chunk[:len(zeroRef)]
-		}
-		if !bytes.Equal(chunk, zeroRef[:len(chunk)]) {
-			clear(chunk)
-		}
-		rest = rest[len(chunk):]
-	}
+	zeroFill(data)
 	return data
 }
 
@@ -77,6 +67,6 @@ func BackingPut(b []byte) {
 		return
 	}
 	backingPool.mu.Lock()
-	backingPool.slabs = append(backingPool.slabs, b[:cap(b)])
+	backingPool.slabs = append(backingPool.slabs, b[:cap(b)]) //camlint:allow hotalloc -- pool free-list refill: capacity stabilizes at the high-water mark
 	backingPool.mu.Unlock()
 }

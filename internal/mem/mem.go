@@ -39,16 +39,22 @@ func (k Kind) String() string {
 	}
 }
 
-// Region is a contiguous registered physical range with real backing bytes.
+// Region is a contiguous registered physical range. Its content is a
+// Payload: zero-copy transfers move references between payloads, and real
+// bytes exist only where something materialized them.
 type Region struct {
 	Base Addr
-	Data []byte
+	Size int64
+	Pay  *Payload
 	Kind Kind
 	Name string
 }
 
 // End reports one past the last address of the region.
-func (r *Region) End() Addr { return r.Base + Addr(len(r.Data)) }
+func (r *Region) End() Addr { return r.Base + Addr(r.Size) }
+
+// Bytes materializes the region's payload and returns its backing slice.
+func (r *Region) Bytes() []byte { return r.Pay.Bytes() }
 
 // Space is the platform physical address map. It is not safe for concurrent
 // mutation; all simulation code runs single-threaded under the DES engine.
@@ -59,10 +65,19 @@ type Space struct {
 // NewSpace returns an empty address space.
 func NewSpace() *Space { return &Space{} }
 
-// Register adds a backing range. It panics on overlap — overlapping device
-// windows would be a platform bug, not a runtime condition.
+// Register adds a range backed by caller-owned bytes (ring memory, test
+// scratch): the payload is an eager view over data, so writes to the slice
+// are the region's content. Device buffers register payloads directly via
+// RegisterPayload.
 func (s *Space) Register(name string, base Addr, data []byte, kind Kind) *Region {
-	r := &Region{Base: base, Data: data, Kind: kind, Name: name}
+	return s.RegisterPayload(name, base, WrapBytes(data), kind)
+}
+
+// RegisterPayload adds a payload-backed range. It panics on overlap —
+// overlapping device windows would be a platform bug, not a runtime
+// condition.
+func (s *Space) RegisterPayload(name string, base Addr, pay *Payload, kind Kind) *Region {
+	r := &Region{Base: base, Size: pay.Size(), Pay: pay, Kind: kind, Name: name}
 	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].Base >= base })
 	if i > 0 && s.regions[i-1].End() > base {
 		panic(fmt.Sprintf("mem: region %q overlaps %q", name, s.regions[i-1].Name))
@@ -87,12 +102,11 @@ func (s *Space) Unregister(base Addr) {
 	panic(fmt.Sprintf("mem: Unregister of unknown base %#x", uint64(base)))
 }
 
-// Resolve maps [addr, addr+n) to its backing bytes. The range must lie
-// within a single region; crossing a region boundary is an error (real DMA
-// would fault).
-func (s *Space) Resolve(addr Addr, n int) ([]byte, Kind, error) {
+// lookup finds the region containing [addr, addr+n), without touching its
+// payload.
+func (s *Space) lookup(addr Addr, n int) (*Region, int64, error) {
 	// Open-coded binary search for the first region ending past addr:
-	// Resolve sits on the per-DMA path, and the sort.Search closure was a
+	// this sits on the per-DMA path, and the sort.Search closure was a
 	// measurable allocation there.
 	i, j := 0, len(s.regions)
 	for i < j {
@@ -107,17 +121,45 @@ func (s *Space) Resolve(addr Addr, n int) ([]byte, Kind, error) {
 		return nil, 0, fmt.Errorf("mem: unmapped address %#x", uint64(addr))
 	}
 	r := s.regions[i]
-	off := int(addr - r.Base)
-	if off+n > len(r.Data) {
+	off := int64(addr - r.Base)
+	if off+int64(n) > r.Size {
 		return nil, 0, fmt.Errorf("mem: range [%#x,+%d) crosses end of region %q", uint64(addr), n, r.Name)
 	}
-	return r.Data[off : off+n : off+n], r.Kind, nil
+	return r, off, nil
 }
 
-// KindOf reports the kind backing addr, or an error if unmapped.
+// Resolve maps [addr, addr+n) to materialized backing bytes. The range
+// must lie within a single region; crossing a region boundary is an error
+// (real DMA would fault). Content-oblivious paths should use
+// ResolvePayload instead, which does not materialize.
+func (s *Space) Resolve(addr Addr, n int) ([]byte, Kind, error) {
+	r, off, err := s.lookup(addr, n)
+	if err != nil {
+		return nil, 0, err
+	}
+	return r.Pay.Bytes()[off : off+int64(n) : off+int64(n)], r.Kind, nil
+}
+
+// ResolvePayload maps [addr, addr+n) to its region's payload and the
+// offset of addr within it, without materializing anything. DMA engines
+// use it to transfer content by reference.
+func (s *Space) ResolvePayload(addr Addr, n int) (*Payload, int64, Kind, error) {
+	r, off, err := s.lookup(addr, n)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return r.Pay, off, r.Kind, nil
+}
+
+// KindOf reports the kind backing addr, or an error if unmapped. It never
+// materializes — transfer paths call it per request to pick bandwidth
+// links.
 func (s *Space) KindOf(addr Addr) (Kind, error) {
-	_, k, err := s.Resolve(addr, 1)
-	return k, err
+	r, _, err := s.lookup(addr, 1)
+	if err != nil {
+		return 0, err
+	}
+	return r.Kind, nil
 }
 
 // Regions returns the registered regions in address order (read-only view).

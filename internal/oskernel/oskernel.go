@@ -18,6 +18,7 @@ import (
 
 	"camsim/internal/cpustat"
 	"camsim/internal/hostmem"
+	"camsim/internal/mem"
 	"camsim/internal/nvme"
 	"camsim/internal/sim"
 	"camsim/internal/ssd"
@@ -161,16 +162,22 @@ func DefaultConfig(kind StackKind) Config {
 	return base
 }
 
-// Request is one in-flight kernel I/O.
+// Request is one in-flight kernel I/O. Callers either fill Data (the
+// classic []byte form; Submit wraps it into a payload view) or set
+// Pay/PayOff/N directly to move content by reference.
 type Request struct {
 	Op     nvme.Opcode
-	Offset int64 // byte offset in the striped block device
-	Data   []byte
+	Offset int64  // byte offset in the striped block device
+	Data   []byte // user buffer ([]byte form); nil when Pay is set
+	Pay    *mem.Payload
+	PayOff int64
+	N      int64
 	Status nvme.Status
 	Done   *sim.Signal
 
-	dev int
-	cid uint16
+	dev  int
+	cid  uint16
+	wrap bool // Pay wraps Data and is released at completion
 }
 
 // Stack is one configured kernel I/O stack over a RAID0 array of SSDs.
@@ -221,7 +228,9 @@ func NewStack(e *sim.Engine, kind StackKind, cfg Config, hm *hostmem.Memory, dev
 	for i, d := range devs {
 		sqMem := hm.Alloc(fmt.Sprintf("k%s.sq%d", kind, i), int64(cfg.QueueDepth)*nvme.SQESize)
 		cqMem := hm.Alloc(fmt.Sprintf("k%s.cq%d", kind, i), int64(cfg.QueueDepth)*nvme.CQESize)
-		qp := d.CreateQueuePair(fmt.Sprintf("kernel-%d", kind), sqMem.Data, cqMem.Data, cfg.QueueDepth)
+		// Ring memory is control state the queue pair reads word by word,
+		// so it stays eagerly materialized.
+		qp := d.CreateQueuePair(fmt.Sprintf("kernel-%d", kind), sqMem.MakeEager(), cqMem.MakeEager(), cfg.QueueDepth)
 		s.qps = append(s.qps, qp)
 		s.slots = append(s.slots, e.NewResource(fmt.Sprintf("kslots%d", i), int64(cfg.QueueDepth)-1))
 		s.inflight = append(s.inflight, make(map[uint16]*Request))
@@ -264,16 +273,7 @@ func (s *Stack) costs(op nvme.Opcode) LayerCosts {
 // cross a stripe boundary (callers split large I/O, as the block layer
 // does).
 func (s *Stack) Submit(p *sim.Proc, r *Request) {
-	n := int64(len(r.Data))
-	if n == 0 || n%nvme.LBASize != 0 {
-		panic("oskernel: request length must be a positive multiple of 512")
-	}
-	if r.Offset%nvme.LBASize != 0 {
-		panic("oskernel: offset must be 512-aligned")
-	}
-	if r.Offset/s.cfg.StripeBytes != (r.Offset+n-1)/s.cfg.StripeBytes {
-		panic("oskernel: request crosses RAID0 stripe boundary")
-	}
+	n := s.normalize(r)
 	r.Done = s.e.NewSignal("kreq")
 	c := s.costs(r.Op)
 
@@ -317,12 +317,10 @@ func (s *Stack) Submit(p *sim.Proc, r *Request) {
 	s.inflight[dev][cid] = r
 
 	// The DMA target is this command's staging slot in host DRAM. Writes
-	// copy the payload in first (two DRAM crossings counting the device's
+	// stage the payload in first (two DRAM crossings counting the device's
 	// later DMA read); reads account their crossings at completion.
-	slot := s.bounceSlot(dev, cid, n)
 	if r.Op == nvme.OpWrite {
-		copy(slot, r.Data)
-		s.hm.ReserveTraffic(2 * n)
+		s.bounceStage(r, true)
 	}
 	sqe := nvme.SQE{
 		Opcode: r.Op,
@@ -344,16 +342,7 @@ func (s *Stack) Submit(p *sim.Proc, r *Request) {
 // been pushed and the doorbell rung. r.Done fires when the completion has
 // been delivered, exactly as with Submit.
 func (s *Stack) SubmitAsync(r *Request, onSubmitted sim.Callback) {
-	n := int64(len(r.Data))
-	if n == 0 || n%nvme.LBASize != 0 {
-		panic("oskernel: request length must be a positive multiple of 512")
-	}
-	if r.Offset%nvme.LBASize != 0 {
-		panic("oskernel: offset must be 512-aligned")
-	}
-	if r.Offset/s.cfg.StripeBytes != (r.Offset+n-1)/s.cfg.StripeBytes {
-		panic("oskernel: request crosses RAID0 stripe boundary")
-	}
+	s.normalize(r)
 	r.Done = s.e.NewSignal("kreq")
 	c := s.costs(r.Op)
 
@@ -397,7 +386,7 @@ func (m *submitMachine) Run() {
 	s, r := m.s, m.r
 	switch m.phase {
 	case smKernel:
-		n := int64(len(r.Data))
+		n := r.N
 		c := s.costs(r.Op)
 		// The kernel path (fs → io_map → block, plus the eventual
 		// completion handling reserved up front) is serialized across all
@@ -419,7 +408,7 @@ func (m *submitMachine) Run() {
 		s.e.ScheduleCallback(end-s.e.Now(), m)
 
 	case smSlot:
-		n := int64(len(r.Data))
+		n := r.N
 		instr := s.cfg.PathInstructions + 120*float64(extraPages(n))
 		if r.Op == nvme.OpWrite {
 			instr *= 1.12
@@ -435,16 +424,14 @@ func (m *submitMachine) Run() {
 		m.Run()
 
 	case smGranted:
-		n := int64(len(r.Data))
+		n := r.N
 		_, lba := s.locate(r.Offset)
 		dev := r.dev
 		cid := s.allocCID(dev)
 		r.cid = cid
 		s.inflight[dev][cid] = r
-		slot := s.bounceSlot(dev, cid, n)
 		if r.Op == nvme.OpWrite {
-			copy(slot, r.Data)
-			s.hm.ReserveTraffic(2 * n)
+			s.bounceStage(r, true)
 		}
 		sqe := nvme.SQE{
 			Opcode: r.Op,
@@ -465,10 +452,47 @@ func (m *submitMachine) Run() {
 	}
 }
 
-// bounceSlot returns command cid's staging slice on dev.
-func (s *Stack) bounceSlot(dev int, cid uint16, n int64) []byte {
-	off := int64(cid) * s.cfg.StripeBytes
-	return s.bounce[dev].Data[off : off+n]
+// normalize validates a request, wraps a []byte buffer into a payload view
+// when needed, and reports the request length. The request must not cross a
+// stripe boundary (callers split large I/O, as the block layer does).
+func (s *Stack) normalize(r *Request) int64 {
+	n := r.N
+	if r.Pay == nil {
+		n = int64(len(r.Data))
+	}
+	if n == 0 || n%nvme.LBASize != 0 {
+		panic("oskernel: request length must be a positive multiple of 512")
+	}
+	if r.Offset%nvme.LBASize != 0 {
+		panic("oskernel: offset must be 512-aligned")
+	}
+	if r.Offset/s.cfg.StripeBytes != (r.Offset+n-1)/s.cfg.StripeBytes {
+		panic("oskernel: request crosses RAID0 stripe boundary")
+	}
+	if r.Pay == nil {
+		r.Pay, r.PayOff, r.N, r.wrap = mem.WrapBytes(r.Data), 0, n, true
+	}
+	return n
+}
+
+// bounceStage moves request content between the user payload and command
+// cid's staging slot on the request's device — the kernel bounce copy of
+// the paper's Issue 2. It is the single audited staging helper: content
+// moves by reference (PayloadCopy), and both DRAM crossings are charged
+// (the copy itself plus the device DMA on the other side of the slot).
+// toSlot selects the direction: payload→slot for writes, slot→payload for
+// read copy-out.
+//
+//camlint:hotpath
+func (s *Stack) bounceStage(r *Request, toSlot bool) {
+	off := int64(r.cid) * s.cfg.StripeBytes
+	bp := s.bounce[r.dev].Payload()
+	if toSlot {
+		mem.PayloadCopy(bp, off, r.Pay, r.PayOff, r.N)
+	} else {
+		mem.PayloadCopy(r.Pay, r.PayOff, bp, off, r.N)
+	}
+	s.hm.ReserveTraffic(2 * r.N)
 }
 
 // allocCID hands out a free command identifier in [0, QueueDepth); the
@@ -568,12 +592,14 @@ func (k *kcqStep) deliver(r *Request, cid uint16, status nvme.Status) {
 	// The CID (and its bounce slot) stays reserved until the copy-out
 	// finishes, so a reissued command cannot clobber it.
 	delete(s.inflight[dev], cid)
-	n := int64(len(r.Data))
 	if r.Op == nvme.OpRead {
 		// DMA landed in the staging slot: one DRAM crossing for the DMA
 		// write, one for the copy-to-user read.
-		copy(r.Data, s.bounceSlot(dev, cid, n))
-		s.hm.ReserveTraffic(2 * n)
+		s.bounceStage(r, false)
+	}
+	if r.wrap {
+		r.Pay.Release()
+		r.Pay, r.wrap = nil, false
 	}
 	r.Status = status
 	s.Stat.Done(1)
@@ -583,31 +609,49 @@ func (k *kcqStep) deliver(r *Request, cid uint16, status nvme.Status) {
 
 // ReadAt performs a synchronous read of len(data) bytes at off (pread).
 func (s *Stack) ReadAt(p *sim.Proc, off int64, data []byte) nvme.Status {
-	return s.syncIO(p, nvme.OpRead, off, data)
+	pay := mem.WrapBytes(data)
+	st := s.syncIO(p, nvme.OpRead, off, pay, 0, int64(len(data)))
+	pay.Release()
+	return st
 }
 
 // WriteAt performs a synchronous write (pwrite).
 func (s *Stack) WriteAt(p *sim.Proc, off int64, data []byte) nvme.Status {
-	return s.syncIO(p, nvme.OpWrite, off, data)
+	pay := mem.WrapBytes(data)
+	st := s.syncIO(p, nvme.OpWrite, off, pay, 0, int64(len(data)))
+	pay.Release()
+	return st
 }
 
-func (s *Stack) syncIO(p *sim.Proc, op nvme.Opcode, off int64, data []byte) nvme.Status {
+// ReadAtP is ReadAt for payload content: n bytes at off land in pay at
+// payOff by reference.
+func (s *Stack) ReadAtP(p *sim.Proc, off int64, pay *mem.Payload, payOff, n int64) nvme.Status {
+	return s.syncIO(p, nvme.OpRead, off, pay, payOff, n)
+}
+
+// WriteAtP is WriteAt for payload content.
+func (s *Stack) WriteAtP(p *sim.Proc, off int64, pay *mem.Payload, payOff, n int64) nvme.Status {
+	return s.syncIO(p, nvme.OpWrite, off, pay, payOff, n)
+}
+
+func (s *Stack) syncIO(p *sim.Proc, op nvme.Opcode, off int64, pay *mem.Payload, payOff, n int64) nvme.Status {
 	// Split on stripe boundaries like the block layer would; md-RAID0
 	// submits the per-stripe bios in parallel and the syscall returns
 	// when the last completes (the kernel path itself stays serialized
 	// in Submit).
 	st := nvme.StatusSuccess
 	var reqs []*Request
-	for len(data) > 0 {
+	for n > 0 {
 		chunk := s.cfg.StripeBytes - off%s.cfg.StripeBytes
-		if chunk > int64(len(data)) {
-			chunk = int64(len(data))
+		if chunk > n {
+			chunk = n
 		}
-		r := &Request{Op: op, Offset: off, Data: data[:chunk]}
+		r := &Request{Op: op, Offset: off, Pay: pay, PayOff: payOff, N: chunk}
 		s.Submit(p, r)
 		reqs = append(reqs, r)
 		off += chunk
-		data = data[chunk:]
+		payOff += chunk
+		n -= chunk
 	}
 	for _, r := range reqs {
 		p.Wait(r.Done)

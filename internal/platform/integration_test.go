@@ -53,7 +53,7 @@ func TestCrossStackInterop(t *testing.T) {
 	})
 	env.Run()
 
-	if !bytes.Equal(dst.Data, src) {
+	if !bytes.Equal(dst.Bytes(), src) {
 		t.Fatal("data written via POSIX kernel stack not readable via CAM prefetch")
 	}
 }
@@ -71,8 +71,8 @@ func TestCAMWriteReadableByBaM(t *testing.T) {
 	const blocks = 32
 	src := mgr.Alloc("src", blocks*4096)
 	dst := env.GPU.Alloc("dst", blocks*4096)
-	for i := range src.Data {
-		src.Data[i] = byte(i % 249)
+	for i := range src.Bytes() {
+		src.Bytes()[i] = byte(i % 249)
 	}
 	ids := make([]uint64, blocks)
 	for i := range ids {
@@ -84,7 +84,7 @@ func TestCAMWriteReadableByBaM(t *testing.T) {
 		arr.Gather(p, ids, dst, 0)
 	})
 	env.Run()
-	if !bytes.Equal(dst.Data, src.Data) {
+	if !bytes.Equal(dst.Bytes(), src.Bytes()) {
 		t.Fatal("CAM write_back not readable through BaM gather")
 	}
 }

@@ -111,11 +111,12 @@ func New(env *platform.Env, b xfer.Backend, cfg Config) *Sorter {
 func (s *Sorter) Fill(p *sim.Proc, seed uint64) {
 	rng := sim.NewRNG(seed)
 	buf := s.b.Alloc("sortx.fill", s.cfg.ChunkBytes)
+	bb := buf.Bytes()
 	data := s.cfg.NumInts * 4
 	for off := int64(0); off < data; off += s.cfg.ChunkBytes {
 		for i := int64(0); i < s.cfg.ChunkBytes; i += 4 {
 			v := uint32(rng.Uint64())
-			binary.LittleEndian.PutUint32(buf.Data[i:], v)
+			binary.LittleEndian.PutUint32(bb[i:], v)
 			s.inSum += uint64(v)
 			s.inXor ^= v
 		}
@@ -214,15 +215,16 @@ func (s *Sorter) runPhase(p *sim.Proc, dstOff int64, st *Stats) {
 // reusable scratch buffers: for uint32 keys its ascending output is
 // identical to a comparison sort, at a fraction of the wall cost.
 func (s *Sorter) sortBuffer(p *sim.Proc, buf *gpu.Buffer) {
-	n := len(buf.Data) / 4
+	bb := buf.Bytes() // the sort consumes content: materialize here
+	n := len(bb) / 4
 	if cap(s.keys) < n {
 		s.keys = make([]uint32, n)
 		s.ktmp = make([]uint32, n)
 	}
 	keys := s.keys[:n]
-	decodeInto(keys, buf.Data)
+	decodeInto(keys, bb)
 	radixSort(keys, s.ktmp[:n])
-	encode(buf.Data, keys)
+	encode(bb, keys)
 	kT := sim.Time(float64(n) / s.cfg.SortRate * float64(sim.Second))
 	s.env.GPU.RunKernel(p, gpu.KernelSpec{
 		Name: "blocksort", Threads: s.env.GPU.TotalThreads(), FullOccupancyTime: kT,
@@ -373,7 +375,7 @@ func (s *Sorter) mergeGroup(p *sim.Proc, srcOff, dstOff, width int64, lens []int
 		var pa, pb int
 		va := binary.LittleEndian.Uint32(a)
 		vb := binary.LittleEndian.Uint32(b)
-		od := out[slot].Data
+		od := out[slot].Bytes()
 		for a != nil && b != nil {
 			if va <= vb {
 				binary.LittleEndian.PutUint32(od[oi:], va)
@@ -381,12 +383,12 @@ func (s *Sorter) mergeGroup(p *sim.Proc, srcOff, dstOff, width int64, lens []int
 				pa += 4
 				if int64(oi) == ck {
 					flush()
-					od = out[slot].Data
+					od = out[slot].Bytes()
 				}
 				if pa == len(a) {
 					a = readers[0].next(p)
 					pa = 0
-					od = out[slot].Data
+					od = out[slot].Bytes()
 					if a == nil {
 						break
 					}
@@ -398,12 +400,12 @@ func (s *Sorter) mergeGroup(p *sim.Proc, srcOff, dstOff, width int64, lens []int
 				pb += 4
 				if int64(oi) == ck {
 					flush()
-					od = out[slot].Data
+					od = out[slot].Bytes()
 				}
 				if pb == len(b) {
 					b = readers[1].next(p)
 					pb = 0
-					od = out[slot].Data
+					od = out[slot].Bytes()
 					if b == nil {
 						break
 					}
@@ -418,7 +420,7 @@ func (s *Sorter) mergeGroup(p *sim.Proc, srcOff, dstOff, width int64, lens []int
 			rest, pr, ri = b, pb, 1
 		}
 		for rest != nil {
-			n := copy(out[slot].Data[oi:ck], rest[pr:])
+			n := copy(out[slot].Bytes()[oi:ck], rest[pr:])
 			oi += n
 			pr += n
 			if int64(oi) == ck {
@@ -439,7 +441,7 @@ func (s *Sorter) mergeGroup(p *sim.Proc, srcOff, dstOff, width int64, lens []int
 		for i := len(h)/2 - 1; i >= 0; i-- {
 			siftDown(h, i)
 		}
-		od := out[slot].Data
+		od := out[slot].Bytes()
 		for len(h) > 0 {
 			top := h[0]
 			binary.LittleEndian.PutUint32(od[oi:], uint32(top>>32))
@@ -449,7 +451,7 @@ func (s *Sorter) mergeGroup(p *sim.Proc, srcOff, dstOff, width int64, lens []int
 			if pos[i] == len(cur[i]) {
 				cur[i] = readers[i].next(p)
 				pos[i] = 0
-				od = out[slot].Data
+				od = out[slot].Bytes()
 			}
 			if cur[i] == nil {
 				// Run i exhausted: shrink the heap.
@@ -464,7 +466,7 @@ func (s *Sorter) mergeGroup(p *sim.Proc, srcOff, dstOff, width int64, lens []int
 			}
 			if int64(oi) == ck {
 				flush()
-				od = out[slot].Data
+				od = out[slot].Bytes()
 			}
 		}
 	}
@@ -525,7 +527,7 @@ func (rr *runReader) next(p *sim.Proc) []byte {
 	}
 	h := rr.pending[rr.head]
 	h.Wait(p)
-	cur := rr.bufs[rr.head].Data
+	cur := rr.bufs[rr.head].Bytes()
 	rr.head = (rr.head + 1) % len(rr.bufs)
 	rr.inFlight--
 	if rr.remaining > 0 {
@@ -552,8 +554,9 @@ func (s *Sorter) Verify(p *sim.Proc) error {
 	data := s.cfg.NumInts * 4
 	for off := int64(0); off < data; off += s.cfg.ChunkBytes {
 		xfer.Read(p, s.b, s.dataOff+off, s.cfg.ChunkBytes, buf, 0)
+		bb := buf.Bytes() // re-materialize: the read replaced the content references
 		for i := int64(0); i < s.cfg.ChunkBytes; i += 4 {
-			v := binary.LittleEndian.Uint32(buf.Data[i:])
+			v := binary.LittleEndian.Uint32(bb[i:])
 			if !first && v < prev {
 				return fmt.Errorf("sortx: out of order at byte %d: %d < %d", off+i, v, prev)
 			}

@@ -269,7 +269,8 @@ func New(e *sim.Engine, cfg Config, hm *hostmem.Memory, space *mem.Space, devs [
 		r.devs = append(r.devs, di)
 		sqMem := hm.Alloc(fmt.Sprintf("spdk.sq.%d.%d", r.id, di), int64(cfg.QueueDepth)*nvme.SQESize)
 		cqMem := hm.Alloc(fmt.Sprintf("spdk.cq.%d.%d", r.id, di), int64(cfg.QueueDepth)*nvme.CQESize)
-		r.qps[di] = dev.CreateQueuePair(fmt.Sprintf("spdk-r%d", r.id), sqMem.Data, cqMem.Data, cfg.QueueDepth)
+		// Ring memory is marshalled into and parsed continuously — eager.
+		r.qps[di] = dev.CreateQueuePair(fmt.Sprintf("spdk-r%d", r.id), sqMem.MakeEager(), cqMem.MakeEager(), cfg.QueueDepth)
 		r.slots[di] = e.NewResource(fmt.Sprintf("spdk.slots.%d", di), int64(cfg.QueueDepth)-1)
 		r.flight[di] = make([]*Request, cfg.QueueDepth)
 	}

@@ -66,8 +66,8 @@ func TestHostReadAfterWrite(t *testing.T) {
 	r.startAll(d)
 	wb := r.hm.Alloc("w", 8192)
 	rb := r.hm.Alloc("r", 8192)
-	for i := range wb.Data {
-		wb.Data[i] = byte(i * 3)
+	for i := range wb.Bytes() {
+		wb.Bytes()[i] = byte(i * 3)
 	}
 	r.e.Go("app", func(p *sim.Proc) {
 		w := &Request{Op: nvme.OpWrite, Dev: 0, SLBA: 64, NLB: 16, Addr: wb.Addr}
@@ -84,7 +84,7 @@ func TestHostReadAfterWrite(t *testing.T) {
 		}
 	})
 	r.e.Run()
-	if !bytes.Equal(wb.Data, rb.Data) {
+	if !bytes.Equal(wb.Bytes(), rb.Bytes()) {
 		t.Fatal("SPDK host round trip mismatch")
 	}
 }
@@ -206,56 +206,77 @@ func TestGPUDirectAddressChargesNoDRAM(t *testing.T) {
 }
 
 func TestStagedReadToGPUDataAndTraffic(t *testing.T) {
-	r := newRig(1)
-	d := New(r.e, DefaultConfig(), r.hm, r.space, r.devs, 1)
-	st := NewStagedGPUIO(d, r.ce, 1<<20)
-	r.startAll(d)
-	// Preload the SSD store with a pattern.
-	n := int64(256 << 10) // 2 MDTS commands
-	src := make([]byte, n)
-	rng := sim.NewRNG(3)
-	for i := range src {
-		src[i] = byte(rng.Uint64())
+	// Both data-plane modes must land the same bytes with the same traffic.
+	var got [2][]byte
+	for mode, eager := range []bool{false, true} {
+		prev := mem.DefaultEager()
+		mem.SetDefaultEager(eager)
+		r := newRig(1)
+		d := New(r.e, DefaultConfig(), r.hm, r.space, r.devs, 1)
+		st := NewStagedGPUIO(d, r.ce, 1<<20)
+		r.startAll(d)
+		// Preload the SSD store with a pattern.
+		n := int64(256 << 10) // 2 MDTS commands
+		src := make([]byte, n)
+		rng := sim.NewRNG(3)
+		for i := range src {
+			src[i] = byte(rng.Uint64())
+		}
+		r.devs[0].Store().WriteLBA(0, uint32(n/nvme.LBASize), src)
+		gb := r.g.Alloc("dst", n)
+		r.e.Go("app", func(p *sim.Proc) {
+			st.ReadToGPU(p, 0, 0, gb, 0, n)
+		})
+		r.e.Run()
+		mem.SetDefaultEager(prev)
+		if !bytes.Equal(gb.Bytes(), src) {
+			t.Fatalf("staged read data mismatch (eager=%v)", eager)
+		}
+		// DMA write (n) + memcpy read (n): two crossings.
+		if got := r.hm.TotalTraffic(); got != 2*n {
+			t.Fatalf("DRAM traffic = %d, want %d (two crossings, eager=%v)", got, 2*n, eager)
+		}
+		if r.ce.Calls() != 1 {
+			t.Fatalf("memcpy calls = %d, want 1 per granule (eager=%v)", r.ce.Calls(), eager)
+		}
+		got[mode] = append([]byte(nil), gb.Bytes()...)
 	}
-	r.devs[0].Store().WriteLBA(0, uint32(n/nvme.LBASize), src)
-	gb := r.g.Alloc("dst", n)
-	r.e.Go("app", func(p *sim.Proc) {
-		st.ReadToGPU(p, 0, 0, gb, 0, n)
-	})
-	r.e.Run()
-	if !bytes.Equal(gb.Data, src) {
-		t.Fatal("staged read data mismatch")
-	}
-	// DMA write (n) + memcpy read (n): two crossings.
-	if got := r.hm.TotalTraffic(); got != 2*n {
-		t.Fatalf("DRAM traffic = %d, want %d (two crossings)", got, 2*n)
-	}
-	if r.ce.Calls() != 1 {
-		t.Fatalf("memcpy calls = %d, want 1 per granule", r.ce.Calls())
+	if !bytes.Equal(got[0], got[1]) {
+		t.Fatal("lazy and eager staged reads landed different bytes")
 	}
 }
 
 func TestStagedWriteFromGPU(t *testing.T) {
-	r := newRig(1)
-	d := New(r.e, DefaultConfig(), r.hm, r.space, r.devs, 1)
-	st := NewStagedGPUIO(d, r.ce, 1<<20)
-	r.startAll(d)
-	n := int64(64 << 10)
-	gb := r.g.Alloc("src", n)
-	for i := range gb.Data {
-		gb.Data[i] = byte(i % 253)
+	var stored [2][]byte
+	for mode, eager := range []bool{false, true} {
+		prev := mem.DefaultEager()
+		mem.SetDefaultEager(eager)
+		r := newRig(1)
+		d := New(r.e, DefaultConfig(), r.hm, r.space, r.devs, 1)
+		st := NewStagedGPUIO(d, r.ce, 1<<20)
+		r.startAll(d)
+		n := int64(64 << 10)
+		gb := r.g.Alloc("src", n)
+		for i := range gb.Bytes() {
+			gb.Bytes()[i] = byte(i % 253)
+		}
+		r.e.Go("app", func(p *sim.Proc) {
+			st.WriteFromGPU(p, 0, 128, gb, 0, n)
+		})
+		r.e.Run()
+		mem.SetDefaultEager(prev)
+		got := make([]byte, n)
+		r.devs[0].Store().ReadLBA(128, uint32(n/nvme.LBASize), got)
+		if !bytes.Equal(got, gb.Bytes()) {
+			t.Fatalf("staged write data mismatch (eager=%v)", eager)
+		}
+		if tr := r.hm.TotalTraffic(); tr != 2*n {
+			t.Fatalf("DRAM traffic = %d, want %d (eager=%v)", tr, 2*n, eager)
+		}
+		stored[mode] = got
 	}
-	r.e.Go("app", func(p *sim.Proc) {
-		st.WriteFromGPU(p, 0, 128, gb, 0, n)
-	})
-	r.e.Run()
-	got := make([]byte, n)
-	r.devs[0].Store().ReadLBA(128, uint32(n/nvme.LBASize), got)
-	if !bytes.Equal(got, gb.Data) {
-		t.Fatal("staged write data mismatch")
-	}
-	if tr := r.hm.TotalTraffic(); tr != 2*n {
-		t.Fatalf("DRAM traffic = %d, want %d", tr, 2*n)
+	if !bytes.Equal(stored[0], stored[1]) {
+		t.Fatal("lazy and eager staged writes stored different bytes")
 	}
 }
 

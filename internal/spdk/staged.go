@@ -55,10 +55,10 @@ func (s *StagedGPUIO) ReadToGPU(p *sim.Proc, dev int, slba uint64, gpuDst *gpu.B
 	for _, r := range reqs {
 		p.Wait(r.Done)
 	}
-	// One memcpy per granule; the copy engine moves the real bytes and
-	// the read leg crosses DRAM once more.
+	// One memcpy per granule; the copy engine moves the content by
+	// reference and the read leg crosses DRAM once more.
 	s.d.hm.ReserveTraffic(n)
-	s.ce.Copy(p, gpuDst.Data[dstOff:], s.staging.Data, n)
+	s.ce.CopyPayload(p, gpuDst.Payload(), dstOff, s.staging.Payload(), 0, n)
 }
 
 // WriteFromGPU writes n bytes from gpuSrc to dev at slba: one memcpy
@@ -68,7 +68,7 @@ func (s *StagedGPUIO) WriteFromGPU(p *sim.Proc, dev int, slba uint64, gpuSrc *gp
 		panic("spdk: granule larger than staging buffer")
 	}
 	s.d.hm.ReserveTraffic(n) // memcpy write leg into DRAM
-	s.ce.Copy(p, s.staging.Data, gpuSrc.Data[srcOff:], n)
+	s.ce.CopyPayload(p, s.staging.Payload(), 0, gpuSrc.Payload(), srcOff, n)
 	reqs := s.split(nvme.OpWrite, dev, slba, n)
 	for _, r := range reqs {
 		s.d.Submit(r)
@@ -97,7 +97,7 @@ func (s *StagedGPUIO) WriteFromGPUAsync(dev int, slba uint64, gpuSrc *gpu.Buffer
 	// One memcpy GPU→staging first, then the SSD writes from staging.
 	s.d.hm.ReserveTraffic(n)
 	end := s.ce.ReserveCopy(n)
-	copy(s.staging.Data, gpuSrc.Data[srcOff:srcOff+n])
+	mem.PayloadCopy(s.staging.Payload(), 0, gpuSrc.Payload(), srcOff, n)
 	s.d.e.ScheduleCallback(end-s.d.e.Now(), m)
 }
 
@@ -170,7 +170,7 @@ func (m *stagedMachine) fanin(delta int) {
 		// the GPU, and the read leg crosses DRAM once more.
 		s.d.hm.ReserveTraffic(m.n)
 		end := s.ce.ReserveCopy(m.n)
-		copy(m.buf.Data[m.bufOff:m.bufOff+m.n], s.staging.Data)
+		mem.PayloadCopy(m.buf.Payload(), m.bufOff, s.staging.Payload(), 0, m.n)
 		m.copied = true
 		s.d.e.ScheduleCallback(end-s.d.e.Now(), m)
 		return

@@ -248,7 +248,9 @@ func NewAdminClient(e *sim.Engine, dev *Device, hm *hostmem.Memory) *AdminClient
 	const depth = 16
 	sqMem := hm.Alloc(dev.Name+".asq", depth*nvme.AdminSQESize)
 	cqMem := hm.Alloc(dev.Name+".acq", depth*nvme.CQESize)
-	dev.EnableAdmin(sqMem.Data, cqMem.Data, depth)
+	// Ring memory is parsed by the device continuously — pin it eager so
+	// the marshalled SQEs/CQEs are always real bytes.
+	dev.EnableAdmin(sqMem.MakeEager(), cqMem.MakeEager(), depth)
 	return &AdminClient{e: e, dev: dev, sq: dev.admin.sq, cq: dev.admin.cq}
 }
 

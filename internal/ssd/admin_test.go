@@ -22,7 +22,7 @@ func TestAdminIdentify(t *testing.T) {
 	var got nvme.IdentifyData
 	var err error
 	r.e.Go("host", func(p *sim.Proc) {
-		got, err = c.Identify(p, idBuf.Addr, idBuf.Data)
+		got, err = c.Identify(p, idBuf.Addr, idBuf.Bytes())
 	})
 	r.e.Run()
 	if err != nil {
@@ -44,8 +44,8 @@ func TestAdminCreateQueueAndDoIO(t *testing.T) {
 	cqMem := r.hm.Alloc("iocq", depth*nvme.CQESize)
 	wbuf := r.hm.Alloc("w", 4096)
 	rbuf := r.hm.Alloc("r", 4096)
-	for i := range wbuf.Data {
-		wbuf.Data[i] = byte(i * 11)
+	for i := range wbuf.Bytes() {
+		wbuf.Bytes()[i] = byte(i * 11)
 	}
 	r.e.Go("host", func(p *sim.Proc) {
 		qp, err := c.CreateIOQueuePair(p, 1, sqMem.Addr, cqMem.Addr, depth)
@@ -75,7 +75,7 @@ func TestAdminCreateQueueAndDoIO(t *testing.T) {
 		}
 	})
 	r.e.Run()
-	if !bytes.Equal(rbuf.Data, wbuf.Data) {
+	if !bytes.Equal(rbuf.Bytes(), wbuf.Bytes()) {
 		t.Fatal("round trip via admin-created queue pair mismatch")
 	}
 }

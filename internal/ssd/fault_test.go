@@ -25,7 +25,7 @@ func injRig(t *testing.T, tune func(*fault.Plan)) *rig {
 	dev.SetFaultInjector(plan.Injector(0))
 	sqMem := hm.Alloc("sq", int64(64*nvme.SQESize))
 	cqMem := hm.Alloc("cq", int64(64*nvme.CQESize))
-	qp := dev.CreateQueuePair("qp0", sqMem.Data, cqMem.Data, 64)
+	qp := dev.CreateQueuePair("qp0", sqMem.MakeEager(), cqMem.MakeEager(), 64)
 	dev.Start()
 	return &rig{e: e, space: space, fab: fab, hm: hm, dev: dev, qp: qp}
 }
@@ -33,8 +33,8 @@ func injRig(t *testing.T, tune func(*fault.Plan)) *rig {
 func TestInjectedMediaErrorMovesNoData(t *testing.T) {
 	r := injRig(t, func(p *fault.Plan) { p.ErrRate = 1 })
 	buf := r.hm.Alloc("b", 4096)
-	for i := range buf.Data {
-		buf.Data[i] = 0xEE
+	for i := range buf.Bytes() {
+		buf.Bytes()[i] = 0xEE
 	}
 	var cqe nvme.CQE
 	r.e.Go("host", func(p *sim.Proc) {
@@ -44,7 +44,7 @@ func TestInjectedMediaErrorMovesNoData(t *testing.T) {
 	if cqe.Status != nvme.StatusMediaError {
 		t.Fatalf("status = %v, want media error", cqe.Status)
 	}
-	for _, b := range buf.Data {
+	for _, b := range buf.Bytes() {
 		if b != 0xEE {
 			t.Fatal("failed read DMAed data into the host buffer")
 		}

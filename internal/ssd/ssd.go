@@ -374,13 +374,14 @@ func (d *Device) mediaLatency(op nvme.Opcode) sim.Time {
 //
 //camlint:pool
 type ioCmd struct {
-	d     *Device
-	qi    int
-	qp    *nvme.QueuePair
-	sqe   nvme.SQE
-	buf   []byte
-	n     int
-	phase uint8
+	d      *Device
+	qi     int
+	qp     *nvme.QueuePair
+	sqe    nvme.SQE
+	pay    *mem.Payload
+	payOff int64
+	n      int
+	phase  uint8
 	// injStatus is a pre-drawn fault verdict: when non-success the command
 	// consumes its normal frontend and media time but moves no data and
 	// completes with this status.
@@ -425,13 +426,13 @@ func (c *ioCmd) Run() {
 		var status nvme.Status
 		switch c.sqe.Opcode {
 		case nvme.OpRead:
-			if err := d.store.ReadLBA(c.sqe.SLBA, c.sqe.NLB, c.buf); err != nil {
+			if err := d.store.ReadLBAP(c.sqe.SLBA, c.sqe.NLB, c.pay, c.payOff); err != nil {
 				status = nvme.StatusDMAError
 			}
 			d.stats.ReadCmds++
 			d.stats.ReadBytes += int64(c.n)
 		case nvme.OpWrite:
-			if err := d.store.WriteLBA(c.sqe.SLBA, c.sqe.NLB, c.buf); err != nil {
+			if err := d.store.WriteLBAP(c.sqe.SLBA, c.sqe.NLB, c.pay, c.payOff); err != nil {
 				status = nvme.StatusDMAError
 			}
 			d.stats.WriteCmds++
@@ -479,7 +480,7 @@ func (d *Device) finish(c *ioCmd, status nvme.Status) {
 	} else {
 		d.complete(c.qi, c.qp, c.sqe, status)
 	}
-	c.qp, c.buf = nil, nil
+	c.qp, c.pay = nil, nil
 	d.cmdFree = append(d.cmdFree, c)
 }
 
@@ -517,7 +518,7 @@ func (d *Device) execute(qi int, qp *nvme.QueuePair, sqe nvme.SQE) {
 		return
 	}
 	n := int(sqe.Bytes())
-	buf, kind, err := d.space.Resolve(mem.Addr(sqe.PRP1), n)
+	pay, payOff, kind, err := d.space.ResolvePayload(mem.Addr(sqe.PRP1), n)
 	if err != nil {
 		d.stats.ErrCmds++
 		d.complete(qi, qp, sqe, nvme.StatusDMAError)
@@ -572,7 +573,7 @@ func (d *Device) execute(qi int, qp *nvme.QueuePair, sqe nvme.SQE) {
 	mediaDone := serviceDone + lat
 
 	c := d.newCmd(qi, qp, sqe)
-	c.buf, c.n, c.phase = buf, n, cmdMediaDone
+	c.pay, c.payOff, c.n, c.phase = pay, payOff, n, cmdMediaDone
 	if dec.Kind == fault.Err {
 		c.injStatus = nvme.StatusMediaError
 	}

@@ -32,7 +32,7 @@ func newRig(t testing.TB, cfg Config, depth uint32) *rig {
 	dev := New(e, "nvme0", cfg, fab, space)
 	sqMem := hm.Alloc("sq", int64(depth*nvme.SQESize))
 	cqMem := hm.Alloc("cq", int64(depth*nvme.CQESize))
-	qp := dev.CreateQueuePair("qp0", sqMem.Data, cqMem.Data, depth)
+	qp := dev.CreateQueuePair("qp0", sqMem.MakeEager(), cqMem.MakeEager(), depth)
 	dev.Start()
 	return &rig{e: e, space: space, fab: fab, hm: hm, dev: dev, qp: qp}
 }
@@ -58,8 +58,8 @@ func TestReadAfterWriteRoundTrip(t *testing.T) {
 	r := newRig(t, DefaultConfig(), 64)
 	wbuf := r.hm.Alloc("w", 4096)
 	rbuf := r.hm.Alloc("r", 4096)
-	for i := range wbuf.Data {
-		wbuf.Data[i] = byte(i * 7)
+	for i := range wbuf.Bytes() {
+		wbuf.Bytes()[i] = byte(i * 7)
 	}
 	var got nvme.CQE
 	r.e.Go("host", func(p *sim.Proc) {
@@ -73,7 +73,7 @@ func TestReadAfterWriteRoundTrip(t *testing.T) {
 	if got.Status != nvme.StatusSuccess {
 		t.Fatalf("read status = %v", got.Status)
 	}
-	if !bytes.Equal(rbuf.Data, wbuf.Data) {
+	if !bytes.Equal(rbuf.Bytes(), wbuf.Bytes()) {
 		t.Fatal("read data != written data")
 	}
 }
@@ -81,14 +81,14 @@ func TestReadAfterWriteRoundTrip(t *testing.T) {
 func TestUnwrittenReadsZero(t *testing.T) {
 	r := newRig(t, DefaultConfig(), 64)
 	rbuf := r.hm.Alloc("r", 4096)
-	for i := range rbuf.Data {
-		rbuf.Data[i] = 0xff
+	for i := range rbuf.Bytes() {
+		rbuf.Bytes()[i] = 0xff
 	}
 	r.e.Go("host", func(p *sim.Proc) {
 		r.submitWait(p, nvme.SQE{Opcode: nvme.OpRead, CID: 1, PRP1: uint64(rbuf.Addr), SLBA: 0, NLB: 8})
 	})
 	r.e.Run()
-	for _, b := range rbuf.Data {
+	for _, b := range rbuf.Bytes() {
 		if b != 0 {
 			t.Fatal("unwritten LBA did not read as zero")
 		}

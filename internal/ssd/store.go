@@ -1,72 +1,65 @@
 package ssd
 
 import (
-	"bytes"
 	"fmt"
 
+	"camsim/internal/mem"
 	"camsim/internal/nvme"
 )
 
 // extentBytes is the allocation unit of the sparse backing store. 64 KiB
-// amortizes Go allocator overhead while keeping sparse datasets cheap.
+// keeps the per-namespace extent map small while bounding how much content
+// one extent payload tracks.
 const extentBytes = 64 << 10
 
 const lbasPerExtent = extentBytes / nvme.LBASize
 
-// slabExtents is how many extents one backing allocation carves. Large
-// slabs amortize allocator metadata and let fresh pages arrive pre-zeroed
-// from the OS instead of being cleared extent by extent.
-const slabExtents = 128
-
-// Store is the sparse flash backing store: real bytes addressed by LBA.
-// Unwritten blocks read as zeros, like a freshly formatted namespace.
+// Store is the sparse flash backing store, addressed by LBA. Unwritten
+// blocks read as zeros, like a freshly formatted namespace.
 //
-// Extents are carved sequentially out of multi-megabyte slabs (allocating
-// one 64 KiB extent at a time made Store.WriteLBA the top allocation site
-// of the whole benchmark suite), and the last extent touched is cached to
-// short-circuit the map lookup on sequential and strided access runs.
+// Content lives in per-extent payloads (see mem.Payload): a write records
+// references to the source's content, a read hands references back, and
+// real bytes exist only where some consumer materialized them. Whether an
+// extent exists at all is decided by content — writes that scan as zero
+// into an absent extent are elided — so the allocation accounting is
+// identical in lazy and eager payload modes. The last extent touched is
+// cached to short-circuit the map lookup on sequential and strided runs.
 type Store struct {
 	capacityLBAs uint64
-	extents      map[uint64][]byte
-	slab         []byte // remaining tail of the current slab
-	lastExt      uint64 // most recently resolved extent index
-	lastData     []byte // its bytes; nil until the first lookup
-	writtenLBAs  uint64 // approximate footprint accounting (extent-granular)
+	extents      map[uint64]*mem.Payload
+	lastExt      uint64       // most recently resolved extent index
+	lastPay      *mem.Payload // its payload; nil until the first lookup
+	writtenLBAs  uint64       // approximate footprint accounting (extent-granular)
 }
 
 // NewStore creates a store of the given capacity in logical blocks.
 func NewStore(capacityLBAs uint64) *Store {
-	return &Store{capacityLBAs: capacityLBAs, extents: make(map[uint64][]byte)}
+	return &Store{capacityLBAs: capacityLBAs, extents: make(map[uint64]*mem.Payload)}
 }
 
 // lookup resolves an extent for reading, nil if never written.
-func (s *Store) lookup(ext uint64) []byte {
-	if s.lastData != nil && s.lastExt == ext {
-		return s.lastData
+func (s *Store) lookup(ext uint64) *mem.Payload {
+	if s.lastPay != nil && s.lastExt == ext {
+		return s.lastPay
 	}
-	data, ok := s.extents[ext]
+	pay, ok := s.extents[ext]
 	if !ok {
 		return nil
 	}
-	s.lastExt, s.lastData = ext, data
-	return data
+	s.lastExt, s.lastPay = ext, pay
+	return pay
 }
 
-// materialize resolves an extent for writing, carving a fresh zeroed one
-// from the current slab on first touch.
-func (s *Store) materialize(ext uint64) []byte {
-	if data := s.lookup(ext); data != nil {
-		return data
+// materialize resolves an extent for writing, creating it on first touch.
+func (s *Store) materialize(ext uint64) *mem.Payload {
+	if pay := s.lookup(ext); pay != nil {
+		return pay
 	}
-	if len(s.slab) < extentBytes {
-		s.slab = make([]byte, slabExtents*extentBytes)
-	}
-	data := s.slab[:extentBytes:extentBytes]
-	s.slab = s.slab[extentBytes:]
-	s.extents[ext] = data
+	pay := mem.NewPayload(extentBytes, mem.DefaultEager())
+	s.extents[ext] = pay
 	s.writtenLBAs += lbasPerExtent
-	s.lastExt, s.lastData = ext, data
-	return data
+	s.lastExt, s.lastPay = ext, pay
+	return pay
 }
 
 // CapacityLBAs reports the namespace size in logical blocks.
@@ -82,28 +75,52 @@ func (s *Store) InRange(slba uint64, nlb uint32) bool {
 
 // ReadLBA copies nlb blocks starting at slba into dst.
 func (s *Store) ReadLBA(slba uint64, nlb uint32, dst []byte) error {
-	n := int(nlb) * nvme.LBASize
-	if len(dst) < n {
+	n := int64(nlb) * nvme.LBASize
+	if int64(len(dst)) < n {
 		return fmt.Errorf("ssd: read buffer %d bytes, need %d", len(dst), n)
 	}
 	if !s.InRange(slba, nlb) {
 		return fmt.Errorf("ssd: read [%d,+%d) out of range", slba, nlb)
 	}
 	off := slba * nvme.LBASize
-	for done := 0; done < n; {
+	for done := int64(0); done < n; {
 		ext := (off + uint64(done)) / extentBytes
-		extOff := int((off + uint64(done)) % extentBytes)
-		chunk := extentBytes - extOff
-		if chunk > n-done {
-			chunk = n - done
-		}
-		if data := s.lookup(ext); data != nil {
-			copy(dst[done:done+chunk], data[extOff:extOff+chunk])
-		} else if !allZero(dst[done : done+chunk]) {
+		extOff := int64((off + uint64(done)) % extentBytes)
+		chunk := min(int64(extentBytes)-extOff, n-done)
+		d := dst[done : done+chunk]
+		if pay := s.lookup(ext); pay != nil {
+			pay.ReadAt(d, extOff)
+		} else if !mem.AllZero(d) {
 			// Absent extents read as zeros. The destination is usually a
 			// staging buffer that only ever received zero reads, so a
 			// read-only scan (no dirtied cache lines) replaces the clear.
-			clear(dst[done : done+chunk])
+			clear(d)
+		}
+		done += chunk
+	}
+	return nil
+}
+
+// ReadLBAP transfers nlb blocks starting at slba into dst at dstOff by
+// reference: present extents propagate their content descriptors, absent
+// ones mark the destination range zero. This is the DMA data plane.
+func (s *Store) ReadLBAP(slba uint64, nlb uint32, dst *mem.Payload, dstOff int64) error {
+	n := int64(nlb) * nvme.LBASize
+	if dst.Size()-dstOff < n {
+		return fmt.Errorf("ssd: read buffer %d bytes, need %d", dst.Size()-dstOff, n)
+	}
+	if !s.InRange(slba, nlb) {
+		return fmt.Errorf("ssd: read [%d,+%d) out of range", slba, nlb)
+	}
+	off := slba * nvme.LBASize
+	for done := int64(0); done < n; {
+		ext := (off + uint64(done)) / extentBytes
+		extOff := int64((off + uint64(done)) % extentBytes)
+		chunk := min(int64(extentBytes)-extOff, n-done)
+		if pay := s.lookup(ext); pay != nil {
+			mem.PayloadCopy(dst, dstOff+done, pay, extOff, chunk)
+		} else {
+			dst.SetZero(dstOff+done, chunk)
 		}
 		done += chunk
 	}
@@ -112,56 +129,56 @@ func (s *Store) ReadLBA(slba uint64, nlb uint32, dst []byte) error {
 
 // WriteLBA copies nlb blocks from src into the store starting at slba.
 func (s *Store) WriteLBA(slba uint64, nlb uint32, src []byte) error {
-	n := int(nlb) * nvme.LBASize
-	if len(src) < n {
+	n := int64(nlb) * nvme.LBASize
+	if int64(len(src)) < n {
 		return fmt.Errorf("ssd: write buffer %d bytes, need %d", len(src), n)
 	}
 	if !s.InRange(slba, nlb) {
 		return fmt.Errorf("ssd: write [%d,+%d) out of range", slba, nlb)
 	}
 	off := slba * nvme.LBASize
-	for done := 0; done < n; {
+	for done := int64(0); done < n; {
 		ext := (off + uint64(done)) / extentBytes
-		extOff := int((off + uint64(done)) % extentBytes)
-		chunk := extentBytes - extOff
-		if chunk > n-done {
-			chunk = n - done
-		}
-		data := s.lookup(ext)
-		if data == nil {
+		extOff := int64((off + uint64(done)) % extentBytes)
+		chunk := min(int64(extentBytes)-extOff, n-done)
+		seg := src[done : done+chunk]
+		if s.lookup(ext) == nil && mem.AllZero(seg) {
 			// Zero-write elision: an absent extent already reads as zeros,
 			// so writing zeros into it is a no-op on observable bytes and
-			// the store stays sparse — no slab carve, no copy. This is the
-			// dominant write path for synthetic benchmark payloads.
-			if allZero(src[done : done+chunk]) {
-				done += chunk
-				continue
-			}
-			data = s.materialize(ext)
+			// the store stays sparse. This is the dominant write path for
+			// synthetic benchmark payloads.
+			done += chunk
+			continue
 		}
-		copy(data[extOff:extOff+chunk], src[done:done+chunk])
+		s.materialize(ext).WriteAt(seg, extOff)
 		done += chunk
 	}
 	return nil
 }
 
-// zeroRef is a reference block of zeros for allZero's vectorized compare.
-var zeroRef [4096]byte
-
-// allZero reports whether b contains only zero bytes. It compares against a
-// static zero page with bytes.Equal, whose runtime.memequal kernel is
-// SIMD-vectorized — several times faster than a scalar word loop on the
-// read-heavy elision paths (a read-only pass over typically cache-hot
-// buffers, cheaper than the copy plus slab materialization, or the
-// dirtied-cache clear, that it elides).
-func allZero(b []byte) bool {
-	for len(b) >= len(zeroRef) {
-		if !bytes.Equal(b[:len(zeroRef)], zeroRef[:]) {
-			return false
-		}
-		b = b[len(zeroRef):]
+// WriteLBAP transfers nlb blocks from src at srcOff into the store by
+// reference, with the same content-based zero-write elision as WriteLBA.
+func (s *Store) WriteLBAP(slba uint64, nlb uint32, src *mem.Payload, srcOff int64) error {
+	n := int64(nlb) * nvme.LBASize
+	if src.Size()-srcOff < n {
+		return fmt.Errorf("ssd: write buffer %d bytes, need %d", src.Size()-srcOff, n)
 	}
-	return bytes.Equal(b, zeroRef[:len(b)])
+	if !s.InRange(slba, nlb) {
+		return fmt.Errorf("ssd: write [%d,+%d) out of range", slba, nlb)
+	}
+	off := slba * nvme.LBASize
+	for done := int64(0); done < n; {
+		ext := (off + uint64(done)) / extentBytes
+		extOff := int64((off + uint64(done)) % extentBytes)
+		chunk := min(int64(extentBytes)-extOff, n-done)
+		if s.lookup(ext) == nil && src.RangeZero(srcOff+done, chunk) {
+			done += chunk
+			continue
+		}
+		mem.PayloadCopy(s.materialize(ext), extOff, src, srcOff+done, chunk)
+		done += chunk
+	}
+	return nil
 }
 
 // AllocatedBytes reports the resident footprint of the sparse store.

@@ -124,22 +124,3 @@ func TestStoreInterleavedSparseDense(t *testing.T) {
 		t.Error("boundary-straddling read-back mismatch")
 	}
 }
-
-// TestAllZero covers the stride boundaries of the vectorized scan: lengths
-// around the 64-byte unrolled chunk, the 8-byte word loop, and the byte
-// tail, with the nonzero byte planted at every position.
-func TestAllZero(t *testing.T) {
-	for _, n := range []int{0, 1, 7, 8, 9, 31, 32, 63, 64, 65, 127, 128, 200} {
-		b := make([]byte, n)
-		if !allZero(b) {
-			t.Errorf("allZero(len %d zeros) = false", n)
-		}
-		for i := 0; i < n; i++ {
-			b[i] = 1
-			if allZero(b) {
-				t.Errorf("allZero missed a nonzero byte at %d of %d", i, n)
-			}
-			b[i] = 0
-		}
-	}
-}

@@ -21,6 +21,7 @@ import (
 	"camsim/internal/cam"
 	"camsim/internal/gds"
 	"camsim/internal/gpu"
+	"camsim/internal/hostmem"
 	"camsim/internal/mem"
 	"camsim/internal/nvme"
 	"camsim/internal/oskernel"
@@ -381,7 +382,7 @@ type POSIXBackend struct {
 }
 
 type posixHelper struct {
-	host []byte
+	host *hostmem.Buffer
 }
 
 // NewPOSIX builds the backend over a RAID0 kernel stack.
@@ -398,7 +399,7 @@ func NewPOSIX(env *platform.Env, blockBytes int64, helpers int) *POSIXBackend {
 	}
 	for i := 0; i < helpers; i++ {
 		hb := env.HM.Alloc(fmt.Sprintf("posix.helper%d", i), blockBytes)
-		b.pool.Put(&posixHelper{host: hb.Data})
+		b.pool.Put(&posixHelper{host: hb})
 	}
 	return b
 }
@@ -504,15 +505,16 @@ func (g *posixGranule) start() {
 	if !g.x.read {
 		op = nvme.OpWrite
 	}
-	off, data := g.off, g.h.host
-	for len(data) > 0 {
+	off, hostPay := g.off, g.h.host.Payload()
+	var hostOff int64
+	for hostOff < b.g {
 		chunk := b.stack.StripeBytes() - off%b.stack.StripeBytes()
-		if chunk > int64(len(data)) {
-			chunk = int64(len(data))
+		if chunk > b.g-hostOff {
+			chunk = b.g - hostOff
 		}
-		g.reqs = append(g.reqs, oskernel.Request{Op: op, Offset: off, Data: data[:chunk]}) //camlint:allow hotalloc -- pooled granule retains reqs capacity across reuse
+		g.reqs = append(g.reqs, oskernel.Request{Op: op, Offset: off, Pay: hostPay, PayOff: hostOff, N: chunk}) //camlint:allow hotalloc -- pooled granule retains reqs capacity across reuse
 		off += chunk
-		data = data[chunk:]
+		hostOff += chunk
 	}
 	g.idx = 0
 	if g.x.read {
@@ -523,7 +525,7 @@ func (g *posixGranule) start() {
 	// Write: stage GPU → host first (one DRAM write crossing + one memcpy).
 	b.env.HM.ReserveTraffic(b.g)
 	end := b.env.CE.ReserveCopy(b.g)
-	copy(g.h.host, g.x.buf.Data[g.bufOff:g.bufOff+b.g])
+	mem.PayloadCopy(g.h.host.Payload(), 0, g.x.buf.Payload(), g.bufOff, b.g)
 	g.phase = pgCopied
 	b.env.E.ScheduleCallback(end-b.env.E.Now(), g)
 }
@@ -556,7 +558,7 @@ func (g *posixGranule) Run() {
 		// Read: stage host → GPU (one DRAM read crossing + one memcpy).
 		b.env.HM.ReserveTraffic(b.g)
 		end := b.env.CE.ReserveCopy(b.g)
-		copy(g.x.buf.Data[g.bufOff:g.bufOff+b.g], g.h.host)
+		mem.PayloadCopy(g.x.buf.Payload(), g.bufOff, g.h.host.Payload(), 0, b.g)
 		g.phase = pgCopied
 		b.env.E.ScheduleCallback(end-b.env.E.Now(), g)
 

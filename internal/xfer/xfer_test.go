@@ -44,15 +44,15 @@ func TestAllBackendsRoundTrip(t *testing.T) {
 			src := bx.b.Alloc("src", n)
 			dst := bx.b.Alloc("dst", n)
 			rng := sim.NewRNG(77)
-			for i := range src.Data {
-				src.Data[i] = byte(rng.Uint64())
+			for i := range src.Bytes() {
+				src.Bytes()[i] = byte(rng.Uint64())
 			}
 			bx.env.E.Go("app", func(p *sim.Proc) {
 				Write(p, bx.b, 0, n, src, 0)
 				Read(p, bx.b, 0, n, dst, 0)
 			})
 			bx.env.Run()
-			if !bytes.Equal(src.Data, dst.Data) {
+			if !bytes.Equal(src.Bytes(), dst.Bytes()) {
 				t.Fatalf("%s round trip mismatch", name)
 			}
 		})
@@ -66,15 +66,15 @@ func TestOffsetRoundTrip(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			src := bx.b.Alloc("src", 4*bb)
 			dst := bx.b.Alloc("dst", 8*bb)
-			for i := range src.Data {
-				src.Data[i] = byte(i % 250)
+			for i := range src.Bytes() {
+				src.Bytes()[i] = byte(i % 250)
 			}
 			bx.env.E.Go("app", func(p *sim.Proc) {
 				Write(p, bx.b, 16*bb, 4*bb, src, 0)
 				Read(p, bx.b, 16*bb, 4*bb, dst, 4*bb)
 			})
 			bx.env.Run()
-			if !bytes.Equal(dst.Data[4*bb:], src.Data) {
+			if !bytes.Equal(dst.Bytes()[4*bb:], src.Bytes()) {
 				t.Fatalf("%s offset round trip mismatch", name)
 			}
 		})
