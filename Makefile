@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-strict lint-sarif race vuln check check-fast bench bench-smoke bench-smoke-fig10a bench-diff cover cover-smoke profile
+.PHONY: all build test vet lint lint-strict lint-sarif race vuln check check-fast bench bench-smoke bench-smoke-fig10a bench-smoke-kv bench-diff cover cover-smoke profile
 
 all: build
 
@@ -68,7 +68,7 @@ check-fast: build vet lint test
 bench:
 	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
 	$(GO) test -c -o "$$tmp/camsim.test" . && \
-	{ for b in $$("$$tmp/camsim.test" -test.list 'Benchmark(Fig|Abl).*' | grep '^Benchmark'); do \
+	{ for b in $$("$$tmp/camsim.test" -test.list 'Benchmark(Fig|Abl|KV).*' | grep '^Benchmark'); do \
 		CAMSIM_SHARDS=$${CAMSIM_SHARDS:-4} "$$tmp/camsim.test" -test.run XXX -test.bench "^$${b}\$$" -test.benchmem -test.benchtime 1x; \
 	done; } | $(GO) run ./cmd/benchjson -o auto
 
@@ -96,6 +96,7 @@ bench-smoke:
 	fi
 	@rm -f bench-smoke.json
 	@$(MAKE) --no-print-directory bench-smoke-fig10a
+	@$(MAKE) --no-print-directory bench-smoke-kv
 
 # bench-smoke-fig10a is the focused single-shard sim-rate gate: one run of
 # the Fig 10a sort benchmark pinned to CAMSIM_SHARDS=1, diffed against the
@@ -116,11 +117,29 @@ bench-smoke-fig10a:
 	fi
 	@rm -f bench-smoke-fig10a.json
 
+# bench-smoke-kv is the same focused single-shard gate for the KV-cache
+# serving benchmark — the one workload that writes to the array under load,
+# so a scatter-path or tier-bookkeeping perf regression shows up here even
+# when the read-dominated figures stay flat. Warn-only, like its siblings.
+bench-smoke-kv:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) test -c -o "$$tmp/camsim.test" . && \
+	CAMSIM_SHARDS=1 "$$tmp/camsim.test" -test.run XXX -test.bench '^BenchmarkKV_Serving$$' -test.benchmem -test.benchtime 1x \
+		| $(GO) run ./cmd/benchjson -o bench-smoke-kv.json
+	@base=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1); \
+	if [ -n "$$base" ]; then \
+		$(GO) run ./cmd/benchjson -diff -warn-sim-regress 20 -warn-bytes-regress 30 "$$base" bench-smoke-kv.json; \
+	else \
+		echo "bench-smoke-kv: no committed BENCH_<n>.json baseline, skipping diff"; \
+	fi
+	@rm -f bench-smoke-kv.json
+
 # cover profiles the fault-critical data plane — the packages the fault
-# injection and recovery machinery runs through — and prints per-function
-# plus total statement coverage. The profile lands in cover.out for
+# injection and recovery machinery runs through, plus the KV-cache tier
+# that drives writes through it — and prints per-function plus total
+# statement coverage. The profile lands in cover.out for
 # `go tool cover -html=cover.out` spelunking.
-COVER_PKGS = ./internal/ssd ./internal/cam ./internal/bam ./internal/spdk ./internal/fault
+COVER_PKGS = ./internal/ssd ./internal/cam ./internal/bam ./internal/spdk ./internal/fault ./internal/kvcache
 
 cover:
 	$(GO) test -coverprofile=cover.out $(COVER_PKGS)

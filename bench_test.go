@@ -91,6 +91,11 @@ func BenchmarkFig16_Granularity(b *testing.B) { runExperiment(b, "fig16") }
 // through conservative lookahead windows (honors CAMSIM_SHARDS).
 func BenchmarkAblShard_Cluster(b *testing.B) { runExperiment(b, "abl-shard") }
 
+// Extension: SSD-backed LLM KV-cache serving — multi-session decode with
+// block spill/fill through each management scheme. The only benchmark that
+// writes to the array under load, so it tracks the scatter path too.
+func BenchmarkKV_Serving(b *testing.B) { runExperiment(b, "kv") }
+
 // Table I: architectural design comparison.
 func BenchmarkTableI_Architecture(b *testing.B) { runExperiment(b, "tab1") }
 

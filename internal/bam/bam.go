@@ -356,6 +356,19 @@ func (a *Array) ScatterAsync(blocks []uint64, src *gpu.Buffer, srcOff int64, sin
 	a.batchAsync(nvme.OpWrite, blocks, src, srcOff, sink)
 }
 
+// GatherListAsync is GatherAsync with explicit per-block destinations:
+// block blocks[i] lands at dst offset offs[i]. Both slices must stay
+// unchanged until the sink runs. Stripe-runs still coalesce when the
+// offsets happen to be contiguous at BlockBytes stride.
+func (a *Array) GatherListAsync(blocks []uint64, offs []int64, dst *gpu.Buffer, sink BatchSink) {
+	a.batchAsyncList(nvme.OpRead, blocks, offs, dst, sink)
+}
+
+// ScatterListAsync is ScatterAsync with explicit per-block sources.
+func (a *Array) ScatterListAsync(blocks []uint64, offs []int64, src *gpu.Buffer, sink BatchSink) {
+	a.batchAsyncList(nvme.OpWrite, blocks, offs, src, sink)
+}
+
 // syncSink adapts BatchSink to a signal for the synchronous wrappers.
 type syncSink struct {
 	errs int
@@ -400,6 +413,9 @@ type batchMachine struct {
 	blocks  []uint64
 	buf     *gpu.Buffer
 	off     int64
+	// offs, when non-nil, gives each block its own buffer offset (list
+	// batches); off is unused then.
+	offs    []int64
 	sink    BatchSink
 	fan     *fanin
 	held    int64
@@ -431,6 +447,39 @@ func (a *Array) batchAsync(op nvme.Opcode, blocks []uint64, buf *gpu.Buffer, off
 		sink.BatchDone(0)
 		return
 	}
+	m := a.prepBatch(op, blocks, buf, off, sink)
+	a.launchBatch(m)
+}
+
+// batchAsyncList starts a list-batch machine (explicit per-block offsets).
+func (a *Array) batchAsyncList(op nvme.Opcode, blocks []uint64, offs []int64, buf *gpu.Buffer, sink BatchSink) {
+	if len(blocks) != len(offs) {
+		panic("bam: list batch blocks/offs length mismatch")
+	}
+	if len(blocks) == 0 {
+		sink.BatchDone(0)
+		return
+	}
+	for _, off := range offs {
+		if off < 0 || off+a.BlockBytes > buf.Size() {
+			panic("bam: list batch entry does not fit in buffer")
+		}
+	}
+	m := a.prepBatch(op, blocks, buf, 0, sink)
+	m.offs = offs
+	a.launchBatch(m)
+}
+
+// blockOff reports block i's offset inside the batch buffer.
+func (m *batchMachine) blockOff(i int) int64 {
+	if m.offs != nil {
+		return m.offs[i]
+	}
+	return m.off + int64(i)*m.a.BlockBytes
+}
+
+// prepBatch fills a pooled machine with the batch parameters.
+func (a *Array) prepBatch(op nvme.Opcode, blocks []uint64, buf *gpu.Buffer, off int64, sink BatchSink) *batchMachine {
 	s := a.s
 	m := s.getBatch()
 	m.a, m.op, m.blocks, m.buf, m.off, m.sink = a, op, blocks, buf, off, sink
@@ -447,6 +496,12 @@ func (a *Array) batchAsync(op nvme.Opcode, blocks []uint64, buf *gpu.Buffer, off
 	m.fan = s.getFanin()
 	m.fan.remaining = 1
 	m.phase = bmLoop
+	return m
+}
+
+// launchBatch pins the I/O warps and starts the machine.
+func (a *Array) launchBatch(m *batchMachine) {
+	s := a.s
 	need := s.ThreadsNeeded(len(s.devs))
 	held, ok := s.g.PinThreadsCallback(need, 0, m)
 	m.held = held
@@ -480,7 +535,7 @@ func (m *batchMachine) Run() {
 		b := blocks[i]
 		if a.cache != nil && m.op == nvme.OpRead {
 			if lineOff, hit := a.cache.LookupRef(b); hit {
-				mem.PayloadCopy(m.buf.Payload(), m.off+int64(i)*a.BlockBytes,
+				mem.PayloadCopy(m.buf.Payload(), m.blockOff(i),
 					a.cache.Payload(), lineOff, a.BlockBytes)
 				m.hitTime += a.CacheHitCost
 				m.i++
@@ -492,12 +547,20 @@ func (m *batchMachine) Run() {
 			a.cache.Invalidate(b)
 		}
 		// Extend a stripe-contiguous run (same device, consecutive LBAs;
-		// batch order makes destinations contiguous).
+		// batch order makes destinations contiguous — list batches must
+		// additionally keep their explicit offsets contiguous).
 		run := coalesceRun(blocks, i, m.limit, ndev)
+		if m.offs != nil {
+			k := 1
+			for k < run && m.offs[i+k] == m.offs[i]+int64(k)*a.BlockBytes {
+				k++
+			}
+			run = k
+		}
 		dev, lba := a.locate(b)
 		m.runDev, m.runLBA = dev, lba
 		m.runNLB = uint32(int64(run) * a.BlockBytes / nvme.LBASize)
-		m.runAddr = m.buf.Addr + mem.Addr(m.off) + mem.Addr(int64(i)*a.BlockBytes)
+		m.runAddr = m.buf.Addr + mem.Addr(m.blockOff(i))
 		m.runLen = run
 		m.phase = bmGranted
 		if !s.slots[dev].AcquireCallback(1, 0, m) {
@@ -574,7 +637,7 @@ func (m *batchMachine) finish() {
 		for _, i := range m.missIdx {
 			lineOff := a.cache.InsertRef(m.blocks[i])
 			mem.PayloadCopy(a.cache.Payload(), lineOff,
-				m.buf.Payload(), m.off+int64(i)*a.BlockBytes, a.BlockBytes)
+				m.buf.Payload(), m.blockOff(i), a.BlockBytes)
 		}
 	}
 	s.putFanin(fan)
@@ -583,6 +646,7 @@ func (m *batchMachine) finish() {
 	}
 	sink := m.sink
 	m.a, m.blocks, m.buf, m.sink, m.fan = nil, nil, nil, nil, nil
+	m.offs = nil
 	m.missIdx = m.missIdx[:0]
 	m.i, m.hitTime, m.held = 0, 0, 0
 	s.batchFree = append(s.batchFree, m) //camlint:allow hotalloc -- amortized free-list growth

@@ -132,6 +132,10 @@ type Batch struct {
 
 	done *sim.Signal
 	slot int
+	// indexed marks a list batch: region 1 carries (block, buffer offset)
+	// pairs instead of a bare LBA array, so each block names its own
+	// destination inside the batch buffer.
+	indexed bool
 
 	published sim.Time
 	completed sim.Time
@@ -379,6 +383,27 @@ func (m *Manager) WriteBack(p *sim.Proc, blocks []uint64, src *gpu.Buffer, srcOf
 	return b
 }
 
+// PrefetchList publishes an asynchronous SSD→GPU batch with explicit
+// per-block destinations: block blocks[i] lands at dst.Data[offs[i]].
+// Region 1 carries (block, offset) pairs — 16 bytes per entry instead of
+// 8 — so a list batch holds at most MaxBatch/2 blocks and its publish
+// cost doubles per block; in exchange one batch fills an arbitrary set of
+// cache frames, which is what keeps an importance-ordered eviction/fill
+// working set on the single-doorbell path (DESIGN.md §14).
+func (m *Manager) PrefetchList(p *sim.Proc, blocks []uint64, dst *gpu.Buffer, offs []int64) *Batch {
+	b := m.publishList(p, OpPrefetch, blocks, dst, offs)
+	m.lastRead = b
+	return b
+}
+
+// WriteBackList publishes an asynchronous GPU→SSD batch with explicit
+// per-block sources: block blocks[i] is taken from src.Data[offs[i]].
+func (m *Manager) WriteBackList(p *sim.Proc, blocks []uint64, src *gpu.Buffer, offs []int64) *Batch {
+	b := m.publishList(p, OpWriteBack, blocks, src, offs)
+	m.lastWrite = b
+	return b
+}
+
 // PrefetchSynchronize blocks until the most recent Prefetch completes
 // (no-op if none is outstanding). This is the paper's
 // prefetch_synchronize: all kernel threads block on the leading thread's
@@ -438,9 +463,12 @@ func (m *Manager) publish(p *sim.Proc, op Op, blocks []uint64, buf *gpu.Buffer, 
 	for i, blk := range blocks {
 		binary.LittleEndian.PutUint64(m.r1[slotBase+int64(i)*8:], blk)
 	}
-	// Region 2: the batch arguments.
+	// Region 2: the batch arguments. The layout byte distinguishes plain
+	// batches from list batches; slots are reused, so it is written every
+	// publish.
 	abase := int64(b.slot) * argsSlotBytes
 	m.r2[abase] = byte(op)
+	m.r2[abase+1] = 0
 	binary.LittleEndian.PutUint64(m.r2[abase+8:], uint64(len(blocks)))
 	binary.LittleEndian.PutUint64(m.r2[abase+16:], uint64(buf.Addr)+uint64(off))
 	binary.LittleEndian.PutUint64(m.r2[abase+24:], uint64(m.cfg.BlockBytes))
@@ -456,6 +484,62 @@ func (m *Manager) publish(p *sim.Proc, op Op, blocks []uint64, buf *gpu.Buffer, 
 	m.batchQ.Put(b)
 	m.tracer.Emit(trace.BatchPublish, "cam", op.String(), int64(b.Seq))
 	// The CPU polling thread notices after its pickup latency.
+	m.e.Schedule(m.cfg.PollPickup, m.fireDoorbell)
+	return b
+}
+
+// publishList is the GPU-side half of the handshake for a list batch:
+// region 1 holds (block, buffer offset) pairs and the layout byte in
+// region 2 tells the polling thread to decode them as such.
+func (m *Manager) publishList(p *sim.Proc, op Op, blocks []uint64, buf *gpu.Buffer, offs []int64) *Batch {
+	if len(blocks) == 0 {
+		panic("cam: empty batch")
+	}
+	if len(blocks) != len(offs) {
+		panic("cam: list batch blocks/offs length mismatch")
+	}
+	if len(blocks) > m.cfg.MaxBatch/2 {
+		panic(fmt.Sprintf("cam: list batch of %d exceeds MaxBatch/2 = %d", len(blocks), m.cfg.MaxBatch/2))
+	}
+	if !buf.Pinned {
+		panic("cam: buffer must come from CAM Alloc (pinned for P2P DMA)")
+	}
+	for _, off := range offs {
+		if off < 0 || off+m.cfg.BlockBytes > buf.Size() {
+			panic("cam: list batch entry does not fit in buffer")
+		}
+	}
+
+	m.slotRes.Acquire(p, 1)
+
+	m.seq++
+	slot := m.freeSlots[0]
+	m.freeSlots = m.freeSlots[1:]
+	b := &Batch{Seq: m.seq, Op: op, Count: len(blocks), done: m.e.NewSignal("cam.batch"), slot: slot, indexed: true}
+
+	// Region 1: (block, offset) pairs, 16 B per entry.
+	slotBase := int64(b.slot) * int64(m.cfg.MaxBatch) * 8
+	for i, blk := range blocks {
+		binary.LittleEndian.PutUint64(m.r1[slotBase+int64(i)*16:], blk)
+		binary.LittleEndian.PutUint64(m.r1[slotBase+int64(i)*16+8:], uint64(offs[i]))
+	}
+	// Region 2: the batch arguments, layout byte 1 = indexed.
+	abase := int64(b.slot) * argsSlotBytes
+	m.r2[abase] = byte(op)
+	m.r2[abase+1] = 1
+	binary.LittleEndian.PutUint64(m.r2[abase+8:], uint64(len(blocks)))
+	binary.LittleEndian.PutUint64(m.r2[abase+16:], uint64(buf.Addr))
+	binary.LittleEndian.PutUint64(m.r2[abase+24:], uint64(m.cfg.BlockBytes))
+	// Region 3: the doorbell.
+	binary.LittleEndian.PutUint64(m.r3, b.Seq)
+
+	// Publishing cost: 16 B per block cross PCIe plus the doorbell write.
+	m.fab.DMA(p, int64(len(blocks))*16)
+	p.Sleep(m.fab.MMIODelay())
+	b.published = m.e.Now()
+
+	m.batchQ.Put(b)
+	m.tracer.Emit(trace.BatchPublish, "cam", op.String(), int64(b.Seq))
 	m.e.Schedule(m.cfg.PollPickup, m.fireDoorbell)
 	return b
 }
@@ -497,10 +581,11 @@ func (m *Manager) dispatchBatch(b *Batch) {
 	// Decode regions (the data path of the handshake).
 	abase := int64(b.slot) * argsSlotBytes
 	op := Op(m.r2[abase])
+	indexed := m.r2[abase+1] == 1
 	count := int(binary.LittleEndian.Uint64(m.r2[abase+8:]))
 	dest := mem.Addr(binary.LittleEndian.Uint64(m.r2[abase+16:]))
 	blockBytes := int64(binary.LittleEndian.Uint64(m.r2[abase+24:]))
-	if op != b.Op || count != b.Count || blockBytes != m.cfg.BlockBytes {
+	if op != b.Op || indexed != b.indexed || count != b.Count || blockBytes != m.cfg.BlockBytes {
 		panic("cam: region-2 decode mismatch")
 	}
 
@@ -517,13 +602,23 @@ func (m *Manager) dispatchBatch(b *Batch) {
 	b.remaining = 1
 	lbaArr := m.r1[slotBase:]
 	for i := 0; i < count; {
-		blk := binary.LittleEndian.Uint64(lbaArr[i*8:])
-		run := coalesceRun(lbaArr, i, count, limit, ndev)
+		var blk uint64
+		var run int
+		var addr mem.Addr
+		if indexed {
+			blk = binary.LittleEndian.Uint64(lbaArr[i*16:])
+			run = coalesceRunIdx(lbaArr, i, count, limit, ndev, blockBytes)
+			addr = dest + mem.Addr(binary.LittleEndian.Uint64(lbaArr[i*16+8:]))
+		} else {
+			blk = binary.LittleEndian.Uint64(lbaArr[i*8:])
+			run = coalesceRun(lbaArr, i, count, limit, ndev)
+			addr = dest + mem.Addr(int64(i)*blockBytes)
+		}
 		dev, lba := m.locate(blk)
 		req := m.drv.GetRequest()
 		req.Op, req.Dev, req.SLBA = nvop, dev, lba
 		req.NLB = uint32(run) * blockLBAs
-		req.Addr = dest + mem.Addr(int64(i)*blockBytes)
+		req.Addr = addr
 		req.Blocks = run
 		req.Sink, req.Tag = m, b
 		b.remaining++
@@ -555,6 +650,25 @@ func coalesceRun(data []byte, i, count, limit int, ndev uint64) int {
 	for run < limit && i+run < count {
 		nb := binary.LittleEndian.Uint64(data[(i+run)*8:])
 		if nb != blk+uint64(run)*ndev {
+			break
+		}
+		run++
+	}
+	return run
+}
+
+// coalesceRunIdx is coalesceRun for list batches: entries are 16 bytes
+// (block, buffer offset), and merging additionally requires the buffer
+// offsets to be contiguous at blockBytes stride, since one NVMe command
+// carries a single base address.
+func coalesceRunIdx(data []byte, i, count, limit int, ndev uint64, blockBytes int64) int {
+	blk := binary.LittleEndian.Uint64(data[i*16:])
+	off := binary.LittleEndian.Uint64(data[i*16+8:])
+	run := 1
+	for run < limit && i+run < count {
+		nb := binary.LittleEndian.Uint64(data[(i+run)*16:])
+		no := binary.LittleEndian.Uint64(data[(i+run)*16+8:])
+		if nb != blk+uint64(run)*ndev || no != off+uint64(run)*uint64(blockBytes) {
 			break
 		}
 		run++

@@ -1,11 +1,13 @@
 package harness
 
 import (
+	"fmt"
 	"testing"
 
 	"camsim/internal/cam"
 	"camsim/internal/fault"
 	"camsim/internal/gemmx"
+	"camsim/internal/kvcache"
 	"camsim/internal/metrics"
 	"camsim/internal/platform"
 	"camsim/internal/sim"
@@ -111,6 +113,71 @@ func chaosGEMM(t *testing.T, seed uint64) (string, uint64) {
 	}
 	fs := env.FaultStats()
 	return chaosFingerprint(env, b.M, env.E.Now()), fs.Errors + fs.Drops + fs.Slows
+}
+
+// chaosKV runs the KV-cache serving workload — the one chaos workload that
+// writes under load, so injected faults land on spills as well as fills —
+// under seed's fault schedule. It fails on any integrity violation and
+// returns the run's fingerprint (extended with the per-session decoded-token
+// checksums), its injected-fault total, and the recovery work it forced.
+func chaosKV(t *testing.T, seed uint64) (string, uint64, uint64) {
+	t.Helper()
+	cfg := kvcache.DefaultConfig()
+	cfg.Layers = 2
+	cfg.DRAMBlocks = 40 // floor: 3 sessions * 2 layers * 4 + 8 = 32
+	cfg.Seed = seed
+	specs := []kvcache.SessionSpec{
+		{Prompt: 224, Decode: 10},
+		{Prompt: 192, Decode: 8},
+		{Prompt: 256, Decode: 6},
+	}
+	env := platform.New(platform.Options{SSDs: 2, Faults: chaosPlan(seed)})
+	b := xfer.NewCAM(env, cfg.BlockBytes, armBackend)
+	srv := kvcache.New(env, b, cfg, specs)
+	var verr error
+	env.E.Go("kv", func(p *sim.Proc) {
+		srv.Serve(p)
+		verr = srv.Verify(p)
+	})
+	env.Run()
+	if verr != nil {
+		t.Fatalf("seed %d: kv integrity under faults: %v", seed, verr)
+	}
+	fp := chaosFingerprint(env, b.M, env.E.Now())
+	for i := range specs {
+		sum, expect := srv.SessionChecksum(i)
+		if sum != expect {
+			t.Fatalf("seed %d: session %d checksum %#x != expected %#x", seed, i, sum, expect)
+		}
+		fp += fmt.Sprintf(" s%d=%#x", i, sum)
+	}
+	fs := env.FaultStats()
+	rec := b.M.Driver().Recovery()
+	return fp, fs.Errors + fs.Drops + fs.Slows, rec.Retries + rec.Timeouts
+}
+
+// TestChaosKVSoak: the serving workload survives 16 randomized fault
+// schedules with every decoded-token checksum clean, every seed replays
+// byte-identically (fault injection, recovery, traffic, end time, and
+// checksums all in the fingerprint), and the soak as a whole both injects
+// faults and forces the recovery machinery to actually retry.
+func TestChaosKVSoak(t *testing.T) {
+	var totalInjected, totalRetries uint64
+	for seed := uint64(1); seed <= chaosSeeds; seed++ {
+		fp1, inj, retries := chaosKV(t, seed)
+		fp2, _, _ := chaosKV(t, seed)
+		if fp1 != fp2 {
+			t.Fatalf("seed %d replay diverged:\n%s\n%s", seed, fp1, fp2)
+		}
+		totalInjected += inj
+		totalRetries += retries
+	}
+	if totalInjected == 0 {
+		t.Fatal("16-seed soak injected nothing — schedules are inert")
+	}
+	if totalRetries == 0 {
+		t.Fatal("16-seed soak never exercised recovery — retries/timeouts all zero")
+	}
 }
 
 // TestChaosSortSoak: the sort workload survives 16 randomized fault

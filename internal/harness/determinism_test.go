@@ -10,10 +10,11 @@ import "testing"
 //
 // The experiments chosen cover the subsystems with the most internal state
 // while staying cheap enough for -race runs: kernel stacks (fig2), the CAM
-// sync-vs-async data paths (fig11), per-request CPU accounting (fig13), and
-// the FTL's garbage collector (abl-ftl).
+// sync-vs-async data paths (fig11), per-request CPU accounting (fig13), the
+// FTL's garbage collector (abl-ftl), and the KV-cache serving tier with its
+// concurrent spill/fill/prefetch machinery (kv).
 func TestDoubleRunDeterminism(t *testing.T) {
-	for _, id := range []string{"fig2", "fig11", "fig13", "abl-ftl"} {
+	for _, id := range []string{"fig2", "fig11", "fig13", "abl-ftl", "kv"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			e, ok := Get(id)

@@ -21,7 +21,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"tab1", "tab2", "tab3", "tab4", "tab5", "tab6",
 		"abl-dyncores", "abl-batch", "abl-outstanding", "abl-ftl", "abl-cache", "abl-multigpu", "abl-fanin",
-		"abl-faults", "abl-shard",
+		"abl-faults", "abl-shard", "kv",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {

@@ -12,10 +12,12 @@ import (
 // must be byte-identical. Shards exercises the conservative window workers
 // inside one clustered simulation (abl-shard); parallel exercises the
 // experiment runner pool around it; the two compose, and neither may leak
-// schedule into output.
+// schedule into output. kv rides the matrix as the write-heavy workload:
+// its spill/fill/prefetch concurrency must render identically no matter
+// how the runner pool interleaves experiments around it.
 func TestShardMatrixDeterminism(t *testing.T) {
 	var exps []Experiment
-	for _, id := range []string{"fig2", "abl-shard"} {
+	for _, id := range []string{"fig2", "abl-shard", "kv"} {
 		e, ok := Get(id)
 		if !ok {
 			t.Fatalf("experiment %q not registered", id)

@@ -1,0 +1,189 @@
+package kvcache
+
+import "fmt"
+
+// BlockState is one KV block's place in the storage hierarchy. A block is
+// in exactly one state — residency and in-flight transfers are mutually
+// exclusive by construction, and CheckInvariants proves the bookkeeping
+// agrees with itself.
+type BlockState uint8
+
+// Block lifecycle. Unwritten blocks have never held KV data; the decode
+// loop creates them as the context grows. Filling and Spilling both hold
+// a DRAM frame (the transfer's source or destination) and are never
+// evictable.
+const (
+	StateUnwritten BlockState = iota
+	StateResident             // bytes live in a DRAM-tier frame
+	StateFilling              // SSD→DRAM read in flight, frame reserved
+	StateSpilling             // DRAM→SSD write in flight, frame still held
+	StateSpilled              // only the SSD copy exists
+)
+
+func (s BlockState) String() string {
+	switch s {
+	case StateUnwritten:
+		return "unwritten"
+	case StateResident:
+		return "resident"
+	case StateFilling:
+		return "filling"
+	case StateSpilling:
+		return "spilling"
+	case StateSpilled:
+		return "spilled"
+	default:
+		return fmt.Sprintf("BlockState(%d)", uint8(s))
+	}
+}
+
+// numStates sizes the per-state counters.
+const numStates = 5
+
+// noFrame marks a block without a DRAM frame.
+const noFrame = int32(-1)
+
+// Map tracks one session's KV blocks: per-(layer, block) state and frame
+// assignment, with counters kept in lockstep for O(1) invariant checks.
+// Transitions panic on any edge the lifecycle does not allow — a wrong
+// transition is a serving-logic bug, never data.
+type Map struct {
+	layers   int
+	perLayer int
+	st       []BlockState
+	frame    []int32
+	counts   [numStates]int
+}
+
+// NewMap builds an all-unwritten map for layers × perLayer blocks.
+func NewMap(layers, perLayer int) *Map {
+	if layers <= 0 || perLayer <= 0 {
+		panic("kvcache: map dimensions must be positive")
+	}
+	n := layers * perLayer
+	m := &Map{
+		layers:   layers,
+		perLayer: perLayer,
+		st:       make([]BlockState, n),
+		frame:    make([]int32, n),
+	}
+	for i := range m.frame {
+		m.frame[i] = noFrame
+	}
+	m.counts[StateUnwritten] = n
+	return m
+}
+
+// Layers reports the map's layer count.
+func (m *Map) Layers() int { return m.layers }
+
+// PerLayer reports the per-layer block capacity.
+func (m *Map) PerLayer() int { return m.perLayer }
+
+func (m *Map) idx(layer, blk int) int {
+	if layer < 0 || layer >= m.layers || blk < 0 || blk >= m.perLayer {
+		panic(fmt.Sprintf("kvcache: block (%d,%d) out of map %dx%d", layer, blk, m.layers, m.perLayer))
+	}
+	return layer*m.perLayer + blk
+}
+
+// State reports a block's current state.
+func (m *Map) State(layer, blk int) BlockState { return m.st[m.idx(layer, blk)] }
+
+// Frame reports a block's DRAM frame (noFrame when it has none).
+func (m *Map) Frame(layer, blk int) int32 { return m.frame[m.idx(layer, blk)] }
+
+// Counts reports how many blocks sit in each state, indexed by BlockState.
+func (m *Map) Counts() [numStates]int { return m.counts }
+
+// move validates and applies one transition.
+func (m *Map) move(layer, blk int, from, to BlockState, frame int32) {
+	i := m.idx(layer, blk)
+	if m.st[i] != from {
+		panic(fmt.Sprintf("kvcache: block (%d,%d) is %v, not %v (wanted → %v)", layer, blk, m.st[i], from, to))
+	}
+	m.st[i] = to
+	m.frame[i] = frame
+	m.counts[from]--
+	m.counts[to]++
+}
+
+// Create brings a new block into existence, resident in frame.
+func (m *Map) Create(layer, blk int, frame int32) {
+	m.checkFrame(frame)
+	m.move(layer, blk, StateUnwritten, StateResident, frame)
+}
+
+// BeginSpill starts writing a resident block to SSD; the frame stays
+// attached until the write completes.
+func (m *Map) BeginSpill(layer, blk int) {
+	m.move(layer, blk, StateResident, StateSpilling, m.frame[m.idx(layer, blk)])
+}
+
+// EndSpill completes a spill: the SSD copy is authoritative, the frame is
+// released.
+func (m *Map) EndSpill(layer, blk int) {
+	m.move(layer, blk, StateSpilling, StateSpilled, noFrame)
+}
+
+// BeginFill starts reading a spilled block back into frame.
+func (m *Map) BeginFill(layer, blk int, frame int32) {
+	m.checkFrame(frame)
+	m.move(layer, blk, StateSpilled, StateFilling, frame)
+}
+
+// EndFill completes a fill: the block is resident again.
+func (m *Map) EndFill(layer, blk int) {
+	m.move(layer, blk, StateFilling, StateResident, m.frame[m.idx(layer, blk)])
+}
+
+// DropClean discards a resident block whose SSD copy is current (blocks
+// are immutable after creation, so any previously spilled block
+// re-qualifies); the caller must guarantee that copy exists.
+func (m *Map) DropClean(layer, blk int) {
+	m.move(layer, blk, StateResident, StateSpilled, noFrame)
+}
+
+func (m *Map) checkFrame(frame int32) {
+	if frame < 0 {
+		panic("kvcache: transition into a frame-holding state needs a real frame")
+	}
+}
+
+// CheckInvariants re-derives the bookkeeping from scratch and reports the
+// first disagreement: state counters must match a recount, exactly the
+// frame-holding states may carry frames, and no frame is shared — which
+// together encode the partition property (every block is in exactly one
+// of resident / in-flight / spilled / unwritten, and never both resident
+// and in transit).
+func (m *Map) CheckInvariants() error {
+	var counts [numStates]int
+	frames := make(map[int32]int)
+	for i, s := range m.st {
+		if int(s) >= numStates {
+			return fmt.Errorf("kvcache: block %d in impossible state %d", i, s)
+		}
+		counts[s]++
+		holds := s == StateResident || s == StateFilling || s == StateSpilling
+		if holds != (m.frame[i] != noFrame) {
+			return fmt.Errorf("kvcache: block %d state %v with frame %d", i, s, m.frame[i])
+		}
+		if holds {
+			if prev, dup := frames[m.frame[i]]; dup {
+				return fmt.Errorf("kvcache: blocks %d and %d share frame %d", prev, i, m.frame[i])
+			}
+			frames[m.frame[i]] = i
+		}
+	}
+	if counts != m.counts {
+		return fmt.Errorf("kvcache: state counters %v, recount %v", m.counts, counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != m.layers*m.perLayer {
+		return fmt.Errorf("kvcache: %d blocks counted, map holds %d", total, m.layers*m.perLayer)
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package kvcache
+
+import (
+	"fmt"
+	"testing"
+
+	"camsim/internal/bam"
+	"camsim/internal/cam"
+	"camsim/internal/fault"
+	"camsim/internal/platform"
+	"camsim/internal/sim"
+	"camsim/internal/xfer"
+)
+
+// testConfig is a tight serving setup: the tier barely clears the
+// deadlock floor, so most of the context churns through the SSD.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Layers = 2
+	cfg.DRAMBlocks = 40 // floor: 3 sessions * 2 layers * 4 + 8 = 32
+	return cfg
+}
+
+func testSpecs() []SessionSpec {
+	return []SessionSpec{
+		{Prompt: 224, Decode: 12},
+		{Prompt: 256, Decode: 10},
+		{Prompt: 192, Decode: 14},
+	}
+}
+
+// newBackend builds the named list backend over env.
+func newBackend(t testing.TB, env *platform.Env, sys string, blockBytes int64) xfer.ListBackend {
+	t.Helper()
+	switch sys {
+	case "CAM":
+		return xfer.NewCAM(env, blockBytes, nil)
+	case "BaM":
+		return xfer.NewBaM(env, bam.New(env.E, bam.DefaultConfig(), env.GPU, env.Devs), blockBytes)
+	case "SPDK":
+		return xfer.NewSPDK(env, blockBytes, 4)
+	}
+	t.Fatalf("unknown backend %q", sys)
+	return nil
+}
+
+// serveOnce runs the test workload on one backend and returns the server.
+func serveOnce(t testing.TB, sys string, faults *fault.Plan) (*Server, *platform.Env) {
+	t.Helper()
+	cfg := testConfig()
+	env := platform.New(platform.Options{SSDs: 2, Faults: faults})
+	lb := newBackend(t, env, sys, cfg.BlockBytes)
+	srv := New(env, lb, cfg, testSpecs())
+	var verr error
+	env.E.Go("serve", func(p *sim.Proc) {
+		srv.Serve(p)
+		verr = srv.Verify(p)
+	})
+	env.Run()
+	if verr != nil {
+		t.Fatalf("%s: %v", sys, verr)
+	}
+	return srv, env
+}
+
+// TestServeBackends: the serving workload completes with full data-plane
+// integrity on every list backend, actually exercises the spill path, and
+// the per-session checksums agree across backends (the decode stream is a
+// pure function of the workload, never of the storage engine).
+func TestServeBackends(t *testing.T) {
+	type run struct {
+		sums  []uint64
+		stats Stats
+	}
+	var ref *run
+	var refSys string
+	for _, sys := range []string{"CAM", "BaM", "SPDK"} {
+		t.Run(sys, func(t *testing.T) {
+			srv, _ := serveOnce(t, sys, nil)
+			st := srv.Stats()
+			if st.DecodedTokens != 36 {
+				t.Errorf("decoded %d tokens, want 36", st.DecodedTokens)
+			}
+			if st.Spills == 0 || st.Fills == 0 {
+				t.Errorf("no tier churn: %+v", st)
+			}
+			if st.Prefetched == 0 {
+				t.Errorf("prefetcher never served an access: %+v", st)
+			}
+			if srv.TTFT().Count() != len(testSpecs()) {
+				t.Errorf("TTFT samples = %d, want %d", srv.TTFT().Count(), len(testSpecs()))
+			}
+			r := &run{stats: st}
+			for i := range testSpecs() {
+				sum, expect := srv.SessionChecksum(i)
+				if sum != expect {
+					t.Errorf("session %d: checksum %#x != expected %#x", i, sum, expect)
+				}
+				r.sums = append(r.sums, sum)
+			}
+			if ref == nil {
+				ref, refSys = r, sys
+				return
+			}
+			for i, s := range r.sums {
+				if s != ref.sums[i] {
+					t.Errorf("session %d: %s checksum %#x, %s checksum %#x", i, sys, s, refSys, ref.sums[i])
+				}
+			}
+		})
+	}
+}
+
+// TestServeDeterministicReplay: the same backend and workload replayed in
+// one process lands on identical stats, timings, and checksums.
+func TestServeDeterministicReplay(t *testing.T) {
+	fingerprint := func() string {
+		srv, env := serveOnce(t, "CAM", nil)
+		st := srv.Stats()
+		return fmt.Sprintf("%+v end=%d ttft=%v step=%v", st, env.E.Now(),
+			srv.TTFT().Summary("us"), srv.StepLatency().Summary("us"))
+	}
+	a, b := fingerprint(), fingerprint()
+	if a != b {
+		t.Fatalf("replay diverged:\n%s\n%s", a, b)
+	}
+}
+
+// TestServeUnderFaults: with an aggressive fault plan and CAM recovery
+// armed, serving still finishes with clean checksums and the injector
+// counters prove the schedule was live.
+func TestServeUnderFaults(t *testing.T) {
+	plan := fault.NewPlan(7)
+	plan.ErrRate, plan.DropRate, plan.SlowRate, plan.SlowFactor = 2e-3, 1e-3, 5e-3, 8
+	cfg := testConfig()
+	env := platform.New(platform.Options{SSDs: 2, Faults: plan})
+	lb := xfer.NewCAM(env, cfg.BlockBytes, func(c *cam.Config) {
+		c.Backend.CmdTimeout = 25 * sim.Millisecond
+		c.Backend.MaxRetries = 3
+		c.Backend.RetryBackoff = 100 * sim.Microsecond
+		c.Backend.FailThreshold = 4
+	})
+	srv := New(env, lb, cfg, testSpecs())
+	var verr error
+	env.E.Go("serve", func(p *sim.Proc) {
+		srv.Serve(p)
+		verr = srv.Verify(p)
+	})
+	env.Run()
+	if verr != nil {
+		t.Fatalf("integrity under faults: %v", verr)
+	}
+	fs := env.FaultStats()
+	if fs.Errors+fs.Drops+fs.Slows == 0 {
+		t.Fatal("fault plan injected nothing")
+	}
+}
+
+// TestNewRejectsUndersizedTier: a tier smaller than the pinned-working-set
+// floor must be rejected up front (it would deadlock, not degrade).
+func TestNewRejectsUndersizedTier(t *testing.T) {
+	cfg := testConfig()
+	cfg.DRAMBlocks = 8
+	env := platform.New(platform.Options{SSDs: 2})
+	lb := newBackend(t, env, "CAM", cfg.BlockBytes)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted a deadlock-sized tier")
+		}
+	}()
+	New(env, lb, cfg, testSpecs())
+}

@@ -1,0 +1,323 @@
+package kvcache
+
+import "fmt"
+
+// TierConfig tunes the importance-aware evictor. An entry's score is
+//
+//	lastUse + BoostPerHit * min(freq, BoostCap)
+//
+// in access-clock ticks: plain LRU plus a frequency boost, so a block
+// attended every step (an attention sink) outranks a once-touched block
+// with a slightly fresher timestamp. BoostPerHit = 0 degenerates to LRU.
+type TierConfig struct {
+	// Frames is the tier capacity in block frames.
+	Frames int
+	// BoostPerHit is the score credit per recorded access.
+	BoostPerHit uint64
+	// BoostCap bounds how many accesses keep counting toward the boost,
+	// so ancient popularity cannot pin a frame forever.
+	BoostCap uint32
+}
+
+// entry is one tier-resident block's metadata.
+type entry struct {
+	key   Key
+	frame int32
+	pins  int32
+	busy  bool // fill or spill in flight; never evictable
+	dirty bool // no SSD copy yet; eviction must spill
+	fresh bool // filled from SSD and not yet touched — accounting only
+	freq  uint32
+	last  uint64 // access clock at last touch
+}
+
+// scoreEnt is one lazy-heap node: the entry's score at push time.
+type scoreEnt struct {
+	score uint64
+	key   Key
+}
+
+// Tier is the GPU-DRAM tier's bookkeeping: a frame free list plus an
+// eviction index over resident blocks. It deliberately owns no buffer —
+// frame f of a tier with BlockBytes-sized frames is byte range
+// [f*BlockBytes, (f+1)*BlockBytes) of whatever buffer the server
+// allocated — which keeps the policy core runnable under plain unit,
+// property, and fuzz tests with no simulation engine behind it.
+//
+// The evictor is a lazy min-heap over (score, key): every touch pushes a
+// fresh node, and pop discards nodes whose score no longer matches the
+// entry (scores strictly increase per touch, so a stale node always
+// surfaces before the entry's live node). PickVictims therefore returns
+// the exact minimum eligible entries in (score, key) order — the same
+// answer the O(n) reference scan gives, which FuzzLRUEvict enforces.
+type Tier struct {
+	cfg   TierConfig
+	free  []int32
+	ents  map[Key]*entry
+	clock uint64
+	heap  []scoreEnt
+	skip  []scoreEnt // valid-but-ineligible nodes set aside during a pick
+}
+
+// NewTier builds an empty tier with cfg.Frames free frames.
+func NewTier(cfg TierConfig) *Tier {
+	if cfg.Frames <= 0 {
+		panic("kvcache: tier needs at least one frame")
+	}
+	t := &Tier{cfg: cfg, ents: make(map[Key]*entry, cfg.Frames)}
+	for f := cfg.Frames - 1; f >= 0; f-- {
+		t.free = append(t.free, int32(f))
+	}
+	return t
+}
+
+// Frames reports the tier capacity.
+func (t *Tier) Frames() int { return t.cfg.Frames }
+
+// FreeFrames reports how many frames are unassigned.
+func (t *Tier) FreeFrames() int { return len(t.free) }
+
+// Resident reports how many blocks currently hold frames.
+func (t *Tier) Resident() int { return len(t.ents) }
+
+// TakeFree pops a free frame, lowest index first.
+func (t *Tier) TakeFree() (int32, bool) {
+	n := len(t.free)
+	if n == 0 {
+		return noFrame, false
+	}
+	f := t.free[n-1]
+	t.free = t.free[:n-1]
+	return f, true
+}
+
+func (t *Tier) score(e *entry) uint64 {
+	f := uint64(e.freq)
+	if f > uint64(t.cfg.BoostCap) {
+		f = uint64(t.cfg.BoostCap)
+	}
+	return e.last + t.cfg.BoostPerHit*f
+}
+
+// Insert registers key in frame. busy marks an in-flight fill; dirty
+// marks a block with no SSD copy. The entry starts with one access on
+// the clock. Busy inserts (fills) are flagged fresh until first touched,
+// so the server can tell a prefetch-served access from a plain hit.
+func (t *Tier) Insert(key Key, frame int32, dirty, busy bool) {
+	if _, dup := t.ents[key]; dup {
+		panic(fmt.Sprintf("kvcache: tier already holds %v", key))
+	}
+	if frame < 0 || int(frame) >= t.cfg.Frames {
+		panic(fmt.Sprintf("kvcache: frame %d out of tier", frame))
+	}
+	t.clock++
+	e := &entry{key: key, frame: frame, busy: busy, dirty: dirty, fresh: busy, freq: 1, last: t.clock}
+	t.ents[key] = e
+	t.push(scoreEnt{score: t.score(e), key: key})
+}
+
+func (t *Tier) get(key Key) *entry {
+	e, ok := t.ents[key]
+	if !ok {
+		panic(fmt.Sprintf("kvcache: tier does not hold %v", key))
+	}
+	return e
+}
+
+// Touch records an access: bumps recency and frequency and refreshes the
+// eviction index. It reports whether this is the entry's first touch
+// since it was filled from SSD (and clears that flag).
+//
+//camlint:hotpath
+func (t *Tier) Touch(key Key) bool {
+	e := t.get(key)
+	t.clock++
+	e.last = t.clock
+	e.freq++
+	fresh := e.fresh
+	e.fresh = false
+	t.push(scoreEnt{score: t.score(e), key: key})
+	return fresh
+}
+
+// Pin makes key ineligible for eviction until the matching Unpin.
+func (t *Tier) Pin(key Key) { t.get(key).pins++ }
+
+// Unpin releases one pin.
+func (t *Tier) Unpin(key Key) {
+	e := t.get(key)
+	if e.pins == 0 {
+		panic(fmt.Sprintf("kvcache: unpin of unpinned %v", key))
+	}
+	e.pins--
+}
+
+// SetBusy flags or clears an in-flight transfer on key.
+func (t *Tier) SetBusy(key Key, busy bool) { t.get(key).busy = busy }
+
+// MarkClean records that key's SSD copy is now current.
+func (t *Tier) MarkClean(key Key) { t.get(key).dirty = false }
+
+// Frame reports key's frame.
+func (t *Tier) Frame(key Key) int32 { return t.get(key).frame }
+
+// Dirty reports whether key still lacks an SSD copy.
+func (t *Tier) Dirty(key Key) bool { return t.get(key).dirty }
+
+// Busy reports whether key has a transfer in flight.
+func (t *Tier) Busy(key Key) bool { return t.get(key).busy }
+
+// Pinned reports whether key is pinned.
+func (t *Tier) Pinned(key Key) bool { return t.get(key).pins > 0 }
+
+// Holds reports whether key is in the tier at all.
+func (t *Tier) Holds(key Key) bool {
+	_, ok := t.ents[key]
+	return ok
+}
+
+// Remove drops key from the tier and returns its frame to the free list.
+// In-flight (busy) entries may be removed — that is exactly how a
+// completed spill leaves — but pinned entries never.
+func (t *Tier) Remove(key Key) int32 {
+	e := t.get(key)
+	if e.pins > 0 {
+		panic(fmt.Sprintf("kvcache: remove of pinned %v", key))
+	}
+	delete(t.ents, key)
+	t.free = append(t.free, e.frame)
+	return e.frame
+}
+
+// PickVictims selects up to n eviction victims — the minimum-score
+// unpinned, non-busy entries, ties broken by key — appending them to out.
+// The caller must evict every returned victim (their index nodes are
+// consumed); anything pinned or busy encountered on the way is preserved.
+//
+//camlint:hotpath
+func (t *Tier) PickVictims(n int, out []Key) []Key {
+	t.skip = t.skip[:0]
+	for len(out) < n && len(t.heap) > 0 {
+		top := t.pop()
+		e, ok := t.ents[top.key]
+		if !ok || t.score(e) != top.score {
+			continue // stale node: entry gone or re-touched since the push
+		}
+		if e.pins > 0 || e.busy {
+			t.skip = append(t.skip, top) //camlint:allow hotalloc -- amortized scratch growth to the pinned high-water mark
+			continue
+		}
+		out = append(out, top.key) //camlint:allow hotalloc -- caller-owned scratch, amortized growth
+	}
+	for _, se := range t.skip {
+		t.push(se)
+	}
+	return out
+}
+
+// PickVictimRef is the naive reference evictor: a linear scan for the
+// minimum (score, key) among eligible entries. The min over a total
+// order is iteration-order independent, so the map range is safe; the
+// fuzz harness cross-checks the heap against this.
+func (t *Tier) PickVictimRef() (Key, bool) {
+	var best Key
+	var bestScore uint64
+	found := false
+	for key, e := range t.ents { //camlint:allow nodeterminism -- order-independent min reduction over a total order
+		if e.pins > 0 || e.busy {
+			continue
+		}
+		s := t.score(e) //camlint:allow dettaint -- min reduction over a total (score, key) order; result is iteration-order independent
+		if !found || s < bestScore || (s == bestScore && key < best) {
+			best, bestScore, found = key, s, true
+		}
+	}
+	return best, found
+}
+
+// CheckInvariants re-derives the tier's structure: frames partition into
+// free + resident with no frame held twice or out of range, and every
+// entry's live-score node is present in the eviction index.
+func (t *Tier) CheckInvariants() error {
+	if len(t.free)+len(t.ents) != t.cfg.Frames {
+		return fmt.Errorf("kvcache: %d free + %d resident != %d frames", len(t.free), len(t.ents), t.cfg.Frames)
+	}
+	owner := make(map[int32]Key)
+	for _, f := range t.free {
+		if f < 0 || int(f) >= t.cfg.Frames {
+			return fmt.Errorf("kvcache: free frame %d out of range", f)
+		}
+		if _, dup := owner[f]; dup {
+			return fmt.Errorf("kvcache: frame %d on free list twice", f)
+		}
+		owner[f] = Key(0)
+	}
+	live := make(map[scoreEnt]bool, len(t.heap))
+	for _, se := range t.heap {
+		live[se] = true
+	}
+	for key, e := range t.ents { //camlint:allow nodeterminism -- error-or-nil validation, first error returned only under single-fault tests
+		if e.frame < 0 || int(e.frame) >= t.cfg.Frames {
+			return fmt.Errorf("kvcache: %v in out-of-range frame %d", key, e.frame)
+		}
+		if k, dup := owner[e.frame]; dup {
+			return fmt.Errorf("kvcache: frame %d held by %v and %v", e.frame, k, key)
+		}
+		owner[e.frame] = key
+		if !live[scoreEnt{score: t.score(e), key: key}] { //camlint:allow dettaint -- order-independent set membership check in error-or-nil validation
+			return fmt.Errorf("kvcache: %v missing from eviction index", key)
+		}
+	}
+	return nil
+}
+
+// push adds a node to the (score, key) min-heap.
+//
+//camlint:hotpath
+func (t *Tier) push(se scoreEnt) {
+	t.heap = append(t.heap, se) //camlint:allow hotalloc -- amortized heap growth to the touch high-water mark
+	i := len(t.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !heapLess(t.heap[i], t.heap[p]) {
+			break
+		}
+		t.heap[i], t.heap[p] = t.heap[p], t.heap[i]
+		i = p
+	}
+}
+
+// pop removes the minimum node.
+//
+//camlint:hotpath
+func (t *Tier) pop() scoreEnt {
+	h := t.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	t.heap = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && heapLess(t.heap[l], t.heap[m]) {
+			m = l
+		}
+		if r < n && heapLess(t.heap[r], t.heap[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		t.heap[i], t.heap[m] = t.heap[m], t.heap[i]
+		i = m
+	}
+	return top
+}
+
+func heapLess(a, b scoreEnt) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.key < b.key
+}

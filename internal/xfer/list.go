@@ -1,0 +1,130 @@
+// List transfers: one batched operation over an arbitrary set of blocks,
+// each with its own offset inside the GPU buffer. Contiguous-range
+// transfers (Backend.StartRead/StartWrite) serve the figure workloads,
+// whose working sets are flat spans; a tiered cache instead fills and
+// spills whatever frames its eviction policy hands it, so the block list
+// and the frame list are both scattered. Staging through a contiguous
+// bounce buffer would re-serialize exactly the copies the direct data
+// plane exists to avoid — the list path keeps scatter-gather batches on
+// each backend's native mechanism instead.
+package xfer
+
+import (
+	"camsim/internal/gpu"
+	"camsim/internal/sim"
+)
+
+// ListBackend is implemented by backends that can move an arbitrary block
+// set in one batched operation: block blocks[i] maps to buffer offset
+// offs[i]. CAM publishes (block, offset) pairs in region 1, BaM threads
+// the offsets through its batch machine, and SPDK dispatches each block
+// as its own staged granule (it stages per granule anyway, so scattered
+// targets cost nothing extra — the helper-pool bound is the serializer).
+type ListBackend interface {
+	Backend
+	// StartGatherList begins an asynchronous batched read of the blocks
+	// into dst at the matching offsets.
+	StartGatherList(p *sim.Proc, blocks []uint64, dst *gpu.Buffer, offs []int64) Handle
+	// StartScatterList begins an asynchronous batched write of the blocks
+	// from src at the matching offsets.
+	StartScatterList(p *sim.Proc, blocks []uint64, src *gpu.Buffer, offs []int64) Handle
+}
+
+// GatherList performs a synchronous list gather on any list backend.
+func GatherList(p *sim.Proc, b ListBackend, blocks []uint64, dst *gpu.Buffer, offs []int64) {
+	b.StartGatherList(p, blocks, dst, offs).Wait(p)
+}
+
+// ScatterList performs a synchronous list scatter on any list backend.
+func ScatterList(p *sim.Proc, b ListBackend, blocks []uint64, src *gpu.Buffer, offs []int64) {
+	b.StartScatterList(p, blocks, src, offs).Wait(p)
+}
+
+// ----- CAM -----
+
+// StartGatherList publishes one indexed prefetch batch.
+func (b *CAMBackend) StartGatherList(p *sim.Proc, blocks []uint64, dst *gpu.Buffer, offs []int64) Handle {
+	if len(blocks) == 0 {
+		return b.emptyHandle()
+	}
+	batch := b.M.PrefetchList(p, blocks, dst, offs)
+	return camHandle{b.M, batch}
+}
+
+// StartScatterList publishes one indexed write_back batch.
+func (b *CAMBackend) StartScatterList(p *sim.Proc, blocks []uint64, src *gpu.Buffer, offs []int64) Handle {
+	if len(blocks) == 0 {
+		return b.emptyHandle()
+	}
+	batch := b.M.WriteBackList(p, blocks, src, offs)
+	return camHandle{b.M, batch}
+}
+
+// emptyHandle completes an empty list batch inline (nothing to publish).
+func (b *CAMBackend) emptyHandle() Handle { return camHandle{b.M, nil} }
+
+// ----- BaM -----
+
+// StartGatherList drives one list-batch machine; the SM pin covers the
+// whole batch, exactly as for contiguous gathers.
+func (b *BaMBackend) StartGatherList(p *sim.Proc, blocks []uint64, dst *gpu.Buffer, offs []int64) Handle {
+	s := b.env.E.NewSignal("bamxfer")
+	b.arr.GatherListAsync(blocks, offs, dst, b.getSink(s))
+	return sigHandle{s}
+}
+
+// StartScatterList drives one list-batch machine in the write direction.
+func (b *BaMBackend) StartScatterList(p *sim.Proc, blocks []uint64, src *gpu.Buffer, offs []int64) Handle {
+	s := b.env.E.NewSignal("bamxfer")
+	b.arr.ScatterListAsync(blocks, offs, src, b.getSink(s))
+	return sigHandle{s}
+}
+
+// ----- SPDK (staged) -----
+
+// locateBlock maps a block id to its device and device LBA under the same
+// round-robin striping locate uses for byte offsets.
+func (b *SPDKBackend) locateBlock(blk uint64) (dev int, slba uint64) {
+	nd := uint64(len(b.env.Devs))
+	dev = int(blk % nd)
+	devOff := int64(blk/nd) * b.g
+	return dev, uint64(devOff / 512)
+}
+
+// StartGatherList stages each listed block through the helper pool.
+func (b *SPDKBackend) StartGatherList(p *sim.Proc, blocks []uint64, dst *gpu.Buffer, offs []int64) Handle {
+	return b.startList(blocks, dst, offs, true)
+}
+
+// StartScatterList stages each listed block in the write direction.
+func (b *SPDKBackend) StartScatterList(p *sim.Proc, blocks []uint64, src *gpu.Buffer, offs []int64) Handle {
+	return b.startList(blocks, src, offs, false)
+}
+
+func (b *SPDKBackend) startList(blocks []uint64, buf *gpu.Buffer, offs []int64, read bool) Handle {
+	if len(blocks) != len(offs) {
+		panic("xfer(spdk): list blocks/offs length mismatch")
+	}
+	s := b.env.E.NewSignal("spdkxfer")
+	if len(blocks) == 0 {
+		s.Fire()
+		return sigHandle{s}
+	}
+	for _, off := range offs {
+		if off < 0 || off+b.g > buf.Size() {
+			panic("xfer(spdk): list entry does not fit in buffer")
+		}
+	}
+	var x *spdkXfer
+	if k := len(b.freeX); k > 0 {
+		x = b.freeX[k-1]
+		b.freeX = b.freeX[:k-1]
+	} else {
+		x = &spdkXfer{b: b}
+	}
+	n := int64(len(blocks))
+	*x = spdkXfer{b: b, read: read, buf: buf, blocks: blocks, offs: offs,
+		granules: n, remaining: n, sig: s}
+	b.pool.GetCallback(0, x)
+	return sigHandle{s}
+}

@@ -266,13 +266,17 @@ func (b *SPDKBackend) start(p *sim.Proc, off, n int64, buf *gpu.Buffer, bufOff i
 }
 
 // spdkXfer dispatches one transfer's granules onto pooled staged helpers
-// as they free up, in granule order.
+// as they free up, in granule order. A list transfer (blocks non-nil)
+// names each granule's block id and buffer offset explicitly; a range
+// transfer derives both from the contiguous (off, bufOff) pair.
 type spdkXfer struct {
 	b         *SPDKBackend
 	read      bool
 	off       int64
 	buf       *gpu.Buffer
 	bufOff    int64
+	blocks    []uint64
+	offs      []int64
 	next      int64
 	granules  int64
 	remaining int64
@@ -288,7 +292,7 @@ func (x *spdkXfer) StoreItem(st *spdk.StagedGPUIO, ok bool) {
 		panic("xfer(spdk): helper pool closed mid-transfer")
 	}
 	b := x.b
-	done := x.next * b.g
+	idx := x.next
 	x.next++
 	var g *spdkGranule
 	if k := len(b.freeG); k > 0 {
@@ -298,11 +302,21 @@ func (x *spdkXfer) StoreItem(st *spdk.StagedGPUIO, ok bool) {
 		g = &spdkGranule{} //camlint:allow hotalloc -- pool miss grows to the window high-water mark, then reuses
 	}
 	g.x, g.st = x, st
-	dev, slba := b.locate(x.off + done)
-	if x.read {
-		st.ReadToGPUAsync(dev, slba, x.buf, x.bufOff+done, b.g, g)
+	var dev int
+	var slba uint64
+	var bufOff int64
+	if x.blocks != nil {
+		dev, slba = b.locateBlock(x.blocks[idx])
+		bufOff = x.offs[idx]
 	} else {
-		st.WriteFromGPUAsync(dev, slba, x.buf, x.bufOff+done, b.g, g)
+		done := idx * b.g
+		dev, slba = b.locate(x.off + done)
+		bufOff = x.bufOff + done
+	}
+	if x.read {
+		st.ReadToGPUAsync(dev, slba, x.buf, bufOff, b.g, g)
+	} else {
+		st.WriteFromGPUAsync(dev, slba, x.buf, bufOff, b.g, g)
 	}
 	if x.next < x.granules {
 		b.pool.GetCallback(0, x)
@@ -328,6 +342,7 @@ func (g *spdkGranule) Run() {
 	if x.remaining == 0 {
 		sig := x.sig
 		x.sig, x.buf = nil, nil
+		x.blocks, x.offs = nil, nil
 		x.b.freeX = append(x.b.freeX, x) //camlint:allow hotalloc -- amortized free-list growth
 		sig.Fire()
 	}
